@@ -1,0 +1,51 @@
+//! Criterion benchmarks for plan execution: approximate collection,
+//! proof-carrying collection, the NAIVE-1 protocol and the exact
+//! two-phase algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prospector_bench::scenarios::GaussianScenario;
+use prospector_core::{run_plan, run_proof_plan, Plan};
+use prospector_net::EnergyModel;
+use prospector_sim::{execute_plan, run_exact, run_naive1};
+use std::hint::black_box;
+
+fn bench_execution(c: &mut Criterion) {
+    let scenario = GaussianScenario::fig3(true).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let k = scenario.k;
+    let values = &scenario.eval_epochs[0];
+
+    let naive = Plan::naive_k(topo, k);
+    let mut proof = Plan::naive_k(topo, k);
+    proof.proof_carrying = true;
+
+    let mut group = c.benchmark_group("execution");
+    group.sample_size(20);
+
+    group.bench_function("run_plan_naive_k", |b| {
+        b.iter(|| black_box(run_plan(&naive, topo, values, k)))
+    });
+    group.bench_function("run_proof_plan", |b| {
+        b.iter(|| black_box(run_proof_plan(&proof, topo, values, k)))
+    });
+    group.bench_function("execute_plan_metered", |b| {
+        b.iter(|| black_box(execute_plan(&naive, topo, &em, values, k, None)))
+    });
+    group.bench_function("naive1_protocol", |b| {
+        b.iter(|| black_box(run_naive1(topo, &em, values, k)))
+    });
+
+    let mut minimal_proof = Plan::empty(topo.len());
+    minimal_proof.proof_carrying = true;
+    for e in topo.edges() {
+        minimal_proof.set_bandwidth(e, 1);
+    }
+    group.bench_function("exact_two_phase", |b| {
+        b.iter(|| black_box(run_exact(&minimal_proof, topo, &em, values, k, None)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion wrappers that time the (fast-mode) figure harnesses
+//! end-to-end: one benchmark per paper artifact, so `cargo bench`
+//! exercises the full reproduction pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prospector_bench::figures;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_fast");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(|| black_box(figures::table1())));
+    group.bench_function("fig3", |b| b.iter(|| black_box(figures::fig3(true))));
+    group.bench_function("fig4", |b| b.iter(|| black_box(figures::fig4(true))));
+    group.bench_function("fig5", |b| b.iter(|| black_box(figures::fig5(true))));
+    group.bench_function("fig7", |b| b.iter(|| black_box(figures::fig7(true))));
+    group.bench_function("fig8", |b| b.iter(|| black_box(figures::fig8(true))));
+    group.bench_function("fig9", |b| b.iter(|| black_box(figures::fig9(true))));
+    group.bench_function("esamples", |b| b.iter(|| black_box(figures::e_samples(true))));
+    group.bench_function("edissem", |b| b.iter(|| black_box(figures::e_dissemination(true))));
+    group.bench_function("naive1", |b| b.iter(|| black_box(figures::naive1_vs_naive_k(true))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for plan construction: one entry per Prospector
+//! planner on a fixed fast scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prospector_bench::scenarios::GaussianScenario;
+use prospector_core::{
+    PlanContext, Planner, ProspectorGreedy, ProspectorLpLf, ProspectorLpNoLf, ProspectorProof,
+};
+use prospector_net::EnergyModel;
+use std::hint::black_box;
+
+fn bench_planners(c: &mut Criterion) {
+    let scenario = GaussianScenario::fig3(true).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let budget = 60.0;
+
+    let mut group = c.benchmark_group("planners");
+    group.sample_size(10);
+
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+            black_box(ProspectorGreedy.plan(&ctx).unwrap())
+        })
+    });
+    group.bench_function("lp_no_lf", |b| {
+        b.iter(|| {
+            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+            black_box(ProspectorLpNoLf.plan(&ctx).unwrap())
+        })
+    });
+    group.bench_function("lp_lf", |b| {
+        b.iter(|| {
+            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+            black_box(ProspectorLpLf.plan(&ctx).unwrap())
+        })
+    });
+
+    // Proof LP on a smaller instance (its program is the biggest).
+    let small = GaussianScenario {
+        n: 16,
+        k: 4,
+        num_samples: 4,
+        num_eval: 2,
+        mean_range: 40.0..60.0,
+        std_range: 1.0..4.0,
+        seed: 5,
+    }
+    .build();
+    let stopo = &small.network.topology;
+    let probe = PlanContext::new(stopo, &em, &small.samples, 1.0);
+    let proof_budget = probe.min_proof_cost() * 1.3;
+    group.bench_function("proof_lp", |b| {
+        b.iter(|| {
+            let ctx = PlanContext::new(stopo, &em, &small.samples, proof_budget);
+            black_box(ProspectorProof::default().plan(&ctx).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

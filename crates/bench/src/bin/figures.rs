@@ -1,0 +1,60 @@
+//! CLI harness regenerating the paper's tables and figures.
+//!
+//! ```text
+//! figures [--fast] [all|table1|fig3|fig4|fig5|fig7|fig8|fig9|esamples|elptime|edissem|naive1]...
+//! ```
+//!
+//! Each figure is printed as an ASCII table and written to
+//! `results/<id>.csv` (series,x,y).
+
+use prospector_bench::{figures, render_table, write_csv, FigureResult};
+use std::path::PathBuf;
+
+fn run_one(result: &FigureResult) {
+    println!("{}", render_table(result.title, result.x_label, result.y_label, &result.points));
+    let path = PathBuf::from("results").join(format!("{}.csv", result.id));
+    match write_csv(&path, &result.points) {
+        Ok(()) => println!("[wrote {}]\n", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]\n", path.display()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let names: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let names: Vec<&str> = if names.is_empty() { vec!["all"] } else { names };
+
+    for name in names {
+        match name {
+            "all" => {
+                for r in figures::all(fast) {
+                    run_one(&r);
+                }
+            }
+            "table1" => run_one(&figures::table1()),
+            "fig3" => run_one(&figures::fig3(fast)),
+            "fig4" => run_one(&figures::fig4(fast)),
+            "fig5" => run_one(&figures::fig5(fast)),
+            "fig7" => run_one(&figures::fig7(fast)),
+            "fig8" => run_one(&figures::fig8(fast)),
+            "fig9" => run_one(&figures::fig9(fast)),
+            "esamples" => run_one(&figures::e_samples(fast)),
+            "elptime" => run_one(&figures::e_lp_time(fast)),
+            "edissem" => run_one(&figures::e_dissemination(fast)),
+            "naive1" => run_one(&figures::naive1_vs_naive_k(fast)),
+            "ablation" => run_one(&figures::ablation_fill(fast)),
+            "efailures" => run_one(&figures::e_failures(fast)),
+            "esensitivity" => run_one(&figures::e_sensitivity(fast)),
+            "esubset" => run_one(&figures::e_subset(fast)),
+            other => {
+                eprintln!(
+                    "unknown figure '{other}'; known: all table1 fig3 fig4 fig5 fig7 fig8 fig9 \
+                     esamples elptime edissem naive1 ablation efailures esensitivity esubset"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,879 @@
+//! One runner per table/figure of the paper's evaluation (Section 5).
+//!
+//! Absolute numbers differ from the paper (different hardware constants,
+//! our own simplex instead of CPLEX, synthetic Intel-lab data); the
+//! *shapes* — who wins, by what factor, where crossovers fall — are the
+//! reproduction targets. EXPERIMENTS.md records both.
+
+use crate::scenarios::{GaussianScenario, IntelScenario, Scenario, ZoneScenario};
+use crate::CurvePoint;
+use prospector_core::{
+    evaluate, exact::ExactConfig, oracle, Plan, PlanContext, Planner, ProspectorGreedy,
+    ProspectorLpLf, ProspectorLpNoLf,
+};
+use prospector_data::{SampleSet, ValueSource};
+use prospector_net::{EnergyModel, Topology};
+use prospector_sim::{execute_plan, install_cost, run_exact, run_naive1};
+use std::time::Instant;
+
+/// A fully rendered figure: identifier, axes and data points.
+#[derive(Debug, Clone)]
+pub struct FigureResult {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub x_label: &'static str,
+    pub y_label: &'static str,
+    pub points: Vec<CurvePoint>,
+}
+
+/// Average executed collection+trigger energy of `plan` over epochs.
+fn avg_exec_mj(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    epochs: &[Vec<f64>],
+    k: usize,
+) -> f64 {
+    let total: f64 = epochs
+        .iter()
+        .map(|values| execute_plan(plan, topology, energy, values, k, None).total_mj())
+        .sum();
+    total / epochs.len() as f64
+}
+
+/// Average accuracy (%) of `plan` over epochs.
+fn avg_accuracy_pct(plan: &Plan, topology: &Topology, epochs: &[Vec<f64>], k: usize) -> f64 {
+    let total: f64 = epochs
+        .iter()
+        .map(|values| evaluate::accuracy_on_values(plan, topology, values, k))
+        .sum();
+    100.0 * total / epochs.len() as f64
+}
+
+/// Runs each approximate planner across a budget ladder, producing
+/// (measured energy, accuracy%) points.
+fn approx_curves<S>(
+    scenario: &Scenario<S>,
+    energy: &EnergyModel,
+    budgets: &[f64],
+    planners: &[(&str, &dyn Planner)],
+) -> Vec<CurvePoint> {
+    let topo = &scenario.network.topology;
+    let mut points = Vec::new();
+    for &(name, planner) in planners {
+        for &budget in budgets {
+            let ctx = PlanContext::new(topo, energy, &scenario.samples, budget);
+            let plan = match planner.plan(&ctx) {
+                Ok(p) => p,
+                Err(e) => panic!("{name} failed at budget {budget}: {e}"),
+            };
+            let x = avg_exec_mj(&plan, topo, energy, &scenario.eval_epochs, scenario.k);
+            let y = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
+            points.push(CurvePoint::new(name, x, y));
+        }
+    }
+    points
+}
+
+/// Exact algorithms (ORACLE / NAIVE-k) traced by varying k' ≤ k, as the
+/// paper does: accuracy k'/k at the cost of the k' plan.
+fn exact_curves<S>(
+    scenario: &Scenario<S>,
+    energy: &EnergyModel,
+    k_ladder: &[usize],
+) -> Vec<CurvePoint> {
+    let topo = &scenario.network.topology;
+    let k = scenario.k;
+    let mut points = Vec::new();
+    for &kp in k_ladder {
+        let plan = Plan::naive_k(topo, kp);
+        let x = avg_exec_mj(&plan, topo, energy, &scenario.eval_epochs, kp);
+        points.push(CurvePoint::new("naive-k", x, 100.0 * kp as f64 / k as f64));
+    }
+    for &kp in k_ladder {
+        let cost: f64 = scenario
+            .eval_epochs
+            .iter()
+            .map(|values| {
+                let plan = oracle::oracle_plan(topo, values, kp);
+                execute_plan(&plan, topo, energy, values, kp, None).total_mj()
+            })
+            .sum::<f64>()
+            / scenario.eval_epochs.len() as f64;
+        points.push(CurvePoint::new("oracle", cost, 100.0 * kp as f64 / k as f64));
+    }
+    points
+}
+
+fn budget_ladder(scale: f64, fractions: &[f64]) -> Vec<f64> {
+    fractions.iter().map(|f| f * scale).collect()
+}
+
+/// Table 1 (Section 2): the MICA2-derived cost constants.
+pub fn table1() -> FigureResult {
+    let em = EnergyModel::mica2();
+    let points = vec![
+        CurvePoint::new("sending cost (mW)", 0.0, prospector_net::energy::MICA2_TX_MW),
+        CurvePoint::new("receiving cost (mW)", 0.0, prospector_net::energy::MICA2_RX_MW),
+        CurvePoint::new("byte rate (B/s)", 0.0, prospector_net::energy::MICA2_BYTES_PER_SEC),
+        CurvePoint::new("per-byte cost c_b (mJ/B)", 0.0, em.per_byte_mj),
+        CurvePoint::new("per-message cost c_m (mJ)", 0.0, em.per_message_mj),
+        CurvePoint::new("bytes per value", 0.0, em.value_bytes as f64),
+    ];
+    FigureResult {
+        id: "table1",
+        title: "Table 1: MICA2 communication cost model",
+        x_label: "-",
+        y_label: "value",
+        points,
+    }
+}
+
+/// Figure 3: energy vs accuracy for all algorithms on independent
+/// Gaussians.
+pub fn fig3(fast: bool) -> FigureResult {
+    let scenario = GaussianScenario::fig3(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+
+    let mut points = Vec::new();
+    let k_ladder: Vec<usize> =
+        [0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|f| ((f * scenario.k as f64) as usize).max(1)).collect();
+    points.extend(exact_curves(&scenario, &em, &k_ladder));
+
+    let fractions: &[f64] = if fast {
+        &[0.1, 0.3, 0.6, 1.0]
+    } else {
+        &[0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0]
+    };
+    let budgets = budget_ladder(naive_cost, fractions);
+    let planners: Vec<(&str, &dyn Planner)> = vec![
+        ("greedy", &ProspectorGreedy),
+        ("lp-lf", &ProspectorLpNoLf),
+        ("lp+lf", &ProspectorLpLf),
+    ];
+    points.extend(approx_curves(&scenario, &em, &budgets, &planners));
+
+    FigureResult {
+        id: "fig3",
+        title: "Figure 3: comparison of algorithms (independent Gaussians)",
+        x_label: "energy (mJ)",
+        y_label: "accuracy (% of top k)",
+        points,
+    }
+}
+
+/// Figure 4: accuracy vs variance at a fixed (ample) energy budget.
+pub fn fig4(fast: bool) -> FigureResult {
+    let base = if fast {
+        GaussianScenario {
+            n: 30,
+            k: 6,
+            num_samples: 8,
+            num_eval: 6,
+            mean_range: 48.0..52.0,
+            std_range: 0.4..0.6,
+            seed: 41,
+        }
+    } else {
+        GaussianScenario {
+            n: 60,
+            k: 10,
+            num_samples: 15,
+            num_eval: 10,
+            mean_range: 48.0..52.0,
+            std_range: 0.4..0.6,
+            seed: 41,
+        }
+    };
+    let em = EnergyModel::mica2();
+    let probe = base.build();
+    let topo_probe = &probe.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo_probe, base.k), topo_probe, &em, &probe.eval_epochs, base.k);
+    // "fixed at a sufficiently high level ... to achieve near perfect
+    // accuracy when variance is negligible".
+    let budget = 0.55 * naive_cost;
+
+    let scales: &[f64] = if fast { &[0.5, 2.0, 8.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] };
+    let mut points = Vec::new();
+    for &scale in scales {
+        let scenario = {
+            let mut sc = base.build();
+            let scaled = sc.source.with_std_scale(scale);
+            let (src, samples, eval) = crate::scenarios::warm_up(
+                scaled,
+                base.n,
+                base.k,
+                base.num_samples,
+                base.num_eval,
+            );
+            sc.source = src;
+            sc.samples = samples;
+            sc.eval_epochs = eval;
+            sc
+        };
+        let variance = {
+            let stds = scenario.source.std_devs();
+            stds.iter().map(|s| s * s).sum::<f64>() / stds.len() as f64
+        };
+        let topo = &scenario.network.topology;
+        for (name, planner) in
+            [("lp-lf", &ProspectorLpNoLf as &dyn Planner), ("lp+lf", &ProspectorLpLf)]
+        {
+            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+            let plan = planner.plan(&ctx).expect("planning succeeds");
+            let acc = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
+            points.push(CurvePoint::new(name, variance, acc));
+        }
+    }
+    FigureResult {
+        id: "fig4",
+        title: "Figure 4: effect of variance (fixed budget)",
+        x_label: "variance",
+        y_label: "accuracy (% of top k)",
+        points,
+    }
+}
+
+/// Figure 5: contention zones — energy vs accuracy for LP+LF vs LP−LF.
+pub fn fig5(fast: bool) -> FigureResult {
+    let scenario = ZoneScenario::fig5(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+    let fractions: &[f64] =
+        if fast { &[0.2, 0.5, 0.9] } else { &[0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0] };
+    let budgets = budget_ladder(naive_cost, fractions);
+    let planners: Vec<(&str, &dyn Planner)> =
+        vec![("lp-lf", &ProspectorLpNoLf), ("lp+lf", &ProspectorLpLf)];
+    let points = approx_curves(&scenario, &em, &budgets, &planners);
+    FigureResult {
+        id: "fig5",
+        title: "Figure 5: contention zones (energy vs accuracy)",
+        x_label: "energy (mJ)",
+        y_label: "accuracy (% of top k)",
+        points,
+    }
+}
+
+/// Figure 7: accuracy vs the number of contention zones at a fixed budget.
+pub fn fig7(fast: bool) -> FigureResult {
+    let em = EnergyModel::mica2();
+    // Budget fixed at the level that shows the largest LP+LF/LP−LF gap in
+    // Figure 5 (mid-ladder of the largest network).
+    let probe = ZoneScenario::fig5(fast).build();
+    let topo = &probe.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, probe.k), topo, &em, &probe.eval_epochs, probe.k);
+    let budget = 0.4 * naive_cost;
+
+    let zone_counts: &[usize] = if fast { &[2, 4, 6] } else { &[1, 2, 3, 4, 5, 6] };
+    let mut points = Vec::new();
+    for &z in zone_counts {
+        let scenario = ZoneScenario::fig5(fast).with_zones(z).build();
+        let topo = &scenario.network.topology;
+        for (name, planner) in
+            [("lp-lf", &ProspectorLpNoLf as &dyn Planner), ("lp+lf", &ProspectorLpLf)]
+        {
+            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+            let plan = planner.plan(&ctx).expect("planning succeeds");
+            let acc = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
+            points.push(CurvePoint::new(name, z as f64, acc));
+        }
+    }
+    FigureResult {
+        id: "fig7",
+        title: "Figure 7: varying the number of contention zones",
+        x_label: "number of contended areas",
+        y_label: "accuracy (% of top k)",
+        points,
+    }
+}
+
+/// Figure 8: ProspectorExact phase-1/phase-2 cost breakdown vs NAIVE-k
+/// and ORACLE-PROOF across phase-1 budget trials.
+pub fn fig8(fast: bool) -> FigureResult {
+    let base = if fast {
+        GaussianScenario {
+            n: 18,
+            k: 4,
+            num_samples: 5,
+            num_eval: 4,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 53,
+        }
+    } else {
+        GaussianScenario {
+            n: 100,
+            k: 25,
+            num_samples: 6,
+            num_eval: 6,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 53,
+        }
+    };
+    let scenario = base.build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let k = scenario.k;
+
+    let naive_cost = avg_exec_mj(&Plan::naive_k(topo, k), topo, &em, &scenario.eval_epochs, k);
+    let oracle_proof_cost: f64 = scenario
+        .eval_epochs
+        .iter()
+        .map(|values| {
+            let plan = oracle::oracle_proof_plan(topo, values, k);
+            execute_plan(&plan, topo, &em, values, k, None).total_mj()
+        })
+        .sum::<f64>()
+        / scenario.eval_epochs.len() as f64;
+
+    let ctx_probe = PlanContext::new(topo, &em, &scenario.samples, 1.0);
+    let min_proof = ctx_probe.min_proof_cost();
+    let fracs: &[f64] =
+        if fast { &[0.0, 0.3, 1.0] } else { &[0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 1.0] };
+    let mut points = Vec::new();
+    for (t, &frac) in fracs.iter().enumerate() {
+        let phase1_budget = min_proof + frac * (1.15 * naive_cost - min_proof);
+        let cfg = ExactConfig { phase1_budget_mj: phase1_budget };
+        let ctx = PlanContext::new(topo, &em, &scenario.samples, phase1_budget);
+        let plan = cfg.plan_phase1(&ctx).expect("phase-1 plan");
+        let (mut p1, mut p2) = (0.0, 0.0);
+        for values in &scenario.eval_epochs {
+            let r = run_exact(&plan, topo, &em, values, k, None);
+            p1 += r.phase1_mj;
+            p2 += r.phase2_mj;
+        }
+        let n_eval = scenario.eval_epochs.len() as f64;
+        let x = (t + 1) as f64;
+        points.push(CurvePoint::new("phase-1", x, p1 / n_eval));
+        points.push(CurvePoint::new("phase-2", x, p2 / n_eval));
+        points.push(CurvePoint::new("naive-k", x, naive_cost));
+        points.push(CurvePoint::new("oracle-proof", x, oracle_proof_cost));
+    }
+    FigureResult {
+        id: "fig8",
+        title: "Figure 8: ProspectorExact two-phase cost breakdown",
+        x_label: "trial instance",
+        y_label: "energy (mJ)",
+        points,
+    }
+}
+
+/// Figure 9: Intel-lab-like data — energy vs accuracy for Greedy, LP−LF
+/// and LP+LF (the latter two nearly identical, as in the paper).
+pub fn fig9(fast: bool) -> FigureResult {
+    let scenario = IntelScenario::fig9(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+    let fractions: &[f64] =
+        if fast { &[0.1, 0.3, 0.7] } else { &[0.05, 0.1, 0.18, 0.3, 0.45, 0.65, 0.9] };
+    let budgets = budget_ladder(naive_cost, fractions);
+    let planners: Vec<(&str, &dyn Planner)> = vec![
+        ("greedy", &ProspectorGreedy),
+        ("lp-lf", &ProspectorLpNoLf),
+        ("lp+lf", &ProspectorLpLf),
+    ];
+    let mut points = approx_curves(&scenario, &em, &budgets, &planners);
+    points.push(CurvePoint::new("naive-k", naive_cost, 100.0));
+    FigureResult {
+        id: "fig9",
+        title: "Figure 9: Intel-lab-like dataset",
+        x_label: "energy (mJ)",
+        y_label: "accuracy (% of top k)",
+        points,
+    }
+}
+
+/// §5 "Other Results": accuracy vs the number of samples used to plan.
+pub fn e_samples(fast: bool) -> FigureResult {
+    let base = if fast {
+        GaussianScenario {
+            n: 24,
+            k: 5,
+            num_samples: 30,
+            num_eval: 6,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 61,
+        }
+    } else {
+        GaussianScenario {
+            n: 60,
+            k: 10,
+            num_samples: 30,
+            num_eval: 10,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 61,
+        }
+    };
+    let scenario = base.build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+    let budget = 0.35 * naive_cost;
+
+    let counts: &[usize] = if fast { &[1, 3, 8] } else { &[1, 2, 3, 5, 8, 12, 20, 30] };
+    let mut points = Vec::new();
+    for &s in counts {
+        // Rebuild a window holding only the first `s` warm-up samples.
+        let mut window = SampleSet::new(base.n, base.k, s);
+        let mut src = prospector_data::IndependentGaussian::random(
+            base.n,
+            base.mean_range.clone(),
+            base.std_range.clone(),
+            base.seed,
+        );
+        for epoch in 0..s as u64 {
+            window.push(src.values(epoch));
+        }
+        for (name, planner) in
+            [("lp-lf", &ProspectorLpNoLf as &dyn Planner), ("lp+lf", &ProspectorLpLf)]
+        {
+            let ctx = PlanContext::new(topo, &em, &window, budget);
+            let plan = planner.plan(&ctx).expect("planning succeeds");
+            let acc = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
+            points.push(CurvePoint::new(name, s as f64, acc));
+        }
+    }
+    FigureResult {
+        id: "esamples",
+        title: "Sampling size vs accuracy (Section 5, other results)",
+        x_label: "number of samples",
+        y_label: "accuracy (% of top k)",
+        points,
+    }
+}
+
+/// §5 "Other Results": LP solve wall time vs the energy constraint.
+pub fn e_lp_time(fast: bool) -> FigureResult {
+    let scenario = if fast { GaussianScenario::fig3(true) } else {
+        GaussianScenario {
+            n: 80,
+            k: 15,
+            num_samples: 15,
+            num_eval: 4,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..5.0,
+            seed: 71,
+        }
+    }
+    .build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+    let fractions: &[f64] = if fast { &[0.2, 0.6] } else { &[0.1, 0.25, 0.4, 0.55, 0.7, 0.9] };
+    let mut points = Vec::new();
+    for &f in fractions {
+        let budget = f * naive_cost;
+        let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+        let t0 = Instant::now();
+        let _ = ProspectorLpLf.plan(&ctx).expect("lp+lf");
+        points.push(CurvePoint::new("lp+lf", budget, t0.elapsed().as_secs_f64()));
+    }
+    // Proof LP timings on a smaller network (its LP is the largest).
+    let proof_scenario = if fast {
+        GaussianScenario { n: 14, k: 3, num_samples: 4, num_eval: 2, mean_range: 40.0..60.0, std_range: 1.0..4.0, seed: 72 }
+    } else {
+        GaussianScenario { n: 30, k: 6, num_samples: 6, num_eval: 2, mean_range: 40.0..60.0, std_range: 1.0..4.0, seed: 72 }
+    }
+    .build();
+    let ptopo = &proof_scenario.network.topology;
+    let pctx = PlanContext::new(ptopo, &em, &proof_scenario.samples, 1.0);
+    let min_proof = pctx.min_proof_cost();
+    for &f in fractions {
+        let budget = min_proof * (1.0 + f);
+        let ctx = PlanContext::new(ptopo, &em, &proof_scenario.samples, budget);
+        let t0 = Instant::now();
+        let _ = prospector_core::ProspectorProof::default().plan(&ctx).expect("proof lp");
+        points.push(CurvePoint::new("proof", budget, t0.elapsed().as_secs_f64()));
+    }
+    FigureResult {
+        id: "elptime",
+        title: "LP solve time vs energy constraint (Section 5, other results)",
+        x_label: "budget (mJ)",
+        y_label: "solve time (s)",
+        points,
+    }
+}
+
+/// §5 text: plan installation costs on the order of one collection phase.
+pub fn e_dissemination(fast: bool) -> FigureResult {
+    let scenario = GaussianScenario::fig3(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+    let fractions: &[f64] = if fast { &[0.3, 0.8] } else { &[0.1, 0.3, 0.5, 0.8] };
+    let mut points = Vec::new();
+    for &f in fractions {
+        let budget = f * naive_cost;
+        let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+        let plan = ProspectorLpLf.plan(&ctx).expect("lp+lf");
+        let collect = avg_exec_mj(&plan, topo, &em, &scenario.eval_epochs, scenario.k);
+        let install = install_cost(&plan, topo, &em);
+        points.push(CurvePoint::new("collection", budget, collect));
+        points.push(CurvePoint::new("install", budget, install));
+    }
+    FigureResult {
+        id: "edissem",
+        title: "Plan dissemination vs collection cost (Section 5 text)",
+        x_label: "budget (mJ)",
+        y_label: "energy (mJ)",
+        points,
+    }
+}
+
+/// Extra shape check used by tests and EXPERIMENTS.md: NAIVE-1's cost at
+/// small k already rivals NAIVE-k at large k.
+pub fn naive1_vs_naive_k(fast: bool) -> FigureResult {
+    let scenario = GaussianScenario::fig3(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let values = &scenario.eval_epochs[0];
+    let mut points = Vec::new();
+    let ks: &[usize] = if fast { &[1, 4, 8] } else { &[1, 5, 10, 15, 20, 25] };
+    for &kp in ks {
+        let (_, meter) = run_naive1(topo, &em, values, kp);
+        points.push(CurvePoint::new("naive-1", kp as f64, meter.total()));
+        let plan = Plan::naive_k(topo, kp);
+        let cost = execute_plan(&plan, topo, &em, values, kp, None).total_mj();
+        points.push(CurvePoint::new("naive-k", kp as f64, cost));
+    }
+    FigureResult {
+        id: "naive1",
+        title: "NAIVE-1 vs NAIVE-k cost (Section 2/5 discussion)",
+        x_label: "k",
+        y_label: "energy (mJ)",
+        points,
+    }
+}
+
+
+/// Ablation: how the proof planner's budget-fill strategy affects
+/// `ProspectorExact` (DESIGN.md §9). The need-aware fill spreads witness
+/// margin relative to each subtree's observed top-k load; the naive
+/// subtree-deficit fill leaves many subtrees one witness short, and since
+/// proofs form a prefix a single missing witness collapses the proven
+/// count — phase 2 then pays for it.
+pub fn ablation_fill(fast: bool) -> FigureResult {
+    use prospector_core::proof_lp::{FillStrategy, ProspectorProof};
+
+    let base = if fast {
+        GaussianScenario {
+            n: 24,
+            k: 6,
+            num_samples: 5,
+            num_eval: 4,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 53,
+        }
+    } else {
+        GaussianScenario {
+            n: 70,
+            k: 15,
+            num_samples: 6,
+            num_eval: 6,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 53,
+        }
+    };
+    let scenario = base.build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let k = scenario.k;
+    let naive_cost = avg_exec_mj(&Plan::naive_k(topo, k), topo, &em, &scenario.eval_epochs, k);
+    let min_proof = PlanContext::new(topo, &em, &scenario.samples, 1.0).min_proof_cost();
+
+    let fracs: &[f64] = if fast { &[0.2, 0.5] } else { &[0.1, 0.2, 0.3, 0.4, 0.55, 0.75] };
+    let mut points = Vec::new();
+    for (name, fill) in [
+        ("need-aware", FillStrategy::NeedAware),
+        ("subtree-deficit", FillStrategy::SubtreeDeficit),
+        ("no-fill", FillStrategy::None),
+    ] {
+        for &frac in fracs {
+            let budget = min_proof + frac * (1.15 * naive_cost - min_proof);
+            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+            let plan = ProspectorProof { fill }.plan(&ctx).expect("proof plan");
+            let total: f64 = scenario
+                .eval_epochs
+                .iter()
+                .map(|v| run_exact(&plan, topo, &em, v, k, None).total_mj())
+                .sum::<f64>()
+                / scenario.eval_epochs.len() as f64;
+            points.push(CurvePoint::new(name, budget, total));
+        }
+    }
+    for &frac in fracs {
+        let budget = min_proof + frac * (1.15 * naive_cost - min_proof);
+        points.push(CurvePoint::new("naive-k", budget, naive_cost));
+    }
+    FigureResult {
+        id: "ablation_fill",
+        title: "Ablation: proof-plan budget-fill strategy (ProspectorExact total)",
+        x_label: "phase-1 budget (mJ)",
+        y_label: "total energy (mJ)",
+        points,
+    }
+}
+
+/// Section 4.4 experiment: planning with vs. without the transient-failure
+/// cost model, executed under failure injection. Failure-aware plans
+/// inflate lossy edges' message costs, so the executed energy (including
+/// rerouting) stays near the budget; failure-blind plans overshoot.
+pub fn e_failures(fast: bool) -> FigureResult {
+    use prospector_net::FailureModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let scenario = GaussianScenario::fig3(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let k = scenario.k;
+    let n = topo.len();
+    let naive_cost = avg_exec_mj(&Plan::naive_k(topo, k), topo, &em, &scenario.eval_epochs, k);
+    let budget = 0.45 * naive_cost;
+    let reroute_mj = 3.0;
+
+    let probs: &[f64] = if fast { &[0.0, 0.2] } else { &[0.0, 0.05, 0.1, 0.2, 0.35, 0.5] };
+    let mut points = Vec::new();
+    for &p in probs {
+        let fm = FailureModel::uniform(n, p, reroute_mj);
+        for (name, aware) in [("failure-aware", true), ("failure-blind", false)] {
+            let ctx = if aware {
+                PlanContext::new(topo, &em, &scenario.samples, budget).with_failures(&fm)
+            } else {
+                PlanContext::new(topo, &em, &scenario.samples, budget)
+            };
+            let plan = ProspectorLpNoLf.plan(&ctx).expect("plan");
+            let mut rng = StdRng::seed_from_u64(97);
+            let mut energy = 0.0;
+            let mut acc = 0.0;
+            for values in &scenario.eval_epochs {
+                let r = prospector_sim::execute_plan(
+                    &plan, topo, &em, values, k, Some((&fm, &mut rng)),
+                );
+                energy += r.total_mj();
+                acc += evaluate::accuracy_on_values(&plan, topo, values, k);
+            }
+            let n_eval = scenario.eval_epochs.len() as f64;
+            points.push(CurvePoint::new(name, p, energy / n_eval));
+            points.push(CurvePoint::new(format!("{name}-accuracy"), p, 100.0 * acc / n_eval));
+        }
+        points.push(CurvePoint::new("budget", p, budget));
+    }
+    FigureResult {
+        id: "efailures",
+        title: "Failure-aware planning under transient-failure injection (Section 4.4)",
+        x_label: "edge failure probability",
+        y_label: "measured energy (mJ) / accuracy (%)",
+        points,
+    }
+}
+
+
+/// Extension: the marginal value of energy (the LP+LF budget row's shadow
+/// price) across budgets — a diminishing-returns curve an operator can use
+/// to pick a budget. High where energy is scarce, zero once the plan
+/// captures every sample answer.
+pub fn e_sensitivity(fast: bool) -> FigureResult {
+    let scenario = GaussianScenario::fig3(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+    let fractions: &[f64] =
+        if fast { &[0.1, 0.4, 1.0] } else { &[0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 1.0, 1.5] };
+    let mut points = Vec::new();
+    for &f in fractions {
+        let budget = f * naive_cost;
+        let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+        let price = prospector_core::budget_shadow_price(&ctx).expect("shadow price");
+        points.push(CurvePoint::new("shadow-price", budget, price));
+    }
+    FigureResult {
+        id: "esensitivity",
+        title: "Marginal accuracy per mJ (LP+LF budget shadow price)",
+        x_label: "budget (mJ)",
+        y_label: "expected answer values per mJ",
+        points,
+    }
+}
+
+/// Extension: generalized subset queries (Section 3) — accuracy vs budget
+/// for a selection query and a quantile band on the Intel-lab-like data.
+pub fn e_subset(fast: bool) -> FigureResult {
+    use prospector_core::subset::{plan_subset_query, subset_accuracy, subset_context};
+    use prospector_data::subset::{AnswerSpec, SubsetSampleSet};
+
+    let scenario = IntelScenario::fig9(fast).build();
+    let topo = &scenario.network.topology;
+    let em = EnergyModel::mica2();
+    let n = topo.len();
+
+    // Rebuild generalized windows from the same warm-up epochs.
+    let specs = [
+        ("selection(>23C)", AnswerSpec::AboveThreshold(23.0)),
+        ("quantile(40-60%)", AnswerSpec::QuantileBand { lo: 0.4, hi: 0.6 }),
+    ];
+    let mut placeholder = SampleSet::new(n, 1, 1);
+    placeholder.push(vec![0.0; n]);
+
+    let naive_cost =
+        avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
+    let fractions: &[f64] = if fast { &[0.2, 0.6] } else { &[0.1, 0.2, 0.35, 0.55, 0.8] };
+
+    let mut points = Vec::new();
+    for (name, spec) in specs {
+        let mut window = SubsetSampleSet::new(n, spec.clone(), scenario.samples.len());
+        for j in 0..scenario.samples.len() {
+            window.push(scenario.samples.values(j).to_vec());
+        }
+        for &f in fractions {
+            let budget = f * naive_cost;
+            let ctx = subset_context(topo, &em, &placeholder, budget);
+            let plan = plan_subset_query(&ctx, &window).expect("subset plan");
+            let acc: f64 = scenario
+                .eval_epochs
+                .iter()
+                .map(|v| subset_accuracy(&plan, topo, &spec, v))
+                .sum::<f64>()
+                / scenario.eval_epochs.len() as f64;
+            points.push(CurvePoint::new(name, budget, 100.0 * acc));
+        }
+    }
+    FigureResult {
+        id: "esubset",
+        title: "Generalized subset queries (Section 3): accuracy vs budget",
+        x_label: "budget (mJ)",
+        y_label: "accuracy (% of answer delivered)",
+        points,
+    }
+}
+
+/// Every figure in paper order.
+pub fn all(fast: bool) -> Vec<FigureResult> {
+    vec![
+        table1(),
+        fig3(fast),
+        fig4(fast),
+        fig5(fast),
+        fig7(fast),
+        fig8(fast),
+        fig9(fast),
+        e_samples(fast),
+        e_lp_time(fast),
+        e_dissemination(fast),
+        naive1_vs_naive_k(fast),
+        ablation_fill(fast),
+        e_failures(fast),
+        e_sensitivity(fast),
+        e_subset(fast),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_avg(points: &[CurvePoint], series: &str) -> f64 {
+        let ys: Vec<f64> =
+            points.iter().filter(|p| p.series == series).map(|p| p.y).collect();
+        assert!(!ys.is_empty(), "missing series {series}");
+        ys.iter().sum::<f64>() / ys.len() as f64
+    }
+
+    #[test]
+    fn fig3_fast_shape() {
+        let f = fig3(true);
+        // Approximate planners must dominate naive-k: higher accuracy at
+        // far lower cost. Compare energy needed for the best accuracy.
+        let naive_full_cost = f
+            .points
+            .iter()
+            .filter(|p| p.series == "naive-k")
+            .map(|p| p.x)
+            .fold(0.0f64, f64::max);
+        let lp_costs: Vec<&CurvePoint> =
+            f.points.iter().filter(|p| p.series == "lp+lf").collect();
+        let best_lp = lp_costs
+            .iter()
+            .max_by(|a, b| a.y.partial_cmp(&b.y).unwrap())
+            .unwrap();
+        assert!(
+            best_lp.x < naive_full_cost,
+            "lp+lf should reach its best accuracy below naive-k's full cost"
+        );
+        assert!(best_lp.y > 70.0, "lp+lf should reach high accuracy: {}", best_lp.y);
+        // Oracle is the cheapest at 100%.
+        let oracle_full = f
+            .points
+            .iter()
+            .filter(|p| p.series == "oracle" && p.y >= 99.0)
+            .map(|p| p.x)
+            .fold(f64::INFINITY, f64::min);
+        assert!(oracle_full < naive_full_cost);
+    }
+
+    #[test]
+    fn fig5_fast_lf_wins_under_contention() {
+        let f = fig5(true);
+        let lf = series_avg(&f.points, "lp+lf");
+        let nolf = series_avg(&f.points, "lp-lf");
+        assert!(
+            lf + 12.0 >= nolf,
+            "LP+LF ({lf}) should not lose badly to LP−LF ({nolf}) under contention"
+        );
+    }
+
+    #[test]
+    fn fig8_fast_exactness_and_bounds() {
+        let f = fig8(true);
+        for t in 1..=3 {
+            let p1 = f.points.iter().find(|p| p.series == "phase-1" && p.x == t as f64).unwrap();
+            let p2 = f.points.iter().find(|p| p.series == "phase-2" && p.x == t as f64).unwrap();
+            assert!(p1.y > 0.0);
+            assert!(p2.y >= 0.0);
+        }
+        // Later trials (bigger phase-1 budget) spend more in phase 1.
+        let p1_first = f.points.iter().find(|p| p.series == "phase-1").unwrap().y;
+        let p1_last = f
+            .points
+            .iter().rfind(|p| p.series == "phase-1")
+            .unwrap()
+            .y;
+        assert!(p1_last >= p1_first - 1e-9);
+    }
+
+    #[test]
+    fn table1_has_mica2_constants() {
+        let t = table1();
+        assert!(t.points.iter().any(|p| p.series.contains("per-message")));
+        assert_eq!(t.points.len(), 6);
+    }
+
+    #[test]
+    fn naive1_curve_dominates() {
+        let f = naive1_vs_naive_k(true);
+        // At every k, NAIVE-1 costs more than NAIVE-k under MICA2 costs.
+        for kp in [1.0, 4.0, 8.0] {
+            let n1 = f.points.iter().find(|p| p.series == "naive-1" && p.x == kp).unwrap().y;
+            let nk = f.points.iter().find(|p| p.series == "naive-k" && p.x == kp).unwrap().y;
+            assert!(n1 > nk, "k={kp}: naive-1 {n1} <= naive-k {nk}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (Section 5). See DESIGN.md §6 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+//!
+//! Each figure has a runner in [`figures`] returning a flat list of
+//! [`CurvePoint`]s (series name, x, y); [`output`] renders them as ASCII
+//! tables and CSV files under `results/`. [`scenarios`] holds the shared
+//! experiment setups (networks, sources, sample windows) with a `fast`
+//! switch that shrinks sizes for smoke tests and Criterion runs.
+
+pub mod figures;
+pub mod output;
+pub mod scenarios;
+
+pub use figures::FigureResult;
+pub use output::{render_table, write_csv};
+
+/// One point of one series of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Series (algorithm / phase) name as used in the paper's legend.
+    pub series: String,
+    /// X coordinate (meaning is per-figure: budget mJ, variance, …).
+    pub x: f64,
+    /// Y coordinate (accuracy %, energy mJ, …).
+    pub y: f64,
+}
+
+impl CurvePoint {
+    pub fn new(series: impl Into<String>, x: f64, y: f64) -> Self {
+        CurvePoint { series: series.into(), x, y }
+    }
+}

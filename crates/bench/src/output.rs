@@ -1,0 +1,74 @@
+//! Rendering figure results as ASCII tables and CSV files.
+
+use crate::CurvePoint;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders the points grouped by series as a plain-text table.
+pub fn render_table(title: &str, x_label: &str, y_label: &str, points: &[CurvePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {title} ===");
+    let mut series: Vec<&str> = points.iter().map(|p| p.series.as_str()).collect();
+    series.dedup();
+    let mut seen: Vec<&str> = Vec::new();
+    for s in series {
+        if !seen.contains(&s) {
+            seen.push(s);
+        }
+    }
+    for s in seen {
+        let _ = writeln!(out, "-- {s} --");
+        let _ = writeln!(out, "{x_label:>14} {y_label:>14}");
+        for p in points.iter().filter(|p| p.series == s) {
+            let _ = writeln!(out, "{:>14.3} {:>14.3}", p.x, p.y);
+        }
+    }
+    out
+}
+
+/// Writes `series,x,y` rows (with a header) to `path`, creating parent
+/// directories as needed.
+pub fn write_csv(path: &Path, points: &[CurvePoint]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut body = String::from("series,x,y\n");
+    for p in points {
+        let _ = writeln!(body, "{},{},{}", p.series, p.x, p.y);
+    }
+    std::fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_groups_by_series() {
+        let pts = vec![
+            CurvePoint::new("a", 1.0, 2.0),
+            CurvePoint::new("b", 1.0, 3.0),
+            CurvePoint::new("a", 2.0, 4.0),
+        ];
+        let t = render_table("T", "x", "y", &pts);
+        assert!(t.contains("=== T ==="));
+        assert!(t.contains("-- a --") && t.contains("-- b --"));
+        // Series "a" lists both its points.
+        let a_pos = t.find("-- a --").unwrap();
+        let b_pos = t.find("-- b --").unwrap();
+        let a_section = if a_pos < b_pos { &t[a_pos..b_pos] } else { &t[a_pos..] };
+        assert!(a_section.contains("1.000") && a_section.contains("4.000"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("prospector-bench-test");
+        let path = dir.join("out.csv");
+        let pts = vec![CurvePoint::new("s", 1.5, 2.5)];
+        write_csv(&path, &pts).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "series,x,y\ns,1.5,2.5\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared experiment setups for the figure harnesses.
+
+use prospector_data::intel::IntelConfig as IntelCfg;
+use prospector_data::{SampleSet, ValueSource};
+use prospector_net::{Network, NetworkBuilder, Position, ZoneLayout};
+
+pub use prospector_data::intel::IntelConfig;
+
+/// A fully assembled experiment scenario: network, a sample window built
+/// from warm-up epochs, and fresh evaluation epochs.
+pub struct Scenario<S> {
+    pub network: Network,
+    pub source: S,
+    pub samples: SampleSet,
+    /// Value vectors for the evaluation epochs (after the sample window).
+    pub eval_epochs: Vec<Vec<f64>>,
+    pub k: usize,
+}
+
+/// Builds the sample window from `num_samples` warm-up epochs and captures
+/// `num_eval` subsequent epochs for evaluation.
+pub fn warm_up<S: ValueSource>(
+    mut source: S,
+    n: usize,
+    k: usize,
+    num_samples: usize,
+    num_eval: usize,
+) -> (S, SampleSet, Vec<Vec<f64>>) {
+    let mut samples = SampleSet::new(n, k, num_samples.max(1));
+    for epoch in 0..num_samples as u64 {
+        samples.push(source.values(epoch));
+    }
+    let eval: Vec<Vec<f64>> = (0..num_eval as u64)
+        .map(|i| source.values(num_samples as u64 + i))
+        .collect();
+    (source, samples, eval)
+}
+
+/// Figure 3 / Figure 4 setting: random placement, independent Gaussians.
+pub struct GaussianScenario {
+    pub n: usize,
+    pub k: usize,
+    pub num_samples: usize,
+    pub num_eval: usize,
+    pub mean_range: std::ops::Range<f64>,
+    pub std_range: std::ops::Range<f64>,
+    pub seed: u64,
+}
+
+impl GaussianScenario {
+    /// Paper-scale Figure 3 parameters (`fast` shrinks everything for
+    /// smoke tests).
+    pub fn fig3(fast: bool) -> Self {
+        if fast {
+            GaussianScenario {
+                n: 40,
+                k: 8,
+                num_samples: 8,
+                num_eval: 6,
+                mean_range: 40.0..60.0,
+                std_range: 1.0..5.0,
+                seed: 31,
+            }
+        } else {
+            GaussianScenario {
+                n: 120,
+                k: 25,
+                num_samples: 20,
+                num_eval: 12,
+                mean_range: 40.0..60.0,
+                std_range: 2.0..8.0,
+                seed: 31,
+            }
+        }
+    }
+
+    pub fn build(&self) -> Scenario<prospector_data::IndependentGaussian> {
+        // Constant density: side ∝ √n with a fixed radio range gives every
+        // node ≈ 9.6 expected neighbors regardless of n, and a tree depth
+        // growing with √n.
+        let side = 40.0 * (self.n as f64).sqrt();
+        let network = NetworkBuilder::new(self.n, side, side, 70.0)
+            .seed(self.seed)
+            .build()
+            .expect("connected placement");
+        let source = prospector_data::IndependentGaussian::random(
+            self.n,
+            self.mean_range.clone(),
+            self.std_range.clone(),
+            self.seed,
+        );
+        let (source, samples, eval_epochs) =
+            warm_up(source, self.n, self.k, self.num_samples, self.num_eval);
+        Scenario { network, source, samples, eval_epochs, k: self.k }
+    }
+}
+
+/// Figures 5–7 setting: contention zones around the perimeter.
+pub struct ZoneScenario {
+    pub zones: usize,
+    pub k: usize,
+    pub background: usize,
+    pub num_samples: usize,
+    pub num_eval: usize,
+    pub seed: u64,
+}
+
+impl ZoneScenario {
+    pub fn fig5(fast: bool) -> Self {
+        if fast {
+            ZoneScenario { zones: 6, k: 4, background: 40, num_samples: 8, num_eval: 6, seed: 17 }
+        } else {
+            ZoneScenario { zones: 6, k: 10, background: 140, num_samples: 40, num_eval: 10, seed: 17 }
+        }
+    }
+
+    pub fn with_zones(mut self, zones: usize) -> Self {
+        self.zones = zones;
+        self
+    }
+
+    pub fn build(&self) -> Scenario<prospector_data::ContentionZones> {
+        // Zones sit on the perimeter with the root in the center; the
+        // radio range is the shortest (from a ladder) that still connects,
+        // so reaching a zone takes several hops — the regime where local
+        // filtering pays (values saved × hops × c_b).
+        let side = 30.0 * ((self.background + self.zones * 2 * self.k) as f64).sqrt();
+        let network = (0..10)
+            .map(|step| side / 11.0 + step as f64 * side / 20.0)
+            .find_map(|range| {
+                NetworkBuilder::new(self.background, side, side, range)
+                    .seed(self.seed)
+                    .zones(ZoneLayout {
+                        zones: self.zones,
+                        nodes_per_zone: 2 * self.k,
+                        zone_radius: side / 14.0,
+                    })
+                    .build()
+                    .ok()
+            })
+            .expect("connected zoned placement");
+        let n = network.len();
+        let source = prospector_data::ContentionZones::paper_setup(
+            network.zone.clone(),
+            self.k,
+            100.0,
+            self.seed,
+        );
+        let (source, samples, eval_epochs) =
+            warm_up(source, n, self.k, self.num_samples, self.num_eval);
+        Scenario { network, source, samples, eval_epochs, k: self.k }
+    }
+}
+
+/// Figure 9 setting: the Intel-lab-like deployment. 54 motes on a lab
+/// footprint, radio range shortened until the tree is properly
+/// hierarchical (the paper shortens it to the minimum that keeps the tree
+/// connected).
+pub struct IntelScenario {
+    pub n: usize,
+    pub k: usize,
+    pub num_samples: usize,
+    pub num_eval: usize,
+    pub seed: u64,
+}
+
+impl IntelScenario {
+    pub fn fig9(fast: bool) -> Self {
+        if fast {
+            IntelScenario { n: 30, k: 3, num_samples: 10, num_eval: 6, seed: 77 }
+        } else {
+            IntelScenario { n: 54, k: 5, num_samples: 30, num_eval: 20, seed: 77 }
+        }
+    }
+
+    pub fn build(&self) -> Scenario<prospector_data::IntelLabLike> {
+        // Lab footprint ≈ 40 m × 30 m; shrink the radio range to the
+        // smallest of a candidate ladder that still connects, forcing a
+        // multi-hop hierarchy as the paper does (6 m there).
+        let network = (0..)
+            .map(|step| 6.0 + step as f64 * 2.0)
+            .take(12)
+            .find_map(|range| {
+                NetworkBuilder::new(self.n, 40.0, 30.0, range).seed(self.seed).build().ok()
+            })
+            .expect("lab network connects at some radio range");
+        let positions: Vec<Position> = network.positions.clone();
+        let source = prospector_data::IntelLabLike::new(
+            positions,
+            IntelCfg::default(),
+            self.seed,
+        );
+        let (source, samples, eval_epochs) =
+            warm_up(source, self.n, self.k, self.num_samples, self.num_eval);
+        Scenario { network, source, samples, eval_epochs, k: self.k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_scenario_builds() {
+        let s = GaussianScenario::fig3(true).build();
+        assert_eq!(s.network.len(), 40);
+        assert_eq!(s.samples.len(), 8);
+        assert_eq!(s.eval_epochs.len(), 6);
+    }
+
+    #[test]
+    fn zone_scenario_has_zone_membership() {
+        let s = ZoneScenario::fig5(true).build();
+        let zone_nodes = s.network.zone.iter().filter(|z| z.is_some()).count();
+        assert_eq!(zone_nodes, 6 * 2 * s.k);
+    }
+
+    #[test]
+    fn intel_scenario_is_hierarchical() {
+        let s = IntelScenario::fig9(true).build();
+        assert!(s.network.topology.height() >= 3, "radio range must force multi-hop");
+    }
+
+    #[test]
+    fn warm_up_counts() {
+        let src = prospector_data::IndependentGaussian::random(10, 0.0..1.0, 0.1..0.2, 1);
+        let (_, samples, eval) = warm_up(src, 10, 2, 5, 3);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(eval.len(), 3);
+    }
+}

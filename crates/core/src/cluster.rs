@@ -1,0 +1,322 @@
+//! Cluster-level top-k queries (Section 1's motivating refinement).
+//!
+//! "The researchers might want to group nearby feeders into clusters for
+//! purposes of observation, and obtain the top k clusters ordered by
+//! average bird count. Nevertheless, the basic form of the query remains
+//! top-k."
+//!
+//! A cluster's score is the *average* of its members' readings, so a
+//! cluster can only be scored by fetching **all** of its members. Planning
+//! therefore happens at cluster granularity: the LP picks whole clusters
+//! whose historical top-k-cluster frequency is highest, subject to the
+//! usual budget with shared per-message path costs.
+
+use crate::error::PlanError;
+use crate::plan::Plan;
+use crate::planner::PlanContext;
+use prospector_data::SampleSet;
+use prospector_lp::{Cmp, Problem, Sense, Status, VarId};
+use prospector_net::{NodeId, Topology};
+
+/// A partition of (some) nodes into clusters.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster id per node (`None` = unclustered, e.g. the root/backbone).
+    pub assignment: Vec<Option<usize>>,
+    num_clusters: usize,
+}
+
+impl Clustering {
+    /// Builds a clustering from a per-node assignment.
+    pub fn new(assignment: Vec<Option<usize>>) -> Self {
+        let num_clusters =
+            assignment.iter().flatten().copied().max().map_or(0, |c| c + 1);
+        Clustering { assignment, num_clusters }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// True when no node is clustered.
+    pub fn is_empty(&self) -> bool {
+        self.num_clusters == 0
+    }
+
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, a)| *a == Some(c))
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Mean reading per cluster (NaN-free: empty clusters score -inf).
+    pub fn cluster_means(&self, values: &[f64]) -> Vec<f64> {
+        let mut sum = vec![0.0; self.num_clusters];
+        let mut cnt = vec![0u32; self.num_clusters];
+        for (i, a) in self.assignment.iter().enumerate() {
+            if let Some(c) = a {
+                sum[*c] += values[i];
+                cnt[*c] += 1;
+            }
+        }
+        sum.iter()
+            .zip(&cnt)
+            .map(|(s, &c)| if c == 0 { f64::NEG_INFINITY } else { s / c as f64 })
+            .collect()
+    }
+
+    /// The k clusters with the highest mean readings (ties by lower id).
+    pub fn top_clusters(&self, values: &[f64], k: usize) -> Vec<usize> {
+        let means = self.cluster_means(values);
+        let mut ids: Vec<usize> = (0..self.num_clusters).collect();
+        ids.sort_by(|&a, &b| means[b].total_cmp(&means[a]).then(a.cmp(&b)));
+        ids.truncate(k.min(self.num_clusters));
+        ids
+    }
+}
+
+/// Plans a top-k-clusters query: selects whole clusters by their
+/// historical top-k-cluster frequency, under the energy budget, via a
+/// cluster-granular LP (one 0/1 variable per cluster, shared edge usage).
+pub fn plan_cluster_query(
+    ctx: &PlanContext<'_>,
+    clustering: &Clustering,
+    samples: &SampleSet,
+    k: usize,
+) -> Result<Plan, PlanError> {
+    if samples.is_empty() {
+        return Err(PlanError::NoSamples);
+    }
+    let topo = ctx.topology;
+    let n = topo.len();
+    let per_value = ctx.energy.per_value();
+
+    // Cluster appearance counts over the sample window.
+    let mut counts = vec![0u32; clustering.len()];
+    for j in 0..samples.len() {
+        for c in clustering.top_clusters(samples.values(j), k) {
+            counts[c] += 1;
+        }
+    }
+
+    let candidates: Vec<usize> = (0..clustering.len()).filter(|&c| counts[c] > 0).collect();
+    if candidates.is_empty() {
+        return Ok(Plan::empty(n));
+    }
+
+    // Edges relevant to each candidate cluster (union of member paths).
+    let mut cluster_edges: Vec<Vec<NodeId>> = Vec::with_capacity(candidates.len());
+    let mut relevant = vec![false; n];
+    for &c in &candidates {
+        let mut edges = Vec::new();
+        let mut seen = vec![false; n];
+        for m in clustering.members(c) {
+            for e in topo.edges_to_root(m) {
+                if !seen[e.index()] {
+                    seen[e.index()] = true;
+                    edges.push(e);
+                    relevant[e.index()] = true;
+                }
+            }
+        }
+        cluster_edges.push(edges);
+    }
+
+    let mut lp = Problem::new(Sense::Maximize);
+    let x: Vec<VarId> = candidates
+        .iter()
+        .map(|&c| lp.add_var(0.0, 1.0, counts[c] as f64))
+        .collect();
+    let mut y: Vec<Option<VarId>> = vec![None; n];
+    for e in topo.edges() {
+        if relevant[e.index()] {
+            y[e.index()] = Some(lp.add_var(0.0, 1.0, 0.0));
+        }
+    }
+    // Selecting a cluster uses every edge on its members' paths.
+    for (ci, edges) in cluster_edges.iter().enumerate() {
+        for &e in edges {
+            let ye = y[e.index()].expect("cluster edge is relevant");
+            lp.add_constraint([(x[ci], 1.0), (ye, -1.0)], Cmp::Le, 0.0);
+        }
+    }
+    // Budget: messages per used edge + per-member transport.
+    let mut budget_terms: Vec<(VarId, f64)> = Vec::new();
+    for e in topo.edges() {
+        if let Some(ye) = y[e.index()] {
+            budget_terms.push((ye, ctx.edge_message_cost(e)));
+        }
+    }
+    for (ci, &c) in candidates.iter().enumerate() {
+        let transport: f64 = clustering
+            .members(c)
+            .iter()
+            .map(|&m| per_value * topo.depth(m) as f64)
+            .sum();
+        budget_terms.push((x[ci], transport));
+    }
+    lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj);
+
+    let sol = lp.solve()?;
+    if sol.status != Status::Optimal {
+        return Err(PlanError::UnexpectedLpStatus("cluster LP"));
+    }
+
+    // Round, then repair to the budget by dropping the weakest clusters.
+    let mut picked: Vec<usize> = candidates
+        .iter()
+        .enumerate()
+        .filter(|&(ci, _)| sol.value(x[ci]) > 0.5)
+        .map(|(_, &c)| c)
+        .collect();
+    picked.sort_by_key(|&c| std::cmp::Reverse(counts[c]));
+    loop {
+        let plan = plan_for_clusters(topo, clustering, &picked);
+        if ctx.plan_cost(&plan) <= ctx.budget_mj || picked.is_empty() {
+            return Ok(plan);
+        }
+        picked.pop(); // weakest count last
+    }
+}
+
+/// The chosen-set plan fetching every member of the given clusters.
+pub fn plan_for_clusters(
+    topology: &Topology,
+    clustering: &Clustering,
+    clusters: &[usize],
+) -> Plan {
+    let mut chosen = vec![false; topology.len()];
+    for &c in clusters {
+        for m in clustering.members(c) {
+            chosen[m.index()] = true;
+        }
+    }
+    Plan::from_chosen(topology, &chosen)
+}
+
+/// Fraction of the true top-k clusters whose means the plan can compute
+/// exactly (all members delivered) *and* rank into its answer.
+pub fn cluster_accuracy(
+    plan: &Plan,
+    topology: &Topology,
+    clustering: &Clustering,
+    values: &[f64],
+    k: usize,
+) -> f64 {
+    let truth = clustering.top_clusters(values, k);
+    if truth.is_empty() {
+        return 1.0;
+    }
+    // Clusters fully covered by the plan.
+    let covered: Vec<usize> = (0..clustering.len())
+        .filter(|&c| {
+            let members = clustering.members(c);
+            !members.is_empty() && members.iter().all(|&m| plan.visits(topology, m))
+        })
+        .collect();
+    // Answer: top k of the covered clusters by true mean.
+    let means = clustering.cluster_means(values);
+    let mut answer = covered;
+    answer.sort_by(|&a, &b| means[b].total_cmp(&means[a]).then(a.cmp(&b)));
+    answer.truncate(k);
+    let hits = truth.iter().filter(|c| answer.contains(c)).count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_net::topology::star;
+    use prospector_net::EnergyModel;
+
+    fn three_cluster_star() -> (Topology, Clustering) {
+        // Root + 9 leaves in 3 clusters of 3.
+        let t = star(10);
+        let mut assignment = vec![None];
+        for c in 0..3 {
+            for _ in 0..3 {
+                assignment.push(Some(c));
+            }
+        }
+        (t, Clustering::new(assignment))
+    }
+
+    #[test]
+    fn means_and_top_clusters() {
+        let (_, cl) = three_cluster_star();
+        let values = vec![0.0, 1.0, 2.0, 3.0, 10.0, 10.0, 10.0, 5.0, 5.0, 5.0];
+        let means = cl.cluster_means(&values);
+        assert_eq!(means, vec![2.0, 10.0, 5.0]);
+        assert_eq!(cl.top_clusters(&values, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn planning_picks_frequent_clusters() {
+        let (t, cl) = three_cluster_star();
+        let em = EnergyModel::mica2();
+        let mut samples = SampleSet::new(10, 1, 8);
+        // Cluster 1 always wins; cluster 2 second.
+        for _ in 0..5 {
+            samples.push(vec![0.0, 1.0, 2.0, 3.0, 10.0, 10.0, 10.0, 5.0, 5.0, 5.0]);
+        }
+        // Budget for two clusters (6 leaves × (message + value)).
+        let budget = 6.0 * (em.per_message_mj + em.per_value()) + 1e-6;
+        let ctx = PlanContext::new(&t, &em, &samples, budget);
+        let plan = plan_cluster_query(&ctx, &cl, &samples, 2).unwrap();
+        plan.validate(&t).unwrap();
+        // Clusters 1 and 2 fully covered, cluster 0 not.
+        for m in cl.members(1).iter().chain(cl.members(2).iter()) {
+            assert!(plan.visits(&t, *m));
+        }
+        assert!(!plan.visits(&t, cl.members(0)[0]));
+        let acc = cluster_accuracy(
+            &plan,
+            &t,
+            &cl,
+            &[0.0, 1.0, 2.0, 3.0, 10.0, 10.0, 10.0, 5.0, 5.0, 5.0],
+            2,
+        );
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn budget_constrains_cluster_count() {
+        let (t, cl) = three_cluster_star();
+        let em = EnergyModel::mica2();
+        let mut samples = SampleSet::new(10, 1, 4);
+        samples.push(vec![0.0, 9.0, 9.0, 9.0, 8.0, 8.0, 8.0, 7.0, 7.0, 7.0]);
+        // Budget for one cluster only.
+        let budget = 3.0 * (em.per_message_mj + em.per_value()) + 1e-6;
+        let ctx = PlanContext::new(&t, &em, &samples, budget);
+        let plan = plan_cluster_query(&ctx, &cl, &samples, 2).unwrap();
+        assert!(ctx.plan_cost(&plan) <= budget + 1e-9);
+        let covered = (0..3)
+            .filter(|&c| cl.members(c).iter().all(|&m| plan.visits(&t, m)))
+            .count();
+        assert_eq!(covered, 1);
+    }
+
+    #[test]
+    fn partial_cluster_coverage_scores_zero_for_that_cluster() {
+        let (t, cl) = three_cluster_star();
+        let mut plan = Plan::empty(10);
+        // Only 2 of cluster 1's 3 members: its mean cannot be computed.
+        plan.set_bandwidth(NodeId(4), 1);
+        plan.set_bandwidth(NodeId(5), 1);
+        let values = vec![0.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 2.0, 2.0, 2.0];
+        assert_eq!(cluster_accuracy(&plan, &t, &cl, &values, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let _t = star(3);
+        let cl = Clustering::new(vec![None, None, None]);
+        assert!(cl.is_empty());
+        assert_eq!(cl.top_clusters(&[1.0, 2.0, 3.0], 2), Vec::<usize>::new());
+    }
+}

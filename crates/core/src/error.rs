@@ -1,0 +1,60 @@
+//! Planner errors.
+
+use prospector_lp::LpError;
+use std::fmt;
+
+/// Errors raised while constructing a query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The LP solver failed (numerics).
+    Lp(LpError),
+    /// The sample window is empty; sampling-based planners need at least
+    /// one sample.
+    NoSamples,
+    /// The energy budget cannot cover even the mandatory communication
+    /// (e.g. a proof-carrying plan must visit every node).
+    BudgetTooSmall { required_mj: f64, budget_mj: f64 },
+    /// The LP reported an unexpected status (infeasible/unbounded), which
+    /// indicates a formulation bug for these always-feasible programs.
+    UnexpectedLpStatus(&'static str),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Lp(e) => write!(f, "LP solver error: {e}"),
+            PlanError::NoSamples => write!(f, "sample window is empty"),
+            PlanError::BudgetTooSmall { required_mj, budget_mj } => write!(
+                f,
+                "budget {budget_mj} mJ below the {required_mj} mJ this plan type requires"
+            ),
+            PlanError::UnexpectedLpStatus(s) => write!(f, "unexpected LP status: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<LpError> for PlanError {
+    fn from(e: LpError) -> Self {
+        PlanError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_budget() {
+        let e = PlanError::BudgetTooSmall { required_mj: 10.0, budget_mj: 5.0 };
+        let s = e.to_string();
+        assert!(s.contains("5") && s.contains("10"));
+    }
+
+    #[test]
+    fn converts_lp_error() {
+        let e: PlanError = LpError::SingularBasis.into();
+        assert!(matches!(e, PlanError::Lp(LpError::SingularBasis)));
+    }
+}

@@ -1,0 +1,132 @@
+//! Scoring plans against samples or ground truth.
+//!
+//! The optimization objective (Section 2): "find a plan that minimizes the
+//! expected number of top-k values not returned", with the expectation
+//! taken over the sample window. Accuracy in the figures is "the
+//! percentage of actual top-k values returned by the query".
+
+use crate::exec::{run_plan, run_proof_plan};
+use crate::plan::Plan;
+use prospector_data::{top_k_nodes, SampleSet};
+use prospector_net::{NodeId, Topology};
+
+/// Number of true top-k values a plan returns for one epoch's values.
+pub fn hits_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> usize {
+    let truth = top_k_nodes(values, k);
+    let out = run_plan(plan, topology, values, k);
+    count_hits(&out.answer.iter().map(|r| r.node).collect::<Vec<_>>(), &truth)
+}
+
+/// Fraction of the true top k returned for one epoch's values (`∈ [0,1]`).
+pub fn accuracy_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> f64 {
+    hits_on_values(plan, topology, values, k) as f64 / k as f64
+}
+
+/// Expected number of top-k values *missed* by the plan, averaged over the
+/// sample window — the quantity the LPs minimize.
+pub fn expected_misses(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
+    assert!(!samples.is_empty(), "no samples to evaluate against");
+    let k = samples.k();
+    let total: usize = (0..samples.len())
+        .map(|j| k - hits_on_values(plan, topology, samples.values(j), k))
+        .sum();
+    total as f64 / samples.len() as f64
+}
+
+/// Expected accuracy over the sample window (`1 - misses/k`).
+pub fn expected_accuracy(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
+    1.0 - expected_misses(plan, topology, samples) / samples.k() as f64
+}
+
+/// Expected number of answer values a proof-carrying plan *proves* at the
+/// root, averaged over the sample window — the proof LP's objective.
+pub fn expected_proven(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
+    assert!(!samples.is_empty(), "no samples to evaluate against");
+    let k = samples.k();
+    let total: usize =
+        (0..samples.len()).map(|j| run_proof_plan(plan, topology, samples.values(j), k).proven).sum();
+    total as f64 / samples.len() as f64
+}
+
+fn count_hits(answer: &[NodeId], truth: &[NodeId]) -> usize {
+    answer.iter().filter(|n| truth.contains(n)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_net::topology::{chain, star};
+
+    fn sample_set(rows: Vec<Vec<f64>>, k: usize) -> SampleSet {
+        let n = rows[0].len();
+        let mut s = SampleSet::new(n, k, rows.len());
+        for r in rows {
+            s.push(r);
+        }
+        s
+    }
+
+    #[test]
+    fn naive_k_has_zero_misses() {
+        let t = chain(6);
+        let s = sample_set(
+            vec![vec![1.0, 5.0, 2.0, 8.0, 3.0, 9.0], vec![9.0, 1.0, 8.0, 2.0, 7.0, 3.0]],
+            2,
+        );
+        let p = Plan::naive_k(&t, 2);
+        assert_eq!(expected_misses(&p, &t, &s), 0.0);
+        assert_eq!(expected_accuracy(&p, &t, &s), 1.0);
+    }
+
+    #[test]
+    fn empty_plan_misses_everything_but_root() {
+        let t = star(4);
+        // root (node 0) never holds a top-2 value here.
+        let s = sample_set(vec![vec![0.0, 5.0, 6.0, 7.0]], 2);
+        let p = Plan::empty(4);
+        assert_eq!(expected_misses(&p, &t, &s), 2.0);
+    }
+
+    #[test]
+    fn root_contributes_for_free() {
+        let t = star(3);
+        let s = sample_set(vec![vec![9.0, 1.0, 2.0]], 1);
+        let p = Plan::empty(3);
+        assert_eq!(expected_misses(&p, &t, &s), 0.0, "root's own value needs no plan");
+    }
+
+    #[test]
+    fn partial_plans_score_between() {
+        let t = star(5);
+        let s = sample_set(vec![vec![0.0, 4.0, 3.0, 2.0, 1.0]], 2);
+        let mut p = Plan::empty(5);
+        p.set_bandwidth(NodeId(1), 1); // captures the best value only
+        assert_eq!(expected_misses(&p, &t, &s), 1.0);
+        assert!((expected_accuracy(&p, &t, &s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_on_fresh_values() {
+        let t = chain(4);
+        let p = Plan::naive_k(&t, 2);
+        let acc = accuracy_on_values(&p, &t, &[5.0, 1.0, 9.0, 2.0], 2);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn expected_proven_full_sweep_is_k() {
+        let t = chain(5);
+        let s = sample_set(vec![vec![1.0, 2.0, 3.0, 4.0, 5.0]], 3);
+        let mut p = Plan::full_sweep(&t);
+        p.proof_carrying = true;
+        assert_eq!(expected_proven(&p, &t, &s), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_sample_window() {
+        let t = chain(2);
+        let s = SampleSet::new(2, 1, 4);
+        expected_misses(&Plan::empty(2), &t, &s);
+    }
+}

@@ -1,0 +1,67 @@
+//! `ProspectorExact` planning (Section 4.3, "From ProspectorProof to
+//! ProspectorExact").
+//!
+//! The exact algorithm runs in two phases: phase 1 executes a
+//! proof-carrying plan under a chosen energy budget; if the root proves
+//! all k values, done — otherwise a mop-up phase (implemented in
+//! `prospector-sim::exact_exec`) retrieves the missing values using the
+//! per-node `retrieved`/`proven` state of phase 1. This module holds the
+//! configuration and the phase-1 planner; the interesting tradeoff is the
+//! phase-1 budget: too small and the mop-up is expensive, too large and
+//! phase 1 over-collects (Figure 8's U-shape).
+
+use crate::error::PlanError;
+use crate::plan::Plan;
+use crate::planner::{PlanContext, Planner};
+use crate::proof_lp::ProspectorProof;
+
+/// Configuration of the two-phase exact algorithm.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactConfig {
+    /// Energy budget allocated to the proof-carrying first phase.
+    pub phase1_budget_mj: f64,
+}
+
+impl ExactConfig {
+    /// Builds the phase-1 proof-carrying plan under this config's budget
+    /// (the rest of the context — topology, samples, energy — is shared
+    /// with the caller's context).
+    pub fn plan_phase1(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+        let phase1_ctx = PlanContext {
+            topology: ctx.topology,
+            energy: ctx.energy,
+            samples: ctx.samples,
+            budget_mj: self.phase1_budget_mj,
+            failures: ctx.failures,
+        };
+        ProspectorProof::default().plan(&phase1_ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_data::SampleSet;
+    use prospector_net::topology::balanced;
+    use prospector_net::EnergyModel;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn phase1_uses_its_own_budget() {
+        let t = balanced(2, 3);
+        let em = EnergyModel::mica2();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = SampleSet::new(t.len(), 2, 4);
+        for _ in 0..4 {
+            s.push((0..t.len()).map(|_| rng.random_range(0.0..10.0)).collect());
+        }
+        // Outer context has a huge budget; phase 1 gets a tight one.
+        let ctx = PlanContext::new(&t, &em, &s, 1e9);
+        let tight = PlanContext::new(&t, &em, &s, 1.0).min_proof_cost() + 3.0;
+        let cfg = ExactConfig { phase1_budget_mj: tight };
+        let plan = cfg.plan_phase1(&ctx).unwrap();
+        assert!(ctx.plan_cost(&plan) + ctx.proof_overhead() <= tight + 1e-9);
+        assert!(plan.proof_carrying);
+    }
+}

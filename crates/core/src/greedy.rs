@@ -1,0 +1,200 @@
+//! `ProspectorGreedy` (Section 3).
+//!
+//! "As long as the energy cost of the plan constructed so far does not
+//! exceed the prescribed budget, the algorithm greedily picks the node
+//! (among all nodes not visited by the current plan) for which the top-k
+//! appearance count is the largest, and expands the current plan to obtain
+//! the value from that node."
+//!
+//! Chosen values travel all the way to the root (no local filtering); the
+//! marginal cost of a node is the per-message cost of newly used path
+//! edges plus one per-value payload per hop.
+
+use crate::error::PlanError;
+use crate::plan::Plan;
+use crate::planner::{PlanContext, Planner};
+use prospector_net::NodeId;
+
+/// The greedy sampling-based planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProspectorGreedy;
+
+/// Incremental cost tracker for chosen-node (no-local-filtering) plans.
+pub(crate) struct ChosenSet {
+    pub chosen: Vec<bool>,
+    used_edge: Vec<bool>,
+    pub cost: f64,
+}
+
+impl ChosenSet {
+    pub fn new(n: usize) -> Self {
+        ChosenSet { chosen: vec![false; n], used_edge: vec![false; n], cost: 0.0 }
+    }
+
+    /// Marginal collection cost of adding `node`'s value to the plan.
+    pub fn marginal_cost(&self, ctx: &PlanContext<'_>, node: NodeId) -> f64 {
+        let per_value = ctx.energy.per_value();
+        let mut cost = 0.0;
+        for e in ctx.topology.edges_to_root(node) {
+            if !self.used_edge[e.index()] {
+                cost += ctx.edge_message_cost(e);
+            }
+            cost += per_value;
+        }
+        cost
+    }
+
+    /// Adds `node`, updating the running cost.
+    pub fn add(&mut self, ctx: &PlanContext<'_>, node: NodeId) {
+        self.cost += self.marginal_cost(ctx, node);
+        self.chosen[node.index()] = true;
+        for e in ctx.topology.edges_to_root(node) {
+            self.used_edge[e.index()] = true;
+        }
+    }
+
+    pub fn is_chosen(&self, node: NodeId) -> bool {
+        self.chosen[node.index()]
+    }
+}
+
+/// Candidate nodes in greedy priority order: by descending answer count,
+/// then by depth (cheaper first), then by id. `counts` is the number of
+/// window samples in which each node contributed to the answer — the
+/// top-k column sums for ordinary queries, or any generalized subset
+/// query's counts (Section 3's generalization).
+pub(crate) fn candidates_by_count(ctx: &PlanContext<'_>, counts: &[u32]) -> Vec<NodeId> {
+    let mut cands: Vec<NodeId> = (0..ctx.topology.len())
+        .map(NodeId::from_index)
+        .filter(|&n| n != ctx.topology.root() && counts[n.index()] > 0)
+        .collect();
+    cands.sort_unstable_by_key(|&n| {
+        (std::cmp::Reverse(counts[n.index()]), ctx.topology.depth(n), n.0)
+    });
+    cands
+}
+
+/// Greedily adds affordable candidates (in priority order) to an existing
+/// chosen set. Shared by the greedy planner, the LP−LF budget filler and
+/// the generalized subset planner.
+pub(crate) fn greedy_extend(set: &mut ChosenSet, ctx: &PlanContext<'_>, counts: &[u32], budget: f64) {
+    for node in candidates_by_count(ctx, counts) {
+        if set.is_chosen(node) {
+            continue;
+        }
+        let marginal = set.marginal_cost(ctx, node);
+        if set.cost + marginal <= budget {
+            set.add(ctx, node);
+        }
+    }
+}
+
+impl Planner for ProspectorGreedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+        if ctx.samples.is_empty() {
+            return Err(PlanError::NoSamples);
+        }
+        let mut set = ChosenSet::new(ctx.topology.len());
+        greedy_extend(&mut set, ctx, ctx.samples.column_counts(), ctx.budget_mj);
+        Ok(Plan::from_chosen(ctx.topology, &set.chosen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_data::SampleSet;
+    use prospector_net::topology::{chain, star};
+    use prospector_net::EnergyModel;
+
+    fn samples_star() -> SampleSet {
+        // Node 1 tops every sample; node 2 half; node 3 never.
+        let mut s = SampleSet::new(4, 1, 8);
+        s.push(vec![0.0, 9.0, 5.0, 1.0]);
+        s.push(vec![0.0, 9.0, 5.0, 1.0]);
+        s.push(vec![0.0, 1.0, 9.0, 2.0]);
+        s
+    }
+
+    #[test]
+    fn picks_highest_count_first() {
+        let t = star(4);
+        let em = EnergyModel::mica2();
+        let s = samples_star();
+        // Budget for exactly one node: message + one value.
+        let budget = em.per_message_mj + em.per_value() + 1e-9;
+        let ctx = PlanContext::new(&t, &em, &s, budget);
+        let plan = ProspectorGreedy.plan(&ctx).unwrap();
+        assert!(plan.is_used(NodeId(1)), "node with count 2 chosen");
+        assert!(!plan.is_used(NodeId(2)));
+        assert!(!plan.is_used(NodeId(3)));
+        assert!(ctx.plan_cost(&plan) <= budget);
+    }
+
+    #[test]
+    fn fills_budget_with_second_best() {
+        let t = star(4);
+        let em = EnergyModel::mica2();
+        let s = samples_star();
+        let budget = 2.0 * (em.per_message_mj + em.per_value()) + 1e-9;
+        let ctx = PlanContext::new(&t, &em, &s, budget);
+        let plan = ProspectorGreedy.plan(&ctx).unwrap();
+        assert!(plan.is_used(NodeId(1)) && plan.is_used(NodeId(2)));
+        assert!(!plan.is_used(NodeId(3)), "zero-count nodes never chosen");
+    }
+
+    #[test]
+    fn zero_budget_means_empty_plan() {
+        let t = star(4);
+        let em = EnergyModel::mica2();
+        let s = samples_star();
+        let ctx = PlanContext::new(&t, &em, &s, 0.0);
+        let plan = ProspectorGreedy.plan(&ctx).unwrap();
+        assert_eq!(plan.total_bandwidth(), 0);
+    }
+
+    #[test]
+    fn shares_path_costs_on_chains() {
+        // Chain 0 <- 1 <- 2: choosing node 2 uses both edges; adding node
+        // 1 afterwards costs only one extra value (edge already used).
+        let t = chain(3);
+        let em = EnergyModel::mica2();
+        let mut s = SampleSet::new(3, 2, 4);
+        s.push(vec![0.0, 5.0, 9.0]);
+        let ctx = PlanContext::new(&t, &em, &s, 1e9);
+        let mut set = ChosenSet::new(3);
+        set.add(&ctx, NodeId(2));
+        let m = set.marginal_cost(&ctx, NodeId(1));
+        assert!((m - em.per_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_without_samples() {
+        let t = star(3);
+        let em = EnergyModel::mica2();
+        let s = SampleSet::new(3, 1, 4);
+        let ctx = PlanContext::new(&t, &em, &s, 100.0);
+        assert!(matches!(ProspectorGreedy.plan(&ctx), Err(PlanError::NoSamples)));
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let t = chain(6);
+        let em = EnergyModel::mica2();
+        let mut s = SampleSet::new(6, 3, 4);
+        s.push(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        for budget in [0.5, 2.0, 5.0, 10.0, 50.0] {
+            let ctx = PlanContext::new(&t, &em, &s, budget);
+            let plan = ProspectorGreedy.plan(&ctx).unwrap();
+            assert!(
+                ctx.plan_cost(&plan) <= budget + 1e-9,
+                "budget {budget} exceeded: {}",
+                ctx.plan_cost(&plan)
+            );
+        }
+    }
+}

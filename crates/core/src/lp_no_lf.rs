@@ -1,0 +1,272 @@
+//! `ProspectorLpNoLf` — the paper's "LP−LF" formulation (Section 4.1).
+//!
+//! One variable `x_i` per candidate node (does its value travel to the
+//! root?) and one variable `y_e` per edge (is the edge used?). The plan is
+//! topology-aware: values clustered under one subtree share per-message
+//! costs — but there is no local filtering; a chosen value always travels
+//! the whole path.
+//!
+//! The paper's constraint family `x_i ≤ y_e ∀e ∈ anc(i)` is encoded in the
+//! equivalent, much sparser form `x_i ≤ y_{e(i)}` plus the edge-use
+//! monotonicity `y_e ≤ y_{parent(e)}` (a used edge's parent edge is used in
+//! any meaningful plan).
+
+use crate::error::PlanError;
+use crate::greedy::{greedy_extend, ChosenSet};
+use crate::plan::Plan;
+use crate::planner::{PlanContext, Planner};
+use prospector_lp::{Cmp, Problem, Sense, Status, VarId};
+use prospector_net::NodeId;
+
+/// The LP−LF planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProspectorLpNoLf;
+
+impl Planner for ProspectorLpNoLf {
+    fn name(&self) -> &'static str {
+        "lp-lf(-)"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+        if ctx.samples.is_empty() {
+            return Err(PlanError::NoSamples);
+        }
+        plan_with_counts(ctx, ctx.samples.column_counts())
+    }
+}
+
+/// The LP−LF construction over arbitrary per-node answer counts — shared
+/// with the generalized subset planner of [`crate::subset`] (the paper's
+/// Section 3 notes the framework only needs "the total number of 1's in
+/// the matrix missed by the plan", whatever query defines the 1's).
+pub(crate) fn plan_with_counts(ctx: &PlanContext<'_>, counts: &[u32]) -> Result<Plan, PlanError> {
+    {
+        let topo = ctx.topology;
+        let n = topo.len();
+        let per_value = ctx.energy.per_value();
+
+        // Candidate nodes: appear in at least one sample's top k and are
+        // not the root (whose value is free).
+        let candidates: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|&i| i != topo.root() && counts[i.index()] > 0)
+            .collect();
+        if candidates.is_empty() {
+            return Ok(Plan::empty(n));
+        }
+
+        // Relevant edges: subtree contains at least one candidate.
+        let mut relevant = vec![false; n];
+        for &c in &candidates {
+            for e in topo.edges_to_root(c) {
+                relevant[e.index()] = true;
+            }
+        }
+
+        let mut lp = Problem::new(Sense::Maximize);
+        let mut x: Vec<Option<VarId>> = vec![None; n];
+        let mut y: Vec<Option<VarId>> = vec![None; n];
+        for &i in &candidates {
+            x[i.index()] = Some(lp.add_var(0.0, 1.0, counts[i.index()] as f64));
+        }
+        for e in topo.edges() {
+            if relevant[e.index()] {
+                y[e.index()] = Some(lp.add_var(0.0, 1.0, 0.0));
+            }
+        }
+
+        // x_i ≤ y_{e(i)} — the candidate's own edge.
+        for &i in &candidates {
+            let xi = x[i.index()].expect("candidate has a variable");
+            let yi = y[i.index()].expect("candidate's edge is relevant");
+            lp.add_constraint([(xi, 1.0), (yi, -1.0)], Cmp::Le, 0.0);
+        }
+        // y_e ≤ y_parent(e) for non-root-adjacent relevant edges.
+        for e in topo.edges() {
+            let Some(ye) = y[e.index()] else { continue };
+            if let Some(p) = topo.parent(e) {
+                if p != topo.root() {
+                    let yp = y[p.index()].expect("parent of a relevant edge is relevant");
+                    lp.add_constraint([(ye, 1.0), (yp, -1.0)], Cmp::Le, 0.0);
+                }
+            }
+        }
+        // Budget row.
+        let mut budget_terms: Vec<(VarId, f64)> = Vec::new();
+        for e in topo.edges() {
+            if let Some(ye) = y[e.index()] {
+                budget_terms.push((ye, ctx.edge_message_cost(e)));
+            }
+        }
+        for &i in &candidates {
+            let xi = x[i.index()].expect("candidate has a variable");
+            budget_terms.push((xi, per_value * topo.depth(i) as f64));
+        }
+        lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj);
+
+        let sol = lp.solve()?;
+        if sol.status != Status::Optimal {
+            return Err(PlanError::UnexpectedLpStatus(match sol.status {
+                Status::Infeasible => "infeasible",
+                Status::Unbounded => "unbounded",
+                _ => "iteration limit",
+            }));
+        }
+
+        // Round at 1/2, then repair to the budget, then fill leftovers.
+        let mut set = ChosenSet::new(n);
+        let mut rounded: Vec<NodeId> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| sol.value(x[i.index()].expect("candidate")) > 0.5)
+            .collect();
+        // Deterministic addition order: best counts first.
+        rounded.sort_unstable_by_key(|&i| (std::cmp::Reverse(counts[i.index()]), i.0));
+        for i in rounded {
+            // Skip nodes that no longer fit (the ×2 rounding slack).
+            if set.cost + set.marginal_cost(ctx, i) <= ctx.budget_mj {
+                set.add(ctx, i);
+            }
+        }
+        greedy_extend(&mut set, ctx, counts, ctx.budget_mj);
+        Ok(Plan::from_chosen(ctx.topology, &set.chosen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::expected_misses;
+    use crate::greedy::ProspectorGreedy;
+    use prospector_data::SampleSet;
+    use prospector_net::topology::{balanced, chain, star};
+    use prospector_net::{EnergyModel, Topology};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn gaussianish_samples(n: usize, k: usize, rows: usize, seed: u64) -> SampleSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let means: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..100.0)).collect();
+        let mut s = SampleSet::new(n, k, rows);
+        for _ in 0..rows {
+            s.push(means.iter().map(|m| m + rng.random_range(-5.0..5.0)).collect());
+        }
+        s
+    }
+
+    #[test]
+    fn respects_budget() {
+        let t = balanced(3, 3);
+        let em = EnergyModel::mica2();
+        let s = gaussianish_samples(t.len(), 5, 10, 1);
+        for budget in [5.0, 20.0, 60.0, 200.0] {
+            let ctx = PlanContext::new(&t, &em, &s, budget);
+            let plan = ProspectorLpNoLf.plan(&ctx).unwrap();
+            plan.validate(&t).unwrap();
+            assert!(
+                ctx.plan_cost(&plan) <= budget + 1e-9,
+                "budget {budget} exceeded: {}",
+                ctx.plan_cost(&plan)
+            );
+        }
+    }
+
+    #[test]
+    fn exact_when_budget_ample() {
+        let t = balanced(2, 3);
+        let em = EnergyModel::mica2();
+        let s = gaussianish_samples(t.len(), 3, 8, 2);
+        let ctx = PlanContext::new(&t, &em, &s, 1e6);
+        let plan = ProspectorLpNoLf.plan(&ctx).unwrap();
+        assert_eq!(expected_misses(&plan, &t, &s), 0.0);
+    }
+
+    #[test]
+    fn prefers_clustered_values_over_scattered() {
+        // Two subtrees: a chain holding two frequent top-k nodes (shared
+        // path = one message chain), versus an equally-frequent node on a
+        // separate long chain. With budget for one chain only, the LP must
+        // take the clustered pair.
+        //
+        //      0
+        //     / \
+        //    1   4
+        //    |   |
+        //    2   5
+        //    |   |
+        //    3   6
+        let parent = vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(2)),
+            Some(NodeId(0)),
+            Some(NodeId(4)),
+            Some(NodeId(5)),
+        ];
+        let t = Topology::from_parents(NodeId(0), parent).unwrap();
+        let em = EnergyModel::mica2();
+        let mut s = SampleSet::new(7, 2, 4);
+        // top-2 always node 2 and node 3 (left chain); node 6 also high
+        // once in a while — but we keep it simple: nodes 2, 3 always win.
+        s.push(vec![0.0, 1.0, 9.0, 8.0, 1.0, 1.0, 7.0]);
+        s.push(vec![0.0, 1.0, 9.0, 8.0, 1.0, 1.0, 7.0]);
+        // Budget: the left chain costs 3 messages + (2+3) values… choose
+        // budget tight enough for one chain.
+        let budget = 3.0 * em.per_message_mj + 5.0 * em.per_value() + 1e-6;
+        let ctx = PlanContext::new(&t, &em, &s, budget);
+        let plan = ProspectorLpNoLf.plan(&ctx).unwrap();
+        assert!(plan.is_used(NodeId(3)) && plan.is_used(NodeId(2)), "clustered pair chosen");
+        assert!(!plan.is_used(NodeId(6)), "scattered node not worth a separate chain");
+        assert!(ctx.plan_cost(&plan) <= budget);
+    }
+
+    #[test]
+    fn at_least_as_good_as_greedy_on_average() {
+        // Topology-awareness should not lose to greedy across seeds.
+        let em = EnergyModel::mica2();
+        let mut lp_wins = 0usize;
+        let mut ties = 0usize;
+        let trials = 6;
+        for seed in 0..trials {
+            let t = balanced(3, 3);
+            let s = gaussianish_samples(t.len(), 5, 10, seed);
+            let budget = 25.0;
+            let ctx = PlanContext::new(&t, &em, &s, budget);
+            let lp_plan = ProspectorLpNoLf.plan(&ctx).unwrap();
+            let greedy_plan = ProspectorGreedy.plan(&ctx).unwrap();
+            let ml = expected_misses(&lp_plan, &t, &s);
+            let mg = expected_misses(&greedy_plan, &t, &s);
+            if ml < mg - 1e-9 {
+                lp_wins += 1;
+            } else if (ml - mg).abs() <= 1e-9 {
+                ties += 1;
+            }
+        }
+        assert!(
+            lp_wins + ties >= trials as usize - 1,
+            "LP−LF lost to greedy too often: wins={lp_wins} ties={ties}"
+        );
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_plan() {
+        // Root holds the top value in every sample → nothing to plan.
+        let t = star(3);
+        let em = EnergyModel::mica2();
+        let mut s = SampleSet::new(3, 1, 2);
+        s.push(vec![9.0, 1.0, 2.0]);
+        let ctx = PlanContext::new(&t, &em, &s, 100.0);
+        let plan = ProspectorLpNoLf.plan(&ctx).unwrap();
+        assert_eq!(plan.total_bandwidth(), 0);
+    }
+
+    #[test]
+    fn errors_without_samples() {
+        let t = chain(3);
+        let em = EnergyModel::mica2();
+        let s = SampleSet::new(3, 1, 2);
+        let ctx = PlanContext::new(&t, &em, &s, 10.0);
+        assert!(matches!(ProspectorLpNoLf.plan(&ctx), Err(PlanError::NoSamples)));
+    }
+}

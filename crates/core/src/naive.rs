@@ -1,0 +1,63 @@
+//! The `NAIVE-k` exact baseline (Section 2).
+//!
+//! "Each node simply collects the top k values from each of its children,
+//! computes the top k among all such values and its own, and passes them on
+//! to its parent." It visits every node (mandatory for exactness) but
+//! wastes bandwidth: a node with fan-out f receives f·k values of which at
+//! least (f−1)·k cannot all be in the final result.
+//!
+//! The pipelined `NAIVE-1` baseline is a *protocol*, not a bandwidth plan;
+//! it lives in `prospector-sim::naive1`.
+
+use crate::error::PlanError;
+use crate::plan::Plan;
+use crate::planner::{PlanContext, Planner};
+
+/// Exact one-pass baseline; ignores the energy budget (exactness is
+/// non-negotiable for it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveK;
+
+impl Planner for NaiveK {
+    fn name(&self) -> &'static str {
+        "naive-k"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+        Ok(Plan::naive_k(ctx.topology, ctx.k()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::expected_misses;
+    use prospector_data::SampleSet;
+    use prospector_net::topology::balanced;
+    use prospector_net::EnergyModel;
+
+    #[test]
+    fn always_exact_on_any_sample() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let mut s = SampleSet::new(t.len(), 4, 8);
+        for e in 0..5u64 {
+            s.push((0..t.len()).map(|i| ((i as u64 * 7 + e * 13) % 31) as f64).collect());
+        }
+        let ctx = PlanContext::new(&t, &em, &s, 1.0); // budget irrelevant
+        let plan = NaiveK.plan(&ctx).unwrap();
+        plan.validate(&t).unwrap();
+        assert_eq!(expected_misses(&plan, &t, &s), 0.0);
+    }
+
+    #[test]
+    fn visits_every_node() {
+        let t = balanced(2, 3);
+        let em = EnergyModel::mica2();
+        let mut s = SampleSet::new(t.len(), 2, 2);
+        s.push((0..t.len()).map(|i| i as f64).collect());
+        let ctx = PlanContext::new(&t, &em, &s, 0.0);
+        let plan = NaiveK.plan(&ctx).unwrap();
+        assert_eq!(plan.num_visited(&t), t.len());
+    }
+}

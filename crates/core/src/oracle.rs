@@ -1,0 +1,125 @@
+//! Oracle baselines (Section 5).
+//!
+//! `ORACLE` "knows the exact location of the top k values beforehand; its
+//! cost serves as a baseline for comparison of the approximate
+//! algorithms". `ORACLE-PROOF` also knows the locations "but still accesses
+//! all nodes to provide a proof for the solution" — the baseline for exact
+//! algorithms. Neither is realizable; both are built directly from the true
+//! epoch values.
+
+use crate::plan::Plan;
+use prospector_data::top_k_nodes;
+use prospector_net::Topology;
+
+/// The `ORACLE` plan for one epoch: ship exactly the true top-k values to
+/// the root (`w_e = |top-k ∩ desc(e)|`), visiting only the nodes on their
+/// paths.
+pub fn oracle_plan(topology: &Topology, values: &[f64], k: usize) -> Plan {
+    let top = top_k_nodes(values, k);
+    let mut bw = vec![0u32; topology.len()];
+    for node in top {
+        for e in topology.edges_to_root(node) {
+            bw[e.index()] += 1;
+        }
+    }
+    Plan::from_bandwidths(bw, false)
+}
+
+/// The `ORACLE-PROOF` plan: every subtree forwards its top-k members plus
+/// one witness value (`w_e = min(|desc(e)|, m_e + 1)`), which provably
+/// proves the entire answer at the root (see the tests and DESIGN.md §4).
+pub fn oracle_proof_plan(topology: &Topology, values: &[f64], k: usize) -> Plan {
+    let top = top_k_nodes(values, k);
+    let mut members = vec![0u32; topology.len()];
+    for node in top {
+        for e in topology.edges_to_root(node) {
+            members[e.index()] += 1;
+        }
+    }
+    let mut bw = vec![0u32; topology.len()];
+    for e in topology.edges() {
+        bw[e.index()] = (members[e.index()] + 1).min(topology.subtree_size(e) as u32);
+    }
+    Plan::from_bandwidths(bw, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::accuracy_on_values;
+    use crate::exec::run_proof_plan;
+    use prospector_net::topology::{balanced, chain, star};
+    use prospector_net::NodeId;
+
+    #[test]
+    fn oracle_is_always_exact() {
+        let t = balanced(3, 2);
+        let values: Vec<f64> = (0..t.len()).map(|i| ((i * 29 + 3) % 41) as f64).collect();
+        for k in [1, 3, 7] {
+            let p = oracle_plan(&t, &values, k);
+            p.validate(&t).unwrap();
+            assert_eq!(accuracy_on_values(&p, &t, &values, k), 1.0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn oracle_visits_only_necessary_paths() {
+        let t = star(6);
+        let values = vec![0.0, 9.0, 8.0, 1.0, 2.0, 3.0];
+        let p = oracle_plan(&t, &values, 2);
+        assert_eq!(p.num_visited(&t), 3, "root + the two top nodes");
+        assert_eq!(p.bandwidth(NodeId(1)), 1);
+        assert_eq!(p.bandwidth(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn oracle_stacks_bandwidth_on_shared_paths() {
+        let t = chain(4);
+        let values = vec![0.0, 1.0, 8.0, 9.0];
+        let p = oracle_plan(&t, &values, 2);
+        assert_eq!(p.bandwidth(NodeId(3)), 1);
+        assert_eq!(p.bandwidth(NodeId(2)), 2);
+        assert_eq!(p.bandwidth(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn oracle_proof_proves_full_answer() {
+        // The m_e + 1 witness rule must yield a fully proven answer on a
+        // variety of shapes and value assignments.
+        for (t, seed) in [
+            (balanced(2, 3), 11u64),
+            (balanced(3, 2), 5),
+            (chain(9), 3),
+            (star(9), 7),
+        ] {
+            let values: Vec<f64> =
+                (0..t.len()).map(|i| ((i as u64 * 131 + seed * 17) % 97) as f64).collect();
+            for k in [1, 2, 4] {
+                let p = oracle_proof_plan(&t, &values, k);
+                p.validate(&t).unwrap();
+                let out = run_proof_plan(&p, &t, &values, k);
+                assert_eq!(out.proven, k.min(t.len()), "k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_proof_visits_all_nodes() {
+        let t = balanced(2, 2);
+        let values: Vec<f64> = (0..t.len()).map(|i| i as f64).collect();
+        let p = oracle_proof_plan(&t, &values, 2);
+        assert_eq!(p.num_visited(&t), t.len());
+    }
+
+    #[test]
+    fn oracle_proof_cheaper_than_naive_k() {
+        // Its whole point: proofs with ~1 extra value per subtree instead
+        // of k per subtree.
+        let t = balanced(3, 3);
+        let values: Vec<f64> = (0..t.len()).map(|i| ((i * 53) % 101) as f64).collect();
+        let k = 8;
+        let proof = oracle_proof_plan(&t, &values, k);
+        let naive = Plan::naive_k(&t, k);
+        assert!(proof.total_bandwidth() < naive.total_bandwidth());
+    }
+}

@@ -1,0 +1,154 @@
+//! The planner abstraction and shared planning context.
+
+use crate::error::PlanError;
+use crate::plan::Plan;
+use prospector_data::SampleSet;
+use prospector_net::{EnergyModel, FailureModel, NodeId, Topology};
+
+/// Everything a planner needs: topology, cost model, the sample window and
+/// the energy budget for one collection phase.
+pub struct PlanContext<'a> {
+    pub topology: &'a Topology,
+    pub energy: &'a EnergyModel,
+    pub samples: &'a SampleSet,
+    /// Energy budget (mJ) for the collection phase of one query execution.
+    pub budget_mj: f64,
+    /// Transient-failure statistics; when present, per-edge message costs
+    /// are inflated by the expected rerouting cost (Section 4.4).
+    pub failures: Option<&'a FailureModel>,
+}
+
+impl<'a> PlanContext<'a> {
+    /// Context without failure statistics.
+    pub fn new(
+        topology: &'a Topology,
+        energy: &'a EnergyModel,
+        samples: &'a SampleSet,
+        budget_mj: f64,
+    ) -> Self {
+        PlanContext { topology, energy, samples, budget_mj, failures: None }
+    }
+
+    /// Adds failure statistics to the context.
+    pub fn with_failures(mut self, failures: &'a FailureModel) -> Self {
+        self.failures = Some(failures);
+        self
+    }
+
+    /// Query parameter `k`.
+    pub fn k(&self) -> usize {
+        self.samples.k()
+    }
+
+    /// Effective per-message cost on the edge above `child`, including the
+    /// expected rerouting overhead.
+    pub fn edge_message_cost(&self, child: NodeId) -> f64 {
+        self.energy.per_message_mj
+            + self.failures.map_or(0.0, |f| f.expected_extra_cost(child))
+    }
+
+    /// Collection-phase cost of a plan under this context's cost model:
+    /// one message per used edge plus the per-value payload. This is an
+    /// upper bound — execution may ship fewer values than the bandwidth
+    /// allows — and is the quantity planners budget against.
+    pub fn plan_cost(&self, plan: &Plan) -> f64 {
+        let per_value = self.energy.per_value();
+        self.topology
+            .edges()
+            .filter(|&e| plan.is_used(e))
+            .map(|e| self.edge_message_cost(e) + per_value * plan.bandwidth(e) as f64)
+            .sum()
+    }
+
+    /// Cost of the proven-count side channel of a proof-carrying plan: one
+    /// extra field per non-leaf edge (Section 4.3 step 4).
+    pub fn proof_overhead(&self) -> f64 {
+        self.topology
+            .edges()
+            .filter(|&e| !self.topology.is_leaf(e))
+            .count() as f64
+            * self.energy.per_byte_mj
+            * self.energy.proven_count_bytes as f64
+    }
+
+    /// Minimum possible cost of a proof-carrying plan: every edge carries
+    /// at least one value.
+    pub fn min_proof_cost(&self) -> f64 {
+        let per_value = self.energy.per_value();
+        self.topology
+            .edges()
+            .map(|e| self.edge_message_cost(e) + per_value)
+            .sum::<f64>()
+            + self.proof_overhead()
+    }
+}
+
+/// A query-plan construction algorithm.
+pub trait Planner {
+    /// Algorithm name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Builds a plan whose collection cost stays within `ctx.budget_mj`.
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_net::topology::chain;
+
+    fn samples(n: usize, k: usize) -> SampleSet {
+        let mut s = SampleSet::new(n, k, 8);
+        s.push((0..n).map(|i| i as f64).collect());
+        s
+    }
+
+    #[test]
+    fn plan_cost_counts_messages_and_values() {
+        let t = chain(3);
+        let em = EnergyModel::mica2();
+        let s = samples(3, 1);
+        let ctx = PlanContext::new(&t, &em, &s, 100.0);
+        let mut p = Plan::empty(3);
+        p.set_bandwidth(NodeId(1), 2);
+        p.set_bandwidth(NodeId(2), 1);
+        let expect = 2.0 * em.per_message_mj + 3.0 * em.per_value();
+        assert!((ctx.plan_cost(&p) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failures_inflate_edge_costs() {
+        let t = chain(3);
+        let em = EnergyModel::mica2();
+        let s = samples(3, 1);
+        let fm = FailureModel::uniform(3, 0.5, 2.0);
+        let ctx = PlanContext::new(&t, &em, &s, 100.0).with_failures(&fm);
+        assert!((ctx.edge_message_cost(NodeId(1)) - (em.per_message_mj + 1.0)).abs() < 1e-12);
+        let mut p = Plan::empty(3);
+        p.set_bandwidth(NodeId(1), 1);
+        let base_ctx = PlanContext::new(&t, &em, &s, 100.0);
+        assert!(ctx.plan_cost(&p) > base_ctx.plan_cost(&p));
+    }
+
+    #[test]
+    fn min_proof_cost_covers_every_edge() {
+        let t = chain(4);
+        let em = EnergyModel::mica2();
+        let s = samples(4, 2);
+        let ctx = PlanContext::new(&t, &em, &s, 100.0);
+        // 3 edges × (message + 1 value) + proven-count bytes on the 2
+        // non-leaf edges.
+        let expect = 3.0 * (em.per_message_mj + em.per_value())
+            + 2.0 * em.per_byte_mj * em.proven_count_bytes as f64;
+        assert!((ctx.min_proof_cost() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_comes_from_samples() {
+        let t = chain(5);
+        let em = EnergyModel::mica2();
+        let s = samples(5, 3);
+        let ctx = PlanContext::new(&t, &em, &s, 10.0);
+        assert_eq!(ctx.k(), 3);
+    }
+}

@@ -1,0 +1,414 @@
+//! `ProspectorProof` (Section 4.3): bandwidth allocation for
+//! proof-carrying plans.
+//!
+//! A proof-carrying plan must use **every** edge (any unvisited node could
+//! hold the maximum), so the free parameters are the bandwidths
+//! `w_e ∈ [1, |desc(e)|]`. The LP maximizes the expected number of top-k
+//! values proven at the root over the sample window, with one variable
+//! `p_{j,i,a}` per (sample, node, ancestor) triple: is node i's value
+//! proven by ancestor a when the plan runs on sample j?
+//!
+//! Constraints (numbers refer to the paper):
+//! * (12) bandwidth — values proven at a node all crossed the child edge;
+//! * (13) monotonicity — proven at `a` requires proven at every node on
+//!   the path below `a`;
+//! * (14) proof — every sibling subtree must prove a *witness* value
+//!   ranked below v (rows are skipped when the witness set is empty,
+//!   matching the paper's c.3 exception).
+
+use crate::error::PlanError;
+use crate::evaluate::expected_proven;
+use crate::plan::Plan;
+use crate::planner::{PlanContext, Planner};
+use prospector_data::Reading;
+use prospector_lp::{Cmp, Problem, Sense, Status, VarId};
+use prospector_net::NodeId;
+use std::collections::HashMap;
+
+/// How leftover phase-1 budget is spent after the LP's objective
+/// saturates (an ablation axis; see `prospector-bench`'s `ablation`
+/// harness for the measured impact on `ProspectorExact`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FillStrategy {
+    /// Safety margin spread relative to the observed per-edge top-k load
+    /// (default; keeps proofs robust on fresh epochs).
+    #[default]
+    NeedAware,
+    /// Fill the largest remaining subtree deficits first (naive; leaves
+    /// many subtrees one witness short, collapsing proof prefixes).
+    SubtreeDeficit,
+    /// Spend nothing beyond the LP solution.
+    None,
+}
+
+/// The proof-carrying plan optimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProspectorProof {
+    /// Budget-fill strategy applied after LP rounding.
+    pub fill: FillStrategy,
+}
+
+impl Planner for ProspectorProof {
+    fn name(&self) -> &'static str {
+        "prospector-proof"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+        if ctx.samples.is_empty() {
+            return Err(PlanError::NoSamples);
+        }
+        let min_cost = ctx.min_proof_cost();
+        if ctx.budget_mj < min_cost {
+            return Err(PlanError::BudgetTooSmall {
+                required_mj: min_cost,
+                budget_mj: ctx.budget_mj,
+            });
+        }
+
+        let topo = ctx.topology;
+        let n = topo.len();
+        let num_samples = ctx.samples.len();
+        let per_value = ctx.energy.per_value();
+        let root = topo.root();
+
+        let mut lp = Problem::new(Sense::Maximize);
+
+        // Bandwidths: every edge carries at least one value. No edge ever
+        // needs more than k + 1 (its subtree holds at most k answer values,
+        // plus one witness suffices for proofs above).
+        let k_cap = ctx.k() + 1;
+        let mut w: Vec<Option<VarId>> = vec![None; n];
+        for e in topo.edges() {
+            let ub = topo.subtree_size(e).min(k_cap) as f64;
+            w[e.index()] = Some(lp.add_var(1.0, ub, 0.0));
+        }
+
+        // Proven indicators p_{j,i,a}. Leaf nodes are trivially proven at
+        // themselves, so (leaf, a = leaf) is the constant 1 and gets no
+        // variable.
+        let mut p: HashMap<(usize, u32, u32), VarId> = HashMap::new();
+        for j in 0..num_samples {
+            let ones = ctx.samples.ones(j);
+            for i in (0..n).map(NodeId::from_index) {
+                for a in topo.path_to_root(i) {
+                    if a == i && topo.is_leaf(i) {
+                        continue;
+                    }
+                    let obj = if a == root && ones.contains(&i) { 1.0 } else { 0.0 };
+                    p.insert((j, i.0, a.0), lp.add_var(0.0, 1.0, obj));
+                }
+            }
+        }
+        let pvar = |j: usize, i: NodeId, a: NodeId| -> Option<VarId> {
+            p.get(&(j, i.0, a.0)).copied()
+        };
+
+        // (13) monotonicity along each node's ancestor path.
+        for j in 0..num_samples {
+            for i in (0..n).map(NodeId::from_index) {
+                let mut below = i;
+                for a in topo.path_to_root(i).skip(1) {
+                    let pa = pvar(j, i, a).expect("ancestor variable exists");
+                    match pvar(j, i, below) {
+                        Some(pb) => lp.add_constraint([(pa, 1.0), (pb, -1.0)], Cmp::Le, 0.0),
+                        None => { /* below is the leaf itself: p ≤ 1 is the box bound */ }
+                    }
+                    below = a;
+                }
+            }
+        }
+
+        // (12) bandwidth: values proven at parent(c) from subtree(c) all
+        // crossed edge c. Rows with |desc(c)| == 1 are dominated by the
+        // bound w ≥ 1.
+        for c in topo.edges() {
+            let sub = topo.subtree(c);
+            if sub.len() <= 1 {
+                continue;
+            }
+            let parent = topo.parent(c).expect("edges have parents");
+            let wc = w[c.index()].expect("edge has a bandwidth variable");
+            for j in 0..num_samples {
+                let mut terms: Vec<(VarId, f64)> = Vec::with_capacity(sub.len() + 1);
+                for &i in &sub {
+                    if let Some(pi) = pvar(j, i, parent) {
+                        terms.push((pi, 1.0));
+                    }
+                }
+                terms.push((wc, -1.0));
+                lp.add_constraint(terms, Cmp::Le, 0.0);
+            }
+        }
+
+        // (14) proof rows: for p_{j,i,a} and every child c of a not on the
+        // i→a path, some witness in desc(c) ranked below v_j(i) must be
+        // proven by c. Skipped when the witness set is empty (the paper's
+        // return-everything exception) or when it contains a trivially
+        // proven leaf-child witness.
+        for j in 0..num_samples {
+            for i in (0..n).map(NodeId::from_index) {
+                let vi = Reading { node: i, value: ctx.samples.value(j, i) };
+                let mut below = i;
+                for a in topo.path_to_root(i) {
+                    // Children of a that must supply witnesses: all except
+                    // the one leading to i (when a != i).
+                    let skip_child = if a == i { None } else { Some(below) };
+                    let Some(pia) = pvar(j, i, a) else {
+                        below = a;
+                        continue; // leaf at itself: trivially proven
+                    };
+                    for &c in topo.children(a) {
+                        if Some(c) == skip_child {
+                            continue;
+                        }
+                        let mut witness_terms: Vec<(VarId, f64)> = Vec::new();
+                        let mut trivially_satisfied = false;
+                        for i2 in topo.subtree(c) {
+                            let v2 = Reading { node: i2, value: ctx.samples.value(j, i2) };
+                            if v2.rank_cmp(&vi) == std::cmp::Ordering::Greater {
+                                match pvar(j, i2, c) {
+                                    Some(pw) => witness_terms.push((pw, -1.0)),
+                                    // Leaf child c itself as witness: the
+                                    // constant 1 satisfies the row.
+                                    None => {
+                                        trivially_satisfied = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if trivially_satisfied {
+                            continue;
+                        }
+                        if witness_terms.is_empty() {
+                            // Empty witness set: the paper's exception —
+                            // provable only via "c returns everything";
+                            // the row is skipped (optimistic, as in the
+                            // paper).
+                            continue;
+                        }
+                        witness_terms.push((pia, 1.0));
+                        lp.add_constraint(witness_terms, Cmp::Le, 0.0);
+                    }
+                    below = a;
+                }
+            }
+        }
+
+        // (11) budget: every edge pays its message; bandwidth pays bytes;
+        // the proven-count side channel is reserved up front.
+        let fixed: f64 = topo.edges().map(|e| ctx.edge_message_cost(e)).sum::<f64>()
+            + ctx.proof_overhead();
+        let budget_terms: Vec<(VarId, f64)> = topo
+            .edges()
+            .map(|e| (w[e.index()].expect("bandwidth var"), per_value))
+            .collect();
+        lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj - fixed);
+
+        let sol = lp.solve()?;
+        if sol.status != Status::Optimal {
+            return Err(PlanError::UnexpectedLpStatus(match sol.status {
+                Status::Infeasible => "infeasible",
+                Status::Unbounded => "unbounded",
+                _ => "iteration limit",
+            }));
+        }
+
+        let mut plan = Plan::empty(n);
+        plan.proof_carrying = true;
+        for e in topo.edges() {
+            let we = w[e.index()].expect("bandwidth var");
+            let rounded = sol.value(we).round().max(1.0) as u32;
+            plan.set_bandwidth(e, rounded.min(topo.subtree_size(e).min(k_cap) as u32));
+        }
+        repair_proof_budget(&mut plan, ctx);
+        fill_proof_budget(&mut plan, ctx, self.fill);
+        Ok(plan)
+    }
+}
+
+/// Spends leftover phase-1 budget on extra witness bandwidth. The LP's
+/// objective saturates once every *sample* proof succeeds, but on fresh
+/// epochs extra witnesses avert mop-ups, so `ProspectorExact` wants the
+/// phase-1 budget actually used (the paper's Figure 8 trades phase-1
+/// spending against phase-2 cost). Bandwidth is added where headroom is
+/// largest (deep subtrees squeezed to few values first).
+fn fill_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>, strategy: FillStrategy) {
+    if strategy == FillStrategy::None {
+        return;
+    }
+    let topo = ctx.topology;
+    let per_value = ctx.energy.per_value();
+    let overhead = ctx.proof_overhead();
+    let mut cost = ctx.plan_cost(plan) + overhead;
+    let k_cap = ctx.samples.k() + 1;
+
+    // Observed per-edge load: the most top-k values any sample pushed
+    // through each edge. Safety margin is spread evenly *relative to this
+    // need* — a subtree that never held more than 2 answer values gets its
+    // third slot long before a quiet leaf gets its second.
+    let mut need = vec![0i64; topo.len()];
+    for j in 0..ctx.samples.len() {
+        let mut cnt = vec![0i64; topo.len()];
+        for &i in ctx.samples.ones(j) {
+            for e in topo.edges_to_root(i) {
+                cnt[e.index()] += 1;
+            }
+        }
+        for (n, c) in need.iter_mut().zip(&cnt) {
+            *n = (*n).max(*c);
+        }
+    }
+
+    loop {
+        if cost + per_value > ctx.budget_mj {
+            return;
+        }
+        let best = match strategy {
+            FillStrategy::None => unreachable!("handled above"),
+            FillStrategy::NeedAware => topo
+                .edges()
+                .filter(|&e| (plan.bandwidth(e) as usize) < topo.subtree_size(e).min(k_cap))
+                .min_by_key(|&e| {
+                    // Smallest margin over observed need first; break ties
+                    // toward larger subtrees (they hide more), then by id.
+                    (
+                        plan.bandwidth(e) as i64 - need[e.index()],
+                        std::cmp::Reverse(topo.subtree_size(e)),
+                        e.0,
+                    )
+                }),
+            FillStrategy::SubtreeDeficit => topo
+                .edges()
+                .filter(|&e| (plan.bandwidth(e) as usize) < topo.subtree_size(e).min(k_cap))
+                .max_by_key(|&e| {
+                    (
+                        topo.subtree_size(e).min(k_cap) - plan.bandwidth(e) as usize,
+                        std::cmp::Reverse(e.0),
+                    )
+                }),
+        };
+        let Some(e) = best else { return };
+        plan.set_bandwidth(e, plan.bandwidth(e) + 1);
+        cost += per_value;
+    }
+}
+
+/// Decrements bandwidths (floor 1) until the plan fits the budget,
+/// dropping the unit whose removal loses the fewest expected proofs.
+fn repair_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>) {
+    let topo = ctx.topology;
+    let overhead = ctx.proof_overhead();
+    loop {
+        let cost = ctx.plan_cost(plan) + overhead;
+        if cost <= ctx.budget_mj {
+            return;
+        }
+        let base = expected_proven(plan, topo, ctx.samples);
+        let mut best: Option<(f64, NodeId)> = None;
+        for e in topo.edges() {
+            if plan.bandwidth(e) <= 1 {
+                continue;
+            }
+            let mut cand = plan.clone();
+            cand.set_bandwidth(e, plan.bandwidth(e) - 1);
+            let loss = base - expected_proven(&cand, topo, ctx.samples);
+            if best.is_none_or(|(bl, _)| loss < bl) {
+                best = Some((loss, e));
+            }
+        }
+        let Some((_, e)) = best else { return };
+        let w = plan.bandwidth(e);
+        plan.set_bandwidth(e, w - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_proof_plan;
+    use prospector_data::SampleSet;
+    use prospector_net::topology::balanced;
+    use prospector_net::EnergyModel;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn stable_samples(n: usize, k: usize, rows: usize, seed: u64) -> SampleSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let means: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..100.0)).collect();
+        let mut s = SampleSet::new(n, k, rows);
+        for _ in 0..rows {
+            s.push(means.iter().map(|m| m + rng.random_range(-3.0..3.0)).collect());
+        }
+        s
+    }
+
+    #[test]
+    fn produces_valid_proof_plan_within_budget() {
+        let t = balanced(2, 3); // 15 nodes
+        let em = EnergyModel::mica2();
+        let s = stable_samples(t.len(), 3, 5, 1);
+        let budget = 40.0;
+        let ctx = PlanContext::new(&t, &em, &s, budget);
+        let plan = ProspectorProof::default().plan(&ctx).unwrap();
+        plan.validate(&t).unwrap();
+        assert!(plan.proof_carrying);
+        assert!(ctx.plan_cost(&plan) + ctx.proof_overhead() <= budget + 1e-9);
+        for e in t.edges() {
+            assert!(plan.bandwidth(e) >= 1, "every edge used");
+        }
+    }
+
+    #[test]
+    fn proves_most_of_the_answer_with_generous_budget() {
+        let t = balanced(2, 3);
+        let em = EnergyModel::mica2();
+        let k = 3;
+        let s = stable_samples(t.len(), k, 5, 2);
+        let ctx = PlanContext::new(&t, &em, &s, 200.0);
+        let plan = ProspectorProof::default().plan(&ctx).unwrap();
+        let avg = expected_proven(&plan, &t, &s);
+        assert!(avg >= (k - 1) as f64, "expected proven {avg} of {k}");
+    }
+
+    #[test]
+    fn budget_too_small_is_detected() {
+        let t = balanced(2, 3);
+        let em = EnergyModel::mica2();
+        let s = stable_samples(t.len(), 2, 3, 3);
+        let ctx = PlanContext::new(&t, &em, &s, 1.0);
+        assert!(matches!(
+            ProspectorProof::default().plan(&ctx),
+            Err(PlanError::BudgetTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn proof_execution_matches_lp_expectation_direction() {
+        // Tighter budgets must never prove more (on the training samples)
+        // than looser budgets.
+        let t = balanced(2, 3);
+        let em = EnergyModel::mica2();
+        let s = stable_samples(t.len(), 3, 4, 4);
+        let loose = PlanContext::new(&t, &em, &s, 200.0);
+        let tight = PlanContext::new(&t, &em, &s, loose.min_proof_cost() + 2.0);
+        let p_loose = ProspectorProof::default().plan(&loose).unwrap();
+        let p_tight = ProspectorProof::default().plan(&tight).unwrap();
+        let e_loose = expected_proven(&p_loose, &t, &s);
+        let e_tight = expected_proven(&p_tight, &t, &s);
+        assert!(e_loose + 1e-9 >= e_tight, "loose {e_loose} vs tight {e_tight}");
+    }
+
+    #[test]
+    fn proof_plan_answers_are_usable() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let k = 3;
+        let s = stable_samples(t.len(), k, 5, 5);
+        let ctx = PlanContext::new(&t, &em, &s, 100.0);
+        let plan = ProspectorProof::default().plan(&ctx).unwrap();
+        let out = run_proof_plan(&plan, &t, s.values(0), k);
+        assert_eq!(out.answer.len(), k);
+        assert!(out.proven <= k);
+    }
+}

@@ -1,0 +1,202 @@
+//! Executable companion to Section 3.1 ("Theoretical Foundation of
+//! Sampling").
+//!
+//! The paper reduces `SIMPLE-TOP-K` — choose at most `t` nodes to query at
+//! unit cost, minimizing the expected number of top-k values missed — to
+//! two-stage stochastic optimization (`STOCHASTIC-STEINER-TREE` with star
+//! topology and λ = 1), for which Shmoys–Swamy show that solving an LP
+//! relaxation over polynomially many **samples** approximates the true
+//! stochastic optimum arbitrarily well.
+//!
+//! This module makes the claim checkable: [`optimal_subset`] brute-forces
+//! the true optimum over an explicit scenario distribution, and
+//! [`sampled_lp_subset`] solves the sampled LP relaxation (which for this
+//! star-shaped special case has an integral structure — it is a fractional
+//! knapsack over appearance counts). The tests verify the sampled solution
+//! converges to the brute-force optimum as samples grow.
+
+use prospector_data::top_k_nodes;
+use prospector_lp::{Cmp, Problem, Sense};
+use prospector_net::NodeId;
+
+/// An explicit finite joint distribution over network readings.
+#[derive(Debug, Clone)]
+pub struct ScenarioDistribution {
+    /// Each scenario: (probability, readings per node).
+    pub scenarios: Vec<(f64, Vec<f64>)>,
+    pub k: usize,
+}
+
+impl ScenarioDistribution {
+    /// Expected number of top-k values missed when querying `subset`
+    /// (node i is "covered" iff subset contains it).
+    pub fn expected_misses(&self, subset: &[NodeId]) -> f64 {
+        self.scenarios
+            .iter()
+            .map(|(prob, values)| {
+                let top = top_k_nodes(values, self.k);
+                let missed = top.iter().filter(|n| !subset.contains(n)).count();
+                prob * missed as f64
+            })
+            .sum()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.scenarios[0].1.len()
+    }
+}
+
+/// Brute-force optimum of `SIMPLE-TOP-K`: the best subset of ≤ `t` nodes
+/// by exhaustive enumeration. Exponential; for tests on tiny instances.
+pub fn optimal_subset(dist: &ScenarioDistribution, t: usize) -> (Vec<NodeId>, f64) {
+    let n = dist.num_nodes();
+    assert!(n <= 20, "brute force limited to tiny instances");
+    let mut best: Option<(Vec<NodeId>, f64)> = None;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize > t {
+            continue;
+        }
+        let subset: Vec<NodeId> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::from_index).collect();
+        let misses = dist.expected_misses(&subset);
+        if best.as_ref().is_none_or(|(_, b)| misses < *b) {
+            best = Some((subset, misses));
+        }
+    }
+    best.expect("at least the empty subset")
+}
+
+/// The Shmoys–Swamy-style sampled solution: draw `samples` scenarios,
+/// write the LP relaxation `max Σ cnt_i x_i s.t. Σ x_i ≤ t, x ∈ [0,1]`,
+/// solve, and round the `t` largest fractional values to 1.
+pub fn sampled_lp_subset(
+    dist: &ScenarioDistribution,
+    t: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<NodeId> {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    let n = dist.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u32; n];
+    for _ in 0..samples {
+        // Sample a scenario by its probability.
+        let r: f64 = rng.random_range(0.0..1.0);
+        let mut acc = 0.0;
+        let mut values = &dist.scenarios[0].1;
+        for (p, v) in &dist.scenarios {
+            acc += p;
+            if r <= acc {
+                values = v;
+                break;
+            }
+        }
+        for node in top_k_nodes(values, dist.k) {
+            counts[node.index()] += 1;
+        }
+    }
+
+    let mut lp = Problem::new(Sense::Maximize);
+    let vars: Vec<_> = counts.iter().map(|&c| lp.add_var(0.0, 1.0, c as f64)).collect();
+    lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Cmp::Le, t as f64);
+    let sol = lp.solve().expect("sampled LP solves");
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        sol.x[b].partial_cmp(&sol.x[a]).unwrap().then(counts[b].cmp(&counts[a])).then(a.cmp(&b))
+    });
+    order.into_iter().take(t).filter(|&i| counts[i] > 0).map(NodeId::from_index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A distribution with the paper's Section 1 trap: a high-mean node
+    /// that is never in the top-1, plus a group whose members alternate.
+    fn trap_distribution() -> ScenarioDistribution {
+        // 4 nodes. Node 0 always reads 10. Nodes 1-3: one of them reads 20
+        // in each scenario, the others 1.
+        let scenarios = vec![
+            (1.0 / 3.0, vec![10.0, 20.0, 1.0, 1.0]),
+            (1.0 / 3.0, vec![10.0, 1.0, 20.0, 1.0]),
+            (1.0 / 3.0, vec![10.0, 1.0, 1.0, 20.0]),
+        ];
+        ScenarioDistribution { scenarios, k: 1 }
+    }
+
+    #[test]
+    fn brute_force_finds_group_not_mean() {
+        // With t = 1, querying the high-mean node 0 misses the top-1
+        // always; the optimum picks one group member (miss 2/3).
+        let d = trap_distribution();
+        let (subset, misses) = optimal_subset(&d, 1);
+        assert!(!subset.contains(&NodeId(0)), "mean-sorting trap");
+        assert!((misses - 2.0 / 3.0).abs() < 1e-9);
+        // t = 3 covers the whole group exactly.
+        let (subset, misses) = optimal_subset(&d, 3);
+        assert_eq!(subset, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(misses.abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_lp_converges_to_optimum() {
+        let d = trap_distribution();
+        let (_, opt) = optimal_subset(&d, 2);
+        // Few samples: may be off. Many samples: must be near-optimal.
+        let subset = sampled_lp_subset(&d, 2, 400, 7);
+        let achieved = d.expected_misses(&subset);
+        assert!(
+            achieved <= opt + 1e-9,
+            "sampled solution {achieved} worse than optimum {opt}"
+        );
+    }
+
+    #[test]
+    fn sampled_lp_near_optimal_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..5 {
+            let n = 7;
+            let k = 2;
+            let num_scenarios = 6;
+            let scenarios: Vec<(f64, Vec<f64>)> = (0..num_scenarios)
+                .map(|_| {
+                    (
+                        1.0 / num_scenarios as f64,
+                        (0..n).map(|_| rng.random_range(0.0..100.0)).collect(),
+                    )
+                })
+                .collect();
+            let d = ScenarioDistribution { scenarios, k };
+            let t = 3;
+            let (_, opt) = optimal_subset(&d, t);
+            let subset = sampled_lp_subset(&d, t, 600, trial);
+            let achieved = d.expected_misses(&subset);
+            assert!(
+                achieved <= opt + 0.35,
+                "trial {trial}: sampled {achieved} vs optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_count_tradeoff_is_monotoneish() {
+        // The paper's "Other Results": one sample is poor, a handful is
+        // nearly as good as many.
+        let d = trap_distribution();
+        let with = |s| {
+            let mut total = 0.0;
+            for seed in 0..20 {
+                total += d.expected_misses(&sampled_lp_subset(&d, 2, s, seed));
+            }
+            total / 20.0
+        };
+        let one = with(1);
+        let many = with(200);
+        assert!(many <= one + 1e-9, "more samples can't hurt on average: {many} vs {one}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Independent per-node Gaussian readings (Figures 3 and 4).
+//!
+//! "Sensor values in this synthetic data experiment are drawn from
+//! independent normal distributions whose means and variances are chosen
+//! randomly from small ranges."
+
+use crate::source::ValueSource;
+use crate::stats::{mix_seed, normal};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Each node's reading is an independent `N(mean_i, std_i²)` draw, freshly
+/// sampled each epoch (stateless: any epoch can be regenerated).
+#[derive(Debug, Clone)]
+pub struct IndependentGaussian {
+    means: Vec<f64>,
+    std_devs: Vec<f64>,
+    seed: u64,
+}
+
+impl IndependentGaussian {
+    /// Explicit parameters.
+    pub fn new(means: Vec<f64>, std_devs: Vec<f64>, seed: u64) -> Self {
+        assert_eq!(means.len(), std_devs.len());
+        assert!(std_devs.iter().all(|s| *s >= 0.0), "negative std dev");
+        IndependentGaussian { means, std_devs, seed }
+    }
+
+    /// Means uniform in `mean_range`, standard deviations uniform in
+    /// `std_range`, as the paper's Figure 3 setup.
+    pub fn random(
+        n: usize,
+        mean_range: std::ops::Range<f64>,
+        std_range: std::ops::Range<f64>,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, 0xC0FFEE));
+        let means = (0..n).map(|_| rng.random_range(mean_range.clone())).collect();
+        let std_devs = (0..n).map(|_| rng.random_range(std_range.clone())).collect();
+        IndependentGaussian { means, std_devs, seed }
+    }
+
+    /// Per-node means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-node standard deviations.
+    pub fn std_devs(&self) -> &[f64] {
+        &self.std_devs
+    }
+
+    /// Rescales every node's standard deviation (the variance sweep of
+    /// Figure 4).
+    pub fn with_std_scale(&self, scale: f64) -> Self {
+        IndependentGaussian {
+            means: self.means.clone(),
+            std_devs: self.std_devs.iter().map(|s| s * scale).collect(),
+            seed: self.seed,
+        }
+    }
+}
+
+impl ValueSource for IndependentGaussian {
+    fn num_nodes(&self) -> usize {
+        self.means.len()
+    }
+
+    fn values(&mut self, epoch: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, epoch, 1));
+        self.means
+            .iter()
+            .zip(&self.std_devs)
+            .map(|(&m, &s)| normal(&mut rng, m, s))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "independent-gaussian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_epoch() {
+        let mut a = IndependentGaussian::random(20, 50.0..60.0, 1.0..3.0, 7);
+        let mut b = IndependentGaussian::random(20, 50.0..60.0, 1.0..3.0, 7);
+        assert_eq!(a.values(5), b.values(5));
+        assert_ne!(a.values(5), a.values(6), "different epochs differ");
+    }
+
+    #[test]
+    fn respects_parameters() {
+        let mut g = IndependentGaussian::new(vec![10.0, 100.0], vec![0.01, 0.01], 3);
+        let v = g.values(0);
+        assert!((v[0] - 10.0).abs() < 1.0);
+        assert!((v[1] - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empirical_moments_match() {
+        let mut g = IndependentGaussian::new(vec![5.0], vec![2.0], 11);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|e| g.values(e)[0]).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn std_scale_changes_spread_only() {
+        let g = IndependentGaussian::new(vec![5.0, 6.0], vec![1.0, 2.0], 1);
+        let h = g.with_std_scale(3.0);
+        assert_eq!(h.means(), &[5.0, 6.0]);
+        assert_eq!(h.std_devs(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_std() {
+        IndependentGaussian::new(vec![0.0], vec![-1.0], 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Synthetic stand-in for the Intel Berkeley Research Lab temperature
+//! trace used in Figure 9.
+//!
+//! The real dataset (54 motes, ~31s epochs, temperatures) is not available
+//! offline, so this generator reproduces the statistics the paper's result
+//! depends on (DESIGN.md §3):
+//!
+//! * **persistent warm spots** — a few fixed heat sources (server racks,
+//!   windows) create a spatial temperature field whose *ranking* is stable
+//!   over time, which is exactly why the paper observes "the locations of
+//!   the top values are fairly predictable" and LP+LF ≈ LP−LF;
+//! * **diurnal cycle** — a shared sinusoidal drift, so absolute values
+//!   change while the ranking largely persists;
+//! * **spatially correlated wobble** — slow regional fluctuations with
+//!   correlation decaying over distance;
+//! * **measurement noise** — small per-reading Gaussian noise;
+//! * **missing readings** — each reading is dropped with a configurable
+//!   probability and, as in the paper, "filled in … with the average of
+//!   the node values read at the prior and subsequent epochs".
+
+use crate::source::ValueSource;
+use crate::stats::{mix_seed, standard_normal};
+use prospector_net::Position;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`IntelLabLike`].
+#[derive(Debug, Clone)]
+pub struct IntelConfig {
+    /// Baseline lab temperature (°C).
+    pub base_temp: f64,
+    /// Amplitude of the shared diurnal cycle.
+    pub diurnal_amplitude: f64,
+    /// Epochs per simulated day.
+    pub epochs_per_day: u64,
+    /// Number of fixed heat sources.
+    pub heat_sources: usize,
+    /// Peak temperature offset of a heat source.
+    pub heat_amplitude: f64,
+    /// Length scale (meters) of a heat source's influence.
+    pub heat_scale: f64,
+    /// Standard deviation of the slow regional wobble.
+    pub wobble_std: f64,
+    /// Number of regional wobble modes.
+    pub wobble_modes: usize,
+    /// Per-reading measurement noise standard deviation.
+    pub noise_std: f64,
+    /// Probability a reading goes missing (filled per the paper).
+    pub missing_prob: f64,
+}
+
+impl Default for IntelConfig {
+    fn default() -> Self {
+        IntelConfig {
+            base_temp: 19.0,
+            diurnal_amplitude: 2.5,
+            epochs_per_day: 48,
+            heat_sources: 9,
+            heat_amplitude: 3.5,
+            heat_scale: 7.0,
+            wobble_std: 1.4,
+            wobble_modes: 6,
+            noise_std: 0.5,
+            missing_prob: 0.03,
+        }
+    }
+}
+
+/// The synthetic Intel-lab-like temperature source.
+#[derive(Debug, Clone)]
+pub struct IntelLabLike {
+    positions: Vec<Position>,
+    cfg: IntelConfig,
+    seed: u64,
+    /// Static per-node offset from the heat-source field.
+    spatial_offset: Vec<f64>,
+    /// Wobble mode definitions: (center, phase, period in epochs).
+    wobble: Vec<(Position, f64, f64)>,
+}
+
+impl IntelLabLike {
+    /// Builds the source over the given node positions (node 0 is the query
+    /// station and also carries a sensor, as in the lab deployment).
+    pub fn new(positions: Vec<Position>, cfg: IntelConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, 0x1A7));
+        let (min_x, max_x) = bounds(positions.iter().map(|p| p.x));
+        let (min_y, max_y) = bounds(positions.iter().map(|p| p.y));
+
+        // Fixed heat sources scattered over the floor plan.
+        let sources: Vec<(Position, f64)> = (0..cfg.heat_sources)
+            .map(|_| {
+                let p = Position {
+                    x: rng.random_range(min_x..max_x.max(min_x + 1e-9)),
+                    y: rng.random_range(min_y..max_y.max(min_y + 1e-9)),
+                };
+                let amp = cfg.heat_amplitude * rng.random_range(0.5..1.0);
+                (p, amp)
+            })
+            .collect();
+        let spatial_offset = positions
+            .iter()
+            .map(|p| {
+                sources
+                    .iter()
+                    .map(|(s, amp)| amp * (-(p.distance(s) / cfg.heat_scale).powi(2)).exp())
+                    .sum()
+            })
+            .collect();
+
+        let wobble = (0..cfg.wobble_modes)
+            .map(|_| {
+                let c = Position {
+                    x: rng.random_range(min_x..max_x.max(min_x + 1e-9)),
+                    y: rng.random_range(min_y..max_y.max(min_y + 1e-9)),
+                };
+                let phase = rng.random_range(0.0..std::f64::consts::TAU);
+                let period = rng.random_range(20.0..120.0);
+                (c, phase, period)
+            })
+            .collect();
+
+        IntelLabLike { positions, cfg, seed, spatial_offset, wobble }
+    }
+
+    /// The noiseless process value at (`node`, `epoch`): base + diurnal +
+    /// static warm spots + regional wobble.
+    fn process(&self, node: usize, epoch: u64) -> f64 {
+        let t = epoch as f64;
+        let diurnal = self.cfg.diurnal_amplitude
+            * (std::f64::consts::TAU * t / self.cfg.epochs_per_day as f64).sin();
+        let wobble: f64 = self
+            .wobble
+            .iter()
+            .map(|(c, phase, period)| {
+                let falloff =
+                    (-(self.positions[node].distance(c) / (3.0 * self.cfg.heat_scale)).powi(2)).exp();
+                self.cfg.wobble_std * falloff * (std::f64::consts::TAU * t / period + phase).sin()
+            })
+            .sum();
+        self.cfg.base_temp + diurnal + self.spatial_offset[node] + wobble
+    }
+
+    /// A single noisy reading, or `None` when it goes missing.
+    fn raw_reading(&self, node: usize, epoch: u64) -> Option<f64> {
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, epoch, 0x100 + node as u64));
+        if self.cfg.missing_prob > 0.0 && rng.random_bool(self.cfg.missing_prob) {
+            return None;
+        }
+        let noise = self.cfg.noise_std * standard_normal(&mut rng);
+        Some(self.process(node, epoch) + noise)
+    }
+
+    /// Static spatial offsets (exposed for tests/diagnostics).
+    pub fn spatial_offsets(&self) -> &[f64] {
+        &self.spatial_offset
+    }
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+impl ValueSource for IntelLabLike {
+    fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn values(&mut self, epoch: u64) -> Vec<f64> {
+        (0..self.positions.len())
+            .map(|node| match self.raw_reading(node, epoch) {
+                Some(v) => v,
+                None => {
+                    // Paper: fill a missing value with the average of the
+                    // readings at the prior and subsequent epochs (falling
+                    // back to the process value when those are missing too).
+                    let prev = if epoch > 0 { self.raw_reading(node, epoch - 1) } else { None };
+                    let next = self.raw_reading(node, epoch + 1);
+                    match (prev, next) {
+                        (Some(a), Some(b)) => (a + b) / 2.0,
+                        (Some(a), None) => a,
+                        (None, Some(b)) => b,
+                        (None, None) => self.process(node, epoch),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "intel-lab-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::top_k_nodes;
+
+    fn grid_positions(n: usize) -> Vec<Position> {
+        // Roughly the lab footprint: 40m × 30m.
+        let cols = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| Position {
+                x: (i % cols) as f64 * 40.0 / cols as f64,
+                y: (i / cols) as f64 * 30.0 / cols as f64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = IntelLabLike::new(grid_positions(54), IntelConfig::default(), 5);
+        let mut b = IntelLabLike::new(grid_positions(54), IntelConfig::default(), 5);
+        assert_eq!(a.values(10), b.values(10));
+    }
+
+    #[test]
+    fn top_k_locations_are_persistent() {
+        // The defining property for Figure 9: top-k membership is stable
+        // across epochs.
+        let mut src = IntelLabLike::new(grid_positions(54), IntelConfig::default(), 5);
+        let k = 5;
+        let reference: std::collections::HashSet<_> =
+            top_k_nodes(&src.values(0), k).into_iter().collect();
+        let mut overlap = 0usize;
+        let epochs = 50;
+        for e in 1..=epochs {
+            let top: Vec<_> = top_k_nodes(&src.values(e), k);
+            overlap += top.iter().filter(|n| reference.contains(n)).count();
+        }
+        let avg = overlap as f64 / epochs as f64;
+        assert!(avg >= 0.7 * k as f64, "avg top-k overlap {avg} of {k} too low");
+    }
+
+    #[test]
+    fn values_in_plausible_temperature_range() {
+        let mut src = IntelLabLike::new(grid_positions(54), IntelConfig::default(), 8);
+        for e in 0..20 {
+            for v in src.values(e) {
+                assert!((5.0..45.0).contains(&v), "implausible lab temperature {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_values_are_filled() {
+        let cfg = IntelConfig { missing_prob: 0.5, ..Default::default() };
+        let mut src = IntelLabLike::new(grid_positions(20), cfg, 3);
+        // Even with half the readings missing, `values` returns a full,
+        // finite vector close to the underlying process.
+        for e in 0..10 {
+            let v = src.values(e);
+            assert_eq!(v.len(), 20);
+            for (node, &x) in v.iter().enumerate() {
+                assert!(x.is_finite());
+                let p = src.process(node, e);
+                assert!((x - p).abs() < 5.0, "fill too far from process: {x} vs {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_spots_create_spatial_contrast() {
+        let src = IntelLabLike::new(grid_positions(54), IntelConfig::default(), 5);
+        let offs = src.spatial_offsets();
+        let max = offs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = offs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 1.0, "spatial field is flat: {min}..{max}");
+    }
+}

@@ -1,0 +1,269 @@
+//! The sample window and the Boolean top-k matrix of Section 3.
+//!
+//! Each sample is a full-network snapshot of readings. A sample translates
+//! into a Boolean vector whose i-th component is 1 iff node i's value is
+//! among the top k of that sample; the vectors from a window of samples
+//! form the matrix the Prospector planners optimize over. Only the LP+LF
+//! and proof formulations need individual entries (and raw values); the
+//! greedy and LP−LF planners only need the column sums, which the window
+//! maintains incrementally.
+
+use prospector_net::NodeId;
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+
+/// A (node, value) pair with the total order used everywhere for top-k
+/// selection: higher values first, ties broken by lower node id. The
+/// deterministic tie-break keeps plans and accuracy metrics reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reading {
+    pub node: NodeId,
+    pub value: f64,
+}
+
+impl Reading {
+    /// Comparison placing the *better* reading first (descending value,
+    /// ascending node id).
+    pub fn rank_cmp(&self, other: &Reading) -> Ordering {
+        other
+            .value
+            .total_cmp(&self.value)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl Eq for Reading {}
+
+impl PartialOrd for Reading {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Reading {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank_cmp(other)
+    }
+}
+
+/// Nodes holding the top `k` values of `values` (deterministic
+/// tie-breaking), in rank order.
+pub fn top_k_nodes(values: &[f64], k: usize) -> Vec<NodeId> {
+    let mut readings: Vec<Reading> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Reading { node: NodeId::from_index(i), value: v })
+        .collect();
+    let k = k.min(readings.len());
+    let nth = k.saturating_sub(1).min(readings.len() - 1);
+    readings.select_nth_unstable_by(nth, Reading::rank_cmp);
+    readings.truncate(k);
+    readings.sort_unstable_by(Reading::rank_cmp);
+    readings.into_iter().map(|r| r.node).collect()
+}
+
+/// A sliding window of full-network samples plus the derived top-k sets.
+///
+/// ```
+/// use prospector_data::SampleSet;
+/// use prospector_net::NodeId;
+///
+/// let mut s = SampleSet::new(4, 2, 8);
+/// s.push(vec![1.0, 9.0, 3.0, 7.0]); // top-2: n1, n3
+/// s.push(vec![8.0, 9.0, 0.0, 1.0]); // top-2: n1, n0
+/// assert_eq!(s.column_counts(), &[1, 2, 0, 1]);
+/// assert_eq!(s.ones(0), &[NodeId(1), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleSet {
+    n: usize,
+    k: usize,
+    capacity: usize,
+    /// Raw readings per sample, oldest first.
+    window: VecDeque<Vec<f64>>,
+    /// `ones(j)`: the top-k node set per sample, in rank order.
+    ones: VecDeque<Vec<NodeId>>,
+    /// Number of samples in which each node appears in the top k.
+    column_counts: Vec<u32>,
+}
+
+impl SampleSet {
+    /// A window over networks of `n` nodes, answering top-`k` queries,
+    /// retaining at most `capacity` samples (older ones expire).
+    pub fn new(n: usize, k: usize, capacity: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        assert!(k <= n, "k cannot exceed the number of nodes");
+        assert!(capacity >= 1, "capacity must be positive");
+        SampleSet {
+            n,
+            k,
+            capacity,
+            window: VecDeque::new(),
+            ones: VecDeque::new(),
+            column_counts: vec![0; n],
+        }
+    }
+
+    /// Adds a sample, evicting the oldest one when at capacity.
+    pub fn push(&mut self, values: Vec<f64>) {
+        assert_eq!(values.len(), self.n, "sample size mismatch");
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+            let old = self.ones.pop_front().expect("ones tracks window");
+            for node in old {
+                self.column_counts[node.index()] -= 1;
+            }
+        }
+        let top = top_k_nodes(&values, self.k);
+        for &node in &top {
+            self.column_counts[node.index()] += 1;
+        }
+        self.window.push_back(values);
+        self.ones.push_back(top);
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no samples have been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Network size.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Query parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Raw readings of sample `j` (0 = oldest in the window).
+    pub fn values(&self, j: usize) -> &[f64] {
+        &self.window[j]
+    }
+
+    /// Reading of `node` in sample `j`.
+    pub fn value(&self, j: usize, node: NodeId) -> f64 {
+        self.window[j][node.index()]
+    }
+
+    /// `ones(j)`: nodes providing the top-k values of sample `j`, in rank
+    /// order.
+    pub fn ones(&self, j: usize) -> &[NodeId] {
+        &self.ones[j]
+    }
+
+    /// True iff the matrix entry `M[j][node]` is 1.
+    pub fn is_one(&self, j: usize, node: NodeId) -> bool {
+        self.ones[j].contains(&node)
+    }
+
+    /// Column sums of the Boolean matrix: in how many window samples each
+    /// node ranked in the top k. This is the only statistic the greedy and
+    /// LP−LF planners need.
+    pub fn column_counts(&self) -> &[u32] {
+        &self.column_counts
+    }
+
+    /// Nodes among `candidates` whose value in sample `j` is strictly
+    /// smaller than `threshold` — the witness sets `smaller(·)` of the
+    /// proof LP (Section 4.3).
+    pub fn smaller_in<'a>(
+        &'a self,
+        j: usize,
+        threshold: f64,
+        candidates: &'a [NodeId],
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let row = &self.window[j];
+        candidates.iter().copied().filter(move |node| row[node.index()] < threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reading_order_breaks_ties_by_id() {
+        let a = Reading { node: NodeId(2), value: 5.0 };
+        let b = Reading { node: NodeId(1), value: 5.0 };
+        let c = Reading { node: NodeId(0), value: 7.0 };
+        let mut v = [a, b, c];
+        v.sort();
+        assert_eq!(v[0].node, NodeId(0));
+        assert_eq!(v[1].node, NodeId(1));
+        assert_eq!(v[2].node, NodeId(2));
+    }
+
+    #[test]
+    fn top_k_basic() {
+        let values = vec![1.0, 9.0, 3.0, 7.0, 5.0];
+        assert_eq!(top_k_nodes(&values, 2), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(top_k_nodes(&values, 5).len(), 5);
+        // k larger than n clamps
+        assert_eq!(top_k_nodes(&values, 10).len(), 5);
+    }
+
+    #[test]
+    fn top_k_deterministic_under_ties() {
+        let values = vec![5.0, 5.0, 5.0, 5.0];
+        assert_eq!(top_k_nodes(&values, 2), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn column_counts_track_pushes() {
+        let mut s = SampleSet::new(4, 2, 10);
+        s.push(vec![1.0, 4.0, 3.0, 2.0]); // top2: n1, n2
+        s.push(vec![9.0, 0.0, 8.0, 1.0]); // top2: n0, n2
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column_counts(), &[1, 1, 2, 0]);
+        assert!(s.is_one(0, NodeId(1)));
+        assert!(!s.is_one(0, NodeId(0)));
+        assert_eq!(s.ones(1), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn eviction_updates_counts() {
+        let mut s = SampleSet::new(3, 1, 2);
+        s.push(vec![3.0, 1.0, 0.0]); // top: n0
+        s.push(vec![0.0, 3.0, 1.0]); // top: n1
+        s.push(vec![0.0, 1.0, 3.0]); // top: n2, evicts first
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.column_counts(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn smaller_in_filters_by_value() {
+        let mut s = SampleSet::new(4, 2, 4);
+        s.push(vec![5.0, 2.0, 8.0, 3.0]);
+        let cands = [NodeId(0), NodeId(1), NodeId(3)];
+        let smaller: Vec<_> = s.smaller_in(0, 4.0, &cands).collect();
+        assert_eq!(smaller, vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let mut s = SampleSet::new(2, 1, 4);
+        s.push(vec![1.5, 2.5]);
+        assert_eq!(s.value(0, NodeId(1)), 2.5);
+        assert_eq!(s.values(0), &[1.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_above_n() {
+        SampleSet::new(3, 4, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_wrong_sample_size() {
+        let mut s = SampleSet::new(3, 1, 2);
+        s.push(vec![1.0]);
+    }
+}

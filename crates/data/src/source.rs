@@ -1,0 +1,58 @@
+//! The value-source abstraction.
+
+/// A process generating one reading per node per epoch.
+///
+/// Implementations take `&mut self` so stateful processes (e.g.
+/// [`RandomWalk`](crate::RandomWalk)) can advance; stateless sources ignore
+/// ordering, but callers should query epochs in non-decreasing order for
+/// portability across sources.
+pub trait ValueSource {
+    /// Number of nodes this source generates readings for.
+    fn num_nodes(&self) -> usize;
+
+    /// Readings for every node at `epoch`, indexed by node id.
+    fn values(&mut self, epoch: u64) -> Vec<f64>;
+
+    /// Human-readable workload name for experiment reports.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+impl<S: ValueSource + ?Sized> ValueSource for Box<S> {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+
+    fn values(&mut self, epoch: u64) -> Vec<f64> {
+        (**self).values(epoch)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(usize);
+
+    impl ValueSource for Constant {
+        fn num_nodes(&self) -> usize {
+            self.0
+        }
+        fn values(&mut self, _epoch: u64) -> Vec<f64> {
+            vec![1.0; self.0]
+        }
+    }
+
+    #[test]
+    fn boxed_source_delegates() {
+        let mut b: Box<dyn ValueSource> = Box::new(Constant(3));
+        assert_eq!(b.num_nodes(), 3);
+        assert_eq!(b.values(0), vec![1.0; 3]);
+        assert_eq!(b.name(), "unnamed");
+    }
+}

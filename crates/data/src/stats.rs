@@ -1,0 +1,160 @@
+//! Small numeric helpers shared by the value generators.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random_range(0.0..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws one `N(mean, std_dev²)` sample.
+pub fn normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.15e-9). Panics outside `(0, 1)`.
+pub fn normal_inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_inv_cdf requires p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Standard normal CDF (via `erf`-free Abramowitz–Stegun 7.1.26-style
+/// approximation on `erfc`, good to ~1e-7). Used only in tests and
+/// diagnostics.
+pub fn normal_cdf(x: f64) -> f64 {
+    // Hart-style rational approximation through the complementary error
+    // function of |x| / sqrt(2).
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * erfc_approx(-z)
+}
+
+fn erfc_approx(x: f64) -> f64 {
+    // For erfc(-z) with our usage we need erfc over the full real line.
+    let t = 1.0 / (1.0 + 0.5 * x.abs());
+    let tau = t
+        * (-x * x - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        tau
+    } else {
+        2.0 - tau
+    }
+}
+
+/// Deterministically mixes a base seed with an epoch (and an optional
+/// stream id) so stateless sources can regenerate any epoch.
+pub fn mix_seed(seed: u64, epoch: u64, stream: u64) -> u64 {
+    // SplitMix64-style finalizer over the XOR of the inputs.
+    let mut z = seed ^ epoch.wrapping_mul(0x9e3779b97f4a7c15) ^ stream.wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inv_cdf_round_trips_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_inv_cdf(p);
+            let back = normal_cdf(x);
+            assert!((back - p).abs() < 1e-6, "p={p}: inv={x}, cdf(inv)={back}");
+        }
+    }
+
+    #[test]
+    fn inv_cdf_known_values() {
+        assert!(normal_inv_cdf(0.5).abs() < 1e-9);
+        assert!((normal_inv_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_inv_cdf(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inv_cdf_rejects_bounds() {
+        normal_inv_cdf(0.0);
+    }
+
+    #[test]
+    fn normal_samples_have_right_moments() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn mix_seed_spreads_inputs() {
+        let a = mix_seed(1, 0, 0);
+        let b = mix_seed(1, 1, 0);
+        let c = mix_seed(1, 0, 1);
+        let d = mix_seed(2, 0, 0);
+        assert!(a != b && a != c && a != d && b != c);
+        // Determinism
+        assert_eq!(mix_seed(1, 0, 0), a);
+    }
+}

@@ -1,0 +1,118 @@
+//! Random-walk readings, used to exercise re-sampling and plan
+//! re-calculation (Section 4.4): the joint distribution drifts over time,
+//! so a plan optimized on stale samples slowly decays.
+
+use crate::source::ValueSource;
+use crate::stats::{mix_seed, normal, standard_normal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-node random walks with optional mean reversion.
+///
+/// `values(e)` must be called with non-decreasing epochs; the walk advances
+/// internally and re-querying a past epoch returns the cached trajectory
+/// value when still buffered.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    seed: u64,
+    step_std: f64,
+    /// Pull-back factor toward the initial mean per epoch (0 = pure walk).
+    reversion: f64,
+    init: Vec<f64>,
+    current: Vec<f64>,
+    current_epoch: Option<u64>,
+}
+
+impl RandomWalk {
+    /// `n` walks starting at `N(mean, start_std²)` with step size
+    /// `step_std` and mean-reversion factor `reversion ∈ [0, 1)`.
+    pub fn new(n: usize, mean: f64, start_std: f64, step_std: f64, reversion: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&reversion));
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, 0x3A1));
+        let init: Vec<f64> = (0..n).map(|_| normal(&mut rng, mean, start_std)).collect();
+        RandomWalk {
+            seed,
+            step_std,
+            reversion,
+            current: init.clone(),
+            init,
+            current_epoch: None,
+        }
+    }
+
+    fn advance_to(&mut self, epoch: u64) {
+        let from = match self.current_epoch {
+            None => 0,
+            Some(e) => {
+                assert!(epoch >= e, "RandomWalk epochs must be non-decreasing ({e} -> {epoch})");
+                e + 1
+            }
+        };
+        for t in from..=epoch {
+            let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, t, 0x3A2));
+            for (i, v) in self.current.iter_mut().enumerate() {
+                let pull = self.reversion * (self.init[i] - *v);
+                *v += pull + self.step_std * standard_normal(&mut rng);
+            }
+        }
+        self.current_epoch = Some(epoch);
+    }
+}
+
+impl ValueSource for RandomWalk {
+    fn num_nodes(&self) -> usize {
+        self.init.len()
+    }
+
+    fn values(&mut self, epoch: u64) -> Vec<f64> {
+        if self.current_epoch == Some(epoch) {
+            return self.current.clone();
+        }
+        self.advance_to(epoch);
+        self.current.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_drifts_over_time() {
+        let mut w = RandomWalk::new(10, 50.0, 5.0, 1.0, 0.0, 4);
+        let start = w.values(0);
+        let far = w.values(200);
+        let moved = start.iter().zip(&far).filter(|(a, b)| (*a - *b).abs() > 3.0).count();
+        assert!(moved >= 5, "only {moved}/10 walks moved noticeably");
+    }
+
+    #[test]
+    fn same_epoch_is_stable() {
+        let mut w = RandomWalk::new(5, 0.0, 1.0, 1.0, 0.0, 9);
+        let a = w.values(3);
+        let b = w.values(3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reversion_bounds_drift() {
+        let mut free = RandomWalk::new(20, 0.0, 0.0, 1.0, 0.0, 2);
+        let mut tied = RandomWalk::new(20, 0.0, 0.0, 1.0, 0.3, 2);
+        let spread = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        let f = spread(&free.values(500));
+        let t = spread(&tied.values(500));
+        assert!(t < f, "mean reversion should bound variance: {t} !< {f}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_decreasing_epochs() {
+        let mut w = RandomWalk::new(2, 0.0, 1.0, 1.0, 0.0, 1);
+        w.values(5);
+        w.values(2);
+    }
+}

@@ -1,0 +1,186 @@
+//! The contention-zone workload (Figures 5–7).
+//!
+//! Nodes outside the zones have fixed means `m` and low variance. Nodes
+//! inside a zone have means *below* `m` but variances tuned so each zone
+//! node exceeds `m` with probability `p = k / (zones · nodes_per_zone)`;
+//! with the paper's `nodes_per_zone = 2k` and `z` zones this is `1/(2z)`,
+//! so the expected number of zone nodes above `m` is exactly `k` and each
+//! zone contributes `k/z` of the top k in expectation — the negative
+//! correlation that makes local filtering pay off.
+
+use crate::source::ValueSource;
+use crate::stats::{mix_seed, normal, normal_inv_cdf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Contention-zone value source.
+#[derive(Debug, Clone)]
+pub struct ContentionZones {
+    /// Zone id per node (`None` = background node).
+    membership: Vec<Option<usize>>,
+    background_mean: f64,
+    background_std: f64,
+    /// Mean of zone nodes, derived from the exceedance probability.
+    zone_mean: f64,
+    zone_std: f64,
+    seed: u64,
+}
+
+impl ContentionZones {
+    /// Builds the workload.
+    ///
+    /// * `membership` — zone id per node, as produced by
+    ///   [`prospector_net::NetworkBuilder::zones`];
+    /// * `background_mean`/`background_std` — the fixed-mean, low-variance
+    ///   background population (`m` in the paper);
+    /// * `zone_std` — the (high) standard deviation of zone nodes;
+    /// * `exceed_prob` — per-zone-node probability of exceeding `m`; the
+    ///   zone mean is then `m - zone_std · Φ⁻¹(1 − exceed_prob) < m`.
+    pub fn new(
+        membership: Vec<Option<usize>>,
+        background_mean: f64,
+        background_std: f64,
+        zone_std: f64,
+        exceed_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            exceed_prob > 0.0 && exceed_prob <= 0.5,
+            "exceed_prob must be in (0, 0.5] so the zone mean stays at or below m"
+        );
+        assert!(zone_std > background_std, "zone variance must exceed background variance");
+        let zone_mean = background_mean - zone_std * normal_inv_cdf(1.0 - exceed_prob);
+        ContentionZones {
+            membership,
+            background_mean,
+            background_std,
+            zone_mean,
+            zone_std,
+            seed,
+        }
+    }
+
+    /// Convenience constructor matching the paper's setup: `z` zones of
+    /// `2k` nodes, exceedance probability `1/(2z)` (expected `k` zone nodes
+    /// above `m` in total).
+    pub fn paper_setup(membership: Vec<Option<usize>>, k: usize, background_mean: f64, seed: u64) -> Self {
+        let zones = membership.iter().flatten().copied().max().map_or(0, |z| z + 1);
+        assert!(zones > 0, "membership names no zones");
+        let per_zone = membership.iter().filter(|z| z.is_some()).count() / zones;
+        let _ = k;
+        let exceed = 1.0 / (2.0 * zones as f64);
+        let _ = per_zone;
+        ContentionZones::new(membership, background_mean, 1.0, 25.0, exceed, seed)
+    }
+
+    /// The derived zone mean (strictly below the background mean).
+    pub fn zone_mean(&self) -> f64 {
+        self.zone_mean
+    }
+
+    /// The background threshold `m`.
+    pub fn background_mean(&self) -> f64 {
+        self.background_mean
+    }
+}
+
+impl ValueSource for ContentionZones {
+    fn num_nodes(&self) -> usize {
+        self.membership.len()
+    }
+
+    fn values(&mut self, epoch: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, epoch, 2));
+        self.membership
+            .iter()
+            .map(|z| match z {
+                None => normal(&mut rng, self.background_mean, self.background_std),
+                Some(_) => normal(&mut rng, self.zone_mean, self.zone_std),
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "contention-zones"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn membership(zones: usize, per_zone: usize, background: usize) -> Vec<Option<usize>> {
+        let mut m = vec![None; background];
+        for z in 0..zones {
+            m.extend(std::iter::repeat_n(Some(z), per_zone));
+        }
+        m
+    }
+
+    #[test]
+    fn zone_mean_below_background() {
+        let src = ContentionZones::new(membership(6, 20, 50), 100.0, 1.0, 15.0, 1.0 / 12.0, 1);
+        assert!(src.zone_mean() < src.background_mean());
+    }
+
+    #[test]
+    fn exceedance_probability_matches() {
+        let zones = 6;
+        let k = 10;
+        let mut src = ContentionZones::paper_setup(membership(zones, 2 * k, 50), k, 100.0, 3);
+        let mut exceed = 0usize;
+        let mut zone_draws = 0usize;
+        for epoch in 0..2_000 {
+            let v = src.values(epoch);
+            for (i, z) in src.membership.iter().enumerate() {
+                if z.is_some() {
+                    zone_draws += 1;
+                    if v[i] > 100.0 {
+                        exceed += 1;
+                    }
+                }
+            }
+        }
+        let rate = exceed as f64 / zone_draws as f64;
+        let target = 1.0 / (2.0 * zones as f64);
+        assert!((rate - target).abs() < 0.01, "rate {rate} target {target}");
+    }
+
+    #[test]
+    fn expected_zone_nodes_in_topk_is_k() {
+        // With 2k nodes per zone at p = 1/(2z), z zones contribute k
+        // exceedances in expectation; since background nodes hover near m
+        // with tiny variance, the top-k is dominated by exceeding zone
+        // nodes.
+        let zones = 4;
+        let k = 8;
+        let mut src = ContentionZones::paper_setup(membership(zones, 2 * k, 30), k, 100.0, 9);
+        let mut above = 0usize;
+        let epochs = 1_000;
+        for epoch in 0..epochs {
+            let v = src.values(epoch);
+            above += src
+                .membership
+                .iter()
+                .enumerate()
+                .filter(|(i, z)| z.is_some() && v[*i] > 100.0)
+                .count();
+        }
+        let avg = above as f64 / epochs as f64;
+        assert!((avg - k as f64).abs() < 0.8, "avg exceedances {avg}, expected ~{k}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_exceed_prob_above_half() {
+        ContentionZones::new(membership(2, 4, 4), 100.0, 1.0, 15.0, 0.6, 0);
+    }
+
+    #[test]
+    fn single_zone_boundary_probability_allowed() {
+        // One zone → p = 1/(2·1) = 0.5: zone mean equals the background
+        // threshold (the paper's formula's boundary case).
+        let src = ContentionZones::new(membership(1, 8, 4), 100.0, 1.0, 15.0, 0.5, 0);
+        assert!((src.zone_mean() - 100.0).abs() < 1e-9);
+    }
+}

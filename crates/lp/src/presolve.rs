@@ -1,0 +1,377 @@
+//! Presolve: cheap problem reductions applied before the simplex.
+//!
+//! The Prospector formulations produce many structurally trivial pieces —
+//! variables fixed by their bounds, empty rows, rows whose left-hand side
+//! cannot exceed the right-hand side even at the variables' extremes. This
+//! pass removes them, which both shrinks the basis and sidesteps degenerate
+//! pivots:
+//!
+//! * **fixed variables** (`lower == upper`) are substituted into every row
+//!   and the objective;
+//! * **empty rows** are checked against their right-hand side and dropped
+//!   (or reported infeasible);
+//! * **redundant rows**: a `≤` row whose maximum possible activity (every
+//!   variable at its most favourable bound) already satisfies the bound is
+//!   dropped, and symmetrically for `≥`;
+//! * **forcing rows**: a row satisfiable only with every variable at one
+//!   extreme fixes those variables.
+//!
+//! The reductions are applied once (no fixpoint iteration); they are sound
+//! individually, and `solve`-level tests assert objective equivalence.
+
+use crate::problem::{Cmp, Problem};
+use crate::status::{LpError, Status};
+
+/// Outcome of presolving.
+#[derive(Debug)]
+pub enum Presolved {
+    /// The reduced problem plus the bookkeeping to undo it.
+    Reduced(Reduction),
+    /// Presolve alone proved infeasibility.
+    Infeasible,
+    /// Presolve solved the problem outright (everything fixed).
+    Solved { x: Vec<f64>, objective: f64 },
+}
+
+/// Mapping from a reduced problem back to the original.
+#[derive(Debug)]
+pub struct Reduction {
+    /// The reduced problem.
+    pub problem: Problem,
+    /// For each original variable: `Ok(value)` when fixed by presolve,
+    /// `Err(new_index)` when it survives at position `new_index`.
+    map: Vec<Result<f64, usize>>,
+}
+
+impl Reduction {
+    /// Lifts a solution of the reduced problem back to original-variable
+    /// order.
+    pub fn restore(&self, reduced_x: &[f64]) -> Vec<f64> {
+        self.map
+            .iter()
+            .map(|m| match m {
+                Ok(v) => *v,
+                Err(idx) => reduced_x[*idx],
+            })
+            .collect()
+    }
+
+    /// Number of variables eliminated.
+    pub fn eliminated(&self) -> usize {
+        self.map.iter().filter(|m| m.is_ok()).count()
+    }
+}
+
+const TOL: f64 = 1e-9;
+
+/// Runs the presolve reductions on `p`.
+pub fn presolve(p: &Problem) -> Result<Presolved, LpError> {
+    p.validate()?;
+    let n = p.num_vars();
+
+    // Pass 1: fix variables with equal bounds; find forcing rows.
+    let mut fixed: Vec<Option<f64>> = (0..n)
+        .map(|j| if p.lower[j] == p.upper[j] { Some(p.lower[j]) } else { None })
+        .collect();
+
+    for row in &p.rows {
+        // Row activity range over non-fixed vars at their bounds.
+        let mut min_act = 0.0f64;
+        let mut max_act = 0.0f64;
+        let mut fixed_part = 0.0f64;
+        for &(var, c) in &row.coeffs {
+            let j = var as usize;
+            if let Some(v) = fixed[j] {
+                fixed_part += c * v;
+                continue;
+            }
+            let (lo, hi) = (p.lower[j], p.upper[j]);
+            if c >= 0.0 {
+                min_act += c * lo;
+                max_act += c * hi;
+            } else {
+                min_act += c * hi;
+                max_act += c * lo;
+            }
+        }
+        let rhs = row.rhs - fixed_part;
+        match row.cmp {
+            Cmp::Le => {
+                if min_act > rhs + TOL {
+                    return Ok(Presolved::Infeasible);
+                }
+                if (min_act - rhs).abs() <= TOL && min_act.is_finite() {
+                    // Forcing: every variable pinned at its minimizing bound.
+                    for &(var, c) in &row.coeffs {
+                        let j = var as usize;
+                        if fixed[j].is_none() {
+                            fixed[j] = Some(if c >= 0.0 { p.lower[j] } else { p.upper[j] });
+                        }
+                    }
+                }
+            }
+            Cmp::Ge => {
+                if max_act < rhs - TOL {
+                    return Ok(Presolved::Infeasible);
+                }
+                if (max_act - rhs).abs() <= TOL && max_act.is_finite() {
+                    for &(var, c) in &row.coeffs {
+                        let j = var as usize;
+                        if fixed[j].is_none() {
+                            fixed[j] = Some(if c >= 0.0 { p.upper[j] } else { p.lower[j] });
+                        }
+                    }
+                }
+            }
+            Cmp::Eq => {
+                if min_act > rhs + TOL || max_act < rhs - TOL {
+                    return Ok(Presolved::Infeasible);
+                }
+            }
+        }
+    }
+
+    // Pass 2: rebuild the reduced problem.
+    let mut reduced = Problem::new(p.sense);
+    let mut map: Vec<Result<f64, usize>> = Vec::with_capacity(n);
+    let mut kept = 0usize;
+    for (j, f) in fixed.iter().enumerate() {
+        match f {
+            Some(v) => map.push(Ok(*v)),
+            None => {
+                reduced.add_var(p.lower[j], p.upper[j], p.obj[j]);
+                map.push(Err(kept));
+                kept += 1;
+            }
+        }
+    }
+
+    if kept == 0 {
+        let x: Vec<f64> = map.iter().map(|m| *m.as_ref().expect("all fixed")).collect();
+        // Verify all rows hold at the fully fixed point.
+        for row in &p.rows {
+            let act: f64 = row.coeffs.iter().map(|&(v, c)| c * x[v as usize]).sum();
+            let ok = match row.cmp {
+                Cmp::Le => act <= row.rhs + TOL,
+                Cmp::Ge => act >= row.rhs - TOL,
+                Cmp::Eq => (act - row.rhs).abs() <= TOL,
+            };
+            if !ok {
+                return Ok(Presolved::Infeasible);
+            }
+        }
+        let objective = p.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+        return Ok(Presolved::Solved { x, objective });
+    }
+
+    for row in &p.rows {
+        let mut fixed_part = 0.0;
+        let mut coeffs = Vec::with_capacity(row.coeffs.len());
+        let mut min_act = 0.0f64;
+        let mut max_act = 0.0f64;
+        for &(var, c) in &row.coeffs {
+            let j = var as usize;
+            match map[j] {
+                Ok(v) => fixed_part += c * v,
+                Err(idx) => {
+                    coeffs.push((crate::problem::VarId(idx as u32), c));
+                    let (lo, hi) = (p.lower[j], p.upper[j]);
+                    if c >= 0.0 {
+                        min_act += c * lo;
+                        max_act += c * hi;
+                    } else {
+                        min_act += c * hi;
+                        max_act += c * lo;
+                    }
+                }
+            }
+        }
+        let rhs = row.rhs - fixed_part;
+        if coeffs.is_empty() {
+            let ok = match row.cmp {
+                Cmp::Le => rhs >= -TOL,
+                Cmp::Ge => rhs <= TOL,
+                Cmp::Eq => rhs.abs() <= TOL,
+            };
+            if !ok {
+                return Ok(Presolved::Infeasible);
+            }
+            continue; // satisfied empty row: drop
+        }
+        // Redundancy: the row can never bind.
+        let redundant = match row.cmp {
+            Cmp::Le => max_act <= rhs + TOL,
+            Cmp::Ge => min_act >= rhs - TOL,
+            Cmp::Eq => false,
+        };
+        if redundant {
+            continue;
+        }
+        reduced.add_constraint(coeffs, row.cmp, rhs);
+    }
+
+    Ok(Presolved::Reduced(Reduction { problem: reduced, map }))
+}
+
+/// Solves `p` with presolve in front of the simplex.
+pub fn presolve_and_solve(p: &Problem) -> Result<crate::status::Solution, LpError> {
+    match presolve(p)? {
+        Presolved::Infeasible => Ok(crate::status::Solution {
+            status: Status::Infeasible,
+            objective: 0.0,
+            x: vec![0.0; p.num_vars()],
+            duals: None,
+            iterations: 0,
+        }),
+        Presolved::Solved { x, objective } => Ok(crate::status::Solution {
+            status: Status::Optimal,
+            objective,
+            x,
+            // Row correspondence is lost by the reductions; presolved
+            // solves do not report duals.
+            duals: None,
+            iterations: 0,
+        }),
+        Presolved::Reduced(red) => {
+            let sol = red.problem.solve()?;
+            let x = red.restore(&sol.x);
+            let objective = match sol.status {
+                Status::Optimal => {
+                    // Recompute against the original objective (fixed vars
+                    // contribute too).
+                    p.obj.iter().zip(&x).map(|(c, v)| c * v).sum()
+                }
+                _ => sol.objective,
+            };
+            Ok(crate::status::Solution {
+                status: sol.status,
+                objective,
+                x,
+                duals: None,
+                iterations: sol.iterations,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    #[test]
+    fn fixed_variables_are_substituted() {
+        // y is fixed at 2; x + y <= 5 becomes x <= 3.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let y = p.add_var(2.0, 2.0, 1.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        let sol = presolve_and_solve(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - 5.0).abs() < 1e-9);
+        assert!((sol.value(x) - 3.0).abs() < 1e-9);
+        assert!((sol.value(y) - 2.0).abs() < 1e-9);
+
+        match presolve(&p).unwrap() {
+            Presolved::Reduced(r) => {
+                assert_eq!(r.eliminated(), 1);
+                assert_eq!(r.problem.num_vars(), 1);
+            }
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint([(x, 1.0)], Cmp::Le, 100.0); // never binds
+        match presolve(&p).unwrap() {
+            Presolved::Reduced(r) => assert_eq!(r.problem.num_constraints(), 0),
+            other => panic!("expected reduction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_infeasibility_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint([(x, 1.0)], Cmp::Ge, 5.0);
+        assert!(matches!(presolve(&p).unwrap(), Presolved::Infeasible));
+        let sol = presolve_and_solve(&p).unwrap();
+        assert_eq!(sol.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn fully_fixed_problem_solved_by_presolve() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(3.0, 3.0, 2.0);
+        p.add_constraint([(x, 1.0)], Cmp::Le, 4.0);
+        let sol = presolve_and_solve(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert_eq!(sol.iterations, 0);
+        assert!((sol.objective - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forcing_le_row_pins_variables() {
+        // x + y <= 0 with x, y in [0, 1] forces both to 0.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        let y = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 0.0);
+        match presolve(&p).unwrap() {
+            Presolved::Solved { x, objective } => {
+                assert_eq!(x, vec![0.0, 0.0]);
+                assert_eq!(objective, 0.0);
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn presolve_preserves_optimum_on_random_lps() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(2..10);
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> = (0..n)
+                .map(|_| {
+                    // Mix of fixed and free variables.
+                    if rng.random_bool(0.3) {
+                        let v = rng.random_range(0.0..2.0);
+                        p.add_var(v, v, rng.random_range(-3.0..3.0))
+                    } else {
+                        p.add_var(0.0, rng.random_range(0.5..3.0), rng.random_range(-3.0..3.0))
+                    }
+                })
+                .collect();
+            for _ in 0..rng.random_range(1..6) {
+                let mut coeffs = Vec::new();
+                for &v in &vars {
+                    if rng.random_bool(0.5) {
+                        coeffs.push((v, rng.random_range(-2.0..2.0)));
+                    }
+                }
+                if coeffs.is_empty() {
+                    continue;
+                }
+                // Generous rhs keeps things feasible most of the time.
+                p.add_constraint(coeffs, Cmp::Le, rng.random_range(0.0..10.0));
+            }
+            let direct = p.solve().unwrap();
+            let pre = presolve_and_solve(&p).unwrap();
+            assert_eq!(direct.status, pre.status, "seed {seed}");
+            if direct.status == Status::Optimal {
+                assert!(
+                    (direct.objective - pre.objective).abs() < 1e-6,
+                    "seed {seed}: {} vs {}",
+                    direct.objective,
+                    pre.objective
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,895 @@
+//! Bounded-variable primal simplex (revised form, two phases).
+//!
+//! The implementation follows the textbook revised simplex with upper
+//! bounds: variables live in `[l, u]`, non-basic variables sit at a finite
+//! bound, and the ratio test admits *bound flips* (the entering variable
+//! travels to its own opposite bound without a basis change). Rows are
+//! standardized to equalities with bounded slacks, which makes the all-slack
+//! identity the natural starting basis; rows whose slack cannot absorb the
+//! initial residual receive an artificial variable driven out by a phase-1
+//! objective.
+
+// The simplex kernels walk several parallel arrays (basis, x, alpha, bounds)
+// by row index; iterator/zip chains obscure the math, so range loops stay.
+#![allow(clippy::needless_range_loop)]
+
+use crate::basis::{BasisRep, DenseInverse, EtaFile};
+use crate::problem::{Cmp, Problem, Sense};
+use crate::status::{LpError, Solution, Status};
+
+/// Which basis representation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisChoice {
+    /// Pick based on problem size (dense below [`SolverOptions::dense_limit`] rows).
+    Auto,
+    /// Explicit dense inverse.
+    Dense,
+    /// Product-form eta file (sparse).
+    Eta,
+}
+
+/// Tunable solver parameters. `Default` suits the Prospector LPs.
+#[derive(Debug, Clone)]
+pub struct SolverOptions {
+    /// Bound/feasibility tolerance.
+    pub feas_tol: f64,
+    /// Reduced-cost optimality tolerance.
+    pub opt_tol: f64,
+    /// Hard iteration cap; `0` selects `200 · (m + n) + 20_000`.
+    pub max_iterations: usize,
+    /// Basis representation.
+    pub basis: BasisChoice,
+    /// Rows above which `Auto` picks the eta file.
+    pub dense_limit: usize,
+    /// Recompute the basic solution from scratch every this many pivots.
+    pub resync_period: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            max_iterations: 0,
+            basis: BasisChoice::Auto,
+            dense_limit: 600,
+            resync_period: 120,
+            bland_trigger: 80,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(u32),
+    AtLower,
+    AtUpper,
+}
+
+/// Standardized problem: `maximize c·v` s.t. `A v = b`, `l ≤ v ≤ u`, where
+/// `v` stacks structural, slack and artificial variables.
+struct Std {
+    m: usize,
+    n_struct: usize,
+    /// Sparse columns for every variable (slack/artificial columns included).
+    cols: Vec<Vec<(u32, f64)>>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 objective (maximize).
+    obj: Vec<f64>,
+    b: Vec<f64>,
+    /// Variables that start basic, one per row.
+    basis: Vec<u32>,
+    /// Initial values for all variables.
+    x0: Vec<f64>,
+    n_artificial: usize,
+    /// Row scaling applied during standardization (duals are mapped back
+    /// through it).
+    row_scale: Vec<f64>,
+}
+
+fn standardize(p: &Problem) -> Std {
+    let n = p.num_vars();
+    let m = p.num_constraints();
+    let sense_mul = match p.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+
+    // Row scaling by the max |coefficient| keeps pivots well conditioned.
+    let mut row_scale = vec![1.0f64; m];
+    for (r, row) in p.rows.iter().enumerate() {
+        let mx = row.coeffs.iter().map(|&(_, c)| c.abs()).fold(0.0f64, f64::max);
+        if mx > 0.0 {
+            row_scale[r] = 1.0 / mx;
+        }
+    }
+
+    let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut b = vec![0.0; m];
+    for (r, row) in p.rows.iter().enumerate() {
+        b[r] = row.rhs * row_scale[r];
+        for &(var, c) in &row.coeffs {
+            cols[var as usize].push((r as u32, c * row_scale[r]));
+        }
+    }
+
+    let mut lower = p.lower.clone();
+    let mut upper = p.upper.clone();
+    let mut obj: Vec<f64> = p.obj.iter().map(|&c| c * sense_mul).collect();
+
+    // Structural starting values: the finite bound (prefer lower).
+    let mut x0 = vec![0.0; n];
+    for j in 0..n {
+        x0[j] = if lower[j].is_finite() { lower[j] } else { upper[j] };
+    }
+
+    // Slack variables.
+    for (r, row) in p.rows.iter().enumerate() {
+        cols.push(vec![(r as u32, 1.0)]);
+        let (lo, hi) = match row.cmp {
+            Cmp::Le => (0.0, f64::INFINITY),
+            Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+            Cmp::Eq => (0.0, 0.0),
+        };
+        lower.push(lo);
+        upper.push(hi);
+        obj.push(0.0);
+        x0.push(0.0);
+    }
+
+    // Residuals with all structural vars at their starting bound.
+    let mut resid = b.clone();
+    for (j, col) in cols.iter().take(n).enumerate() {
+        if x0[j] != 0.0 {
+            for &(r, a) in col {
+                resid[r as usize] -= a * x0[j];
+            }
+        }
+    }
+
+    let mut basis = Vec::with_capacity(m);
+    let mut n_artificial = 0;
+    for r in 0..m {
+        let s = n + r;
+        let rho = resid[r];
+        if rho >= lower[s] - 1e-12 && rho <= upper[s] + 1e-12 {
+            basis.push(s as u32);
+            x0[s] = rho;
+        } else {
+            // Slack pinned at its nearest bound, artificial absorbs the
+            // rest. The artificial's column is always +1 (keeping the
+            // starting basis an identity); the residual's sign lives in
+            // its bounds instead, and phase 1 drives it to zero from
+            // either side.
+            let clamped = rho.clamp(lower[s], upper[s]);
+            x0[s] = clamped;
+            let z = cols.len();
+            cols.push(vec![(r as u32, 1.0)]);
+            let residual = rho - clamped;
+            if residual > 0.0 {
+                lower.push(0.0);
+                upper.push(f64::INFINITY);
+            } else {
+                lower.push(f64::NEG_INFINITY);
+                upper.push(0.0);
+            }
+            obj.push(0.0);
+            x0.push(residual);
+            basis.push(z as u32);
+            n_artificial += 1;
+        }
+    }
+
+    Std { m, n_struct: n, cols, lower, upper, obj, b, basis, x0, n_artificial, row_scale }
+}
+
+struct Simplex<'a, R: BasisRep> {
+    std: &'a Std,
+    opt: &'a SolverOptions,
+    rep: R,
+    /// Working bounds (artificials are pinned to zero after phase 1).
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    state: Vec<VarState>,
+    basis: Vec<u32>,
+    x: Vec<f64>,
+    iterations: usize,
+    degenerate_run: usize,
+    bland: bool,
+}
+
+enum StepResult {
+    Pivoted,
+    Optimal,
+    Unbounded,
+}
+
+impl<'a, R: BasisRep> Simplex<'a, R> {
+    fn new(std: &'a Std, opt: &'a SolverOptions) -> Self {
+        let n_total = std.cols.len();
+        let mut state = vec![VarState::AtLower; n_total];
+        for j in 0..n_total {
+            state[j] = if std.x0[j] == std.lower[j] || !std.upper[j].is_finite() {
+                VarState::AtLower
+            } else {
+                VarState::AtUpper
+            };
+        }
+        for (r, &v) in std.basis.iter().enumerate() {
+            state[v as usize] = VarState::Basic(r as u32);
+        }
+        Simplex {
+            std,
+            opt,
+            rep: R::identity(std.m),
+            lower: std.lower.clone(),
+            upper: std.upper.clone(),
+            state,
+            basis: std.basis.clone(),
+            x: std.x0.clone(),
+            iterations: 0,
+            degenerate_run: 0,
+            bland: false,
+        }
+    }
+
+    fn max_iterations(&self) -> usize {
+        if self.opt.max_iterations > 0 {
+            self.opt.max_iterations
+        } else {
+            200 * (self.std.m + self.std.cols.len()) + 20_000
+        }
+    }
+
+    /// Recomputes basic values from the nonbasic ones (numerical hygiene).
+    fn resync(&mut self) {
+        let m = self.std.m;
+        let mut v = self.std.b.clone();
+        for (j, col) in self.std.cols.iter().enumerate() {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj != 0.0 {
+                for &(r, a) in col {
+                    v[r as usize] -= a * xj;
+                }
+            }
+        }
+        self.rep.ftran(&mut v);
+        for r in 0..m {
+            self.x[self.basis[r] as usize] = v[r];
+        }
+    }
+
+    /// Rebuilds the basis representation from the current basis columns.
+    fn refactor(&mut self) -> Result<(), LpError> {
+        self.rep.reset();
+        let m = self.std.m;
+        let n_struct_slack_base = self.std.n_struct;
+        // Rows whose basic variable is exactly its own slack need no pivot.
+        let mut pending: Vec<usize> = (0..m)
+            .filter(|&r| self.basis[r] as usize != n_struct_slack_base + r)
+            .collect();
+        let mut alpha = vec![0.0; m];
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut next_pending = Vec::with_capacity(pending.len());
+            for &r in &pending {
+                alpha.iter_mut().for_each(|v| *v = 0.0);
+                for &(row, a) in &self.std.cols[self.basis[r] as usize] {
+                    alpha[row as usize] = a;
+                }
+                self.rep.ftran(&mut alpha);
+                if self.rep.update(&alpha, r) {
+                    progressed = true;
+                } else {
+                    next_pending.push(r);
+                }
+            }
+            if !progressed {
+                return Err(LpError::SingularBasis);
+            }
+            pending = next_pending;
+        }
+        self.resync();
+        Ok(())
+    }
+
+    /// Reduced costs for the given objective, via btran.
+    fn pricing_vector(&self, obj: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.std.m];
+        for (r, &v) in self.basis.iter().enumerate() {
+            y[r] = obj[v as usize];
+        }
+        self.rep.btran(&mut y);
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, obj: &[f64], y: &[f64]) -> f64 {
+        let mut d = obj[j];
+        for &(r, a) in &self.std.cols[j] {
+            d -= y[r as usize] * a;
+        }
+        d
+    }
+
+    /// Chooses an entering variable; `None` means optimal for `obj`.
+    fn choose_entering(&self, obj: &[f64], y: &[f64], banned: &[usize]) -> Option<(usize, f64)> {
+        let tol = self.opt.opt_tol;
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.std.cols.len() {
+            if banned.contains(&j) {
+                continue;
+            }
+            let eligible_dir = match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+            };
+            if self.lower[j] == self.upper[j] {
+                continue; // fixed
+            }
+            let d = self.reduced_cost(j, obj, y);
+            if d * eligible_dir <= tol {
+                continue;
+            }
+            if self.bland {
+                return Some((j, d));
+            }
+            match best {
+                Some((_, bd)) if bd.abs() >= d.abs() => {}
+                _ => best = Some((j, d)),
+            }
+        }
+        best
+    }
+
+    /// One simplex step for the objective `obj`.
+    fn step(&mut self, obj: &[f64]) -> Result<StepResult, LpError> {
+        if self.rep.wants_refactor() {
+            self.refactor()?;
+        }
+        let y = self.pricing_vector(obj);
+        let mut banned: Vec<usize> = Vec::new();
+        loop {
+            let Some((j, _d)) = self.choose_entering(obj, &y, &banned) else {
+                return Ok(if banned.is_empty() {
+                    StepResult::Optimal
+                } else {
+                    // Every improving column had only unusable pivots; treat
+                    // as converged at tolerance rather than cycling forever.
+                    StepResult::Optimal
+                });
+            };
+            let sigma = match self.state[j] {
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+                VarState::Basic(_) => unreachable!(),
+            };
+
+            let m = self.std.m;
+            let mut alpha = vec![0.0; m];
+            for &(r, a) in &self.std.cols[j] {
+                alpha[r as usize] = a;
+            }
+            self.rep.ftran(&mut alpha);
+
+            // Ratio test.
+            let own_range = self.upper[j] - self.lower[j]; // may be inf
+            let mut t_min = own_range;
+            let mut leave: Option<(usize, VarState)> = None; // (row, bound hit)
+            let mut leave_pivot = 0.0f64;
+            for r in 0..m {
+                let a = alpha[r];
+                if a.abs() < 1e-11 {
+                    continue;
+                }
+                let bvar = self.basis[r] as usize;
+                let delta = -sigma * a; // change rate of basic var per unit t
+                let (t_r, hit) = if delta > 0.0 {
+                    let ub = self.upper[bvar];
+                    if !ub.is_finite() {
+                        continue;
+                    }
+                    (((ub - self.x[bvar]) / delta).max(0.0), VarState::AtUpper)
+                } else {
+                    let lb = self.lower[bvar];
+                    if !lb.is_finite() {
+                        continue;
+                    }
+                    (((lb - self.x[bvar]) / delta).max(0.0), VarState::AtLower)
+                };
+                let better = t_r < t_min - 1e-12
+                    || (t_r < t_min + 1e-12 && leave.is_some() && a.abs() > leave_pivot.abs());
+                if better || (leave.is_none() && t_r < t_min + 1e-12) {
+                    t_min = t_min.min(t_r);
+                    leave = Some((r, hit));
+                    leave_pivot = a;
+                }
+            }
+
+            if t_min.is_infinite() {
+                return Ok(StepResult::Unbounded);
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: entering travels to its opposite bound.
+                    let t = own_range;
+                    self.x[j] += sigma * t;
+                    for r in 0..m {
+                        let a = alpha[r];
+                        if a != 0.0 {
+                            let bvar = self.basis[r] as usize;
+                            self.x[bvar] -= sigma * t * a;
+                        }
+                    }
+                    self.state[j] = if sigma > 0.0 { VarState::AtUpper } else { VarState::AtLower };
+                    self.iterations += 1;
+                    return Ok(StepResult::Pivoted);
+                }
+                Some((r, hit)) => {
+                    if leave_pivot.abs() < 1e-9 {
+                        // Numerically unusable pivot; try another column.
+                        banned.push(j);
+                        if banned.len() > 40 {
+                            return Err(LpError::SingularBasis);
+                        }
+                        continue;
+                    }
+                    let t = t_min;
+                    self.x[j] += sigma * t;
+                    for rr in 0..m {
+                        let a = alpha[rr];
+                        if a != 0.0 {
+                            let bvar = self.basis[rr] as usize;
+                            self.x[bvar] -= sigma * t * a;
+                        }
+                    }
+                    let leaving = self.basis[r] as usize;
+                    // Pin the leaving variable exactly to the bound it hit.
+                    self.x[leaving] = match hit {
+                        VarState::AtLower => self.lower[leaving],
+                        VarState::AtUpper => self.upper[leaving],
+                        VarState::Basic(_) => unreachable!(),
+                    };
+                    self.state[leaving] = hit;
+                    self.basis[r] = j as u32;
+                    self.state[j] = VarState::Basic(r as u32);
+                    if !self.rep.update(&alpha, r) {
+                        return Err(LpError::SingularBasis);
+                    }
+                    self.iterations += 1;
+                    if t <= 1e-10 {
+                        self.degenerate_run += 1;
+                        if self.degenerate_run > self.opt.bland_trigger {
+                            self.bland = true;
+                        }
+                    } else {
+                        self.degenerate_run = 0;
+                        self.bland = false;
+                    }
+                    return Ok(StepResult::Pivoted);
+                }
+            }
+        }
+    }
+
+    /// Runs the simplex loop to optimality for the objective `obj`.
+    fn optimize(&mut self, obj: &[f64]) -> Result<Status, LpError> {
+        let limit = self.max_iterations();
+        let mut since_resync = 0usize;
+        loop {
+            if self.iterations >= limit {
+                return Ok(Status::IterationLimit);
+            }
+            match self.step(obj)? {
+                StepResult::Optimal => return Ok(Status::Optimal),
+                StepResult::Unbounded => return Ok(Status::Unbounded),
+                StepResult::Pivoted => {
+                    since_resync += 1;
+                    if since_resync >= self.opt.resync_period {
+                        self.resync();
+                        since_resync = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn objective(&self, obj: &[f64]) -> f64 {
+        obj.iter().zip(&self.x).map(|(c, x)| c * x).sum()
+    }
+
+    /// Pins all artificial variables to zero so phase 2 cannot revive them.
+    fn fix_artificials(&mut self, n_artificial: usize) {
+        let n_total = self.std.cols.len();
+        for j in n_total - n_artificial..n_total {
+            self.lower[j] = 0.0;
+            self.upper[j] = 0.0;
+            if !matches!(self.state[j], VarState::Basic(_)) {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = 0.0;
+            }
+        }
+    }
+}
+
+fn run<R: BasisRep>(
+    std: &Std,
+    p: &Problem,
+    opt: &SolverOptions,
+) -> Result<Solution, LpError> {
+    let mut sx = Simplex::<R>::new(std, opt);
+
+    // Phase 1: drive artificials to zero (maximize -Σ|z|; the sign of
+    // each term follows the artificial's bounded side).
+    if std.n_artificial > 0 {
+        let n_total = std.cols.len();
+        let mut obj1 = vec![0.0; n_total];
+        for j in n_total - std.n_artificial..n_total {
+            obj1[j] = if std.upper[j] == 0.0 { 1.0 } else { -1.0 };
+        }
+        let status = sx.optimize(&obj1)?;
+        let infeas = -sx.objective(&obj1);
+        if status == Status::IterationLimit {
+            return Ok(finish(p, std, &sx, Status::IterationLimit));
+        }
+        if infeas > opt.feas_tol.max(1e-6) {
+            return Ok(finish(p, std, &sx, Status::Infeasible));
+        }
+        sx.fix_artificials(std.n_artificial);
+    }
+
+    let status = sx.optimize(&std.obj)?;
+    Ok(finish(p, std, &sx, status))
+}
+
+fn finish<R: BasisRep>(p: &Problem, std: &Std, sx: &Simplex<R>, status: Status) -> Solution {
+    let x: Vec<f64> = sx.x[..std.n_struct].to_vec();
+    let raw: f64 = p.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+    let duals = if status == Status::Optimal {
+        // y = c_B B⁻¹ at the optimum; map back through the row scaling and
+        // the internal sense flip (the dual of the original problem's row
+        // r is ∂obj/∂rhs_r in the *original* sense).
+        let y = sx.pricing_vector(&std.obj);
+        let sense_mul = match p.sense {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        };
+        Some(
+            y.iter()
+                .zip(&std.row_scale)
+                .map(|(&v, &s)| v * s * sense_mul)
+                .collect(),
+        )
+    } else {
+        None
+    };
+    Solution { status, objective: raw, x, duals, iterations: sx.iterations }
+}
+
+/// Solves `p` with explicit options.
+pub fn solve_with_options(p: &Problem, opt: &SolverOptions) -> Result<Solution, LpError> {
+    p.validate()?;
+    if p.num_constraints() == 0 {
+        // Pure box problem: each variable goes to its best bound.
+        let mut x = vec![0.0; p.num_vars()];
+        let mul = if p.sense == Sense::Maximize { 1.0 } else { -1.0 };
+        let mut unbounded = false;
+        for j in 0..p.num_vars() {
+            let c = p.obj[j] * mul;
+            let target = if c > 0.0 { p.upper[j] } else if c < 0.0 { p.lower[j] } else {
+                if p.lower[j].is_finite() { p.lower[j] } else { p.upper[j] }
+            };
+            if !target.is_finite() && c != 0.0 {
+                unbounded = true;
+                x[j] = 0.0;
+            } else {
+                x[j] = if target.is_finite() { target } else { 0.0 };
+            }
+        }
+        let objective = p.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+        let status = if unbounded { Status::Unbounded } else { Status::Optimal };
+        let duals = (status == Status::Optimal).then(Vec::new);
+        return Ok(Solution { status, objective, x, duals, iterations: 0 });
+    }
+
+    let std = standardize(p);
+    let use_dense = match opt.basis {
+        BasisChoice::Dense => true,
+        BasisChoice::Eta => false,
+        BasisChoice::Auto => std.m <= opt.dense_limit,
+    };
+    if use_dense {
+        run::<DenseInverse>(&std, p, opt)
+    } else {
+        match run::<EtaFile>(&std, p, opt) {
+            Ok(sol) => Ok(sol),
+            // Sparse numerical trouble: fall back to the dense inverse.
+            Err(LpError::SingularBasis) => run::<DenseInverse>(&std, p, opt),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{Cmp, Problem, Sense};
+
+    fn solve(p: &Problem) -> Solution {
+        p.solve().expect("solve should not error")
+    }
+
+    #[test]
+    fn simple_2d_max() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 10.0, 3.0);
+        let y = p.add_var(0.0, 10.0, 2.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 4.0);
+        p.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Le, 6.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 12.0).abs() < 1e-7, "objective {}", s.objective);
+        assert!((s.value(x) - 4.0).abs() < 1e-7);
+        assert!(s.value(y).abs() < 1e-7);
+    }
+
+    #[test]
+    fn minimize_with_ge_rows_needs_phase1() {
+        // minimize x + 2y  s.t. x + y >= 3, y >= 1, 0 <= x,y <= 10
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, 10.0, 1.0);
+        let y = p.add_var(0.0, 10.0, 2.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+        p.add_constraint([(y, 1.0)], Cmp::Ge, 1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 4.0).abs() < 1e-7); // x=2, y=1
+    }
+
+    #[test]
+    fn equality_row() {
+        // maximize x + y  s.t. x + 2y = 4, x <= 2 ⇒ x=2, y=1
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 2.0, 1.0);
+        let y = p.add_var(0.0, 100.0, 1.0);
+        p.add_constraint([(x, 1.0), (y, 2.0)], Cmp::Eq, 4.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-7);
+        assert!((s.value(x) - 2.0).abs() < 1e-7);
+        assert!((s.value(y) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_infeasible_le_with_negative_residual() {
+        // Regression: a ≤ row whose residual is negative at the starting
+        // point needs a negative-side artificial (its basis column must
+        // stay +1 or the identity start is silently wrong).
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        p.add_constraint([(x, 1.0)], Cmp::Le, -1.0);
+        assert_eq!(solve(&p).status, Status::Infeasible);
+
+        // Same shape but feasible thanks to a negative-coefficient var:
+        // x - y <= -1 with y up to 3 → optimal x = 2? x - y ≤ -1, x ≤ 1:
+        // max x = 1 needs y ≥ 2 ≤ 3 ✓.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        let y = p.add_var(0.0, 3.0, 0.0);
+        p.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Le, -1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) - 1.0).abs() < 1e-7, "x = {}", s.value(x));
+        assert!(s.value(y) >= 2.0 - 1e-7);
+    }
+
+    #[test]
+    fn fixed_variables_force_infeasibility_detection() {
+        // The exact shape that exposed the artificial-sign bug: fixed
+        // variables push a ≤ row's activity above its rhs.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.6649, 1.0);
+        let f1 = p.add_var(1.9172, 1.9172, 0.0);
+        let f2 = p.add_var(1.6959, 1.6959, 0.0);
+        p.add_constraint([(x, 0.8165), (f1, -0.00732), (f2, 1.5261)], Cmp::Le, 2.3498);
+        assert_eq!(solve(&p).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, f64::INFINITY, 1.0);
+        let y = p.add_var(0.0, f64::INFINITY, 0.0);
+        // x - y <= 1 does not bound x when y can grow.
+        p.add_constraint([(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn bound_flip_only_problem() {
+        // maximize x + y with a slack-dominated row: both go to upper bounds.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 1.0, 1.0);
+        let y = p.add_var(0.0, 2.0, 1.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 100.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_constraints_box_only() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(-1.0, 5.0, 2.0);
+        let y = p.add_var(-3.0, 4.0, -1.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) - 5.0).abs() < 1e-12);
+        assert!((s.value(y) + 3.0).abs() < 1e-12);
+        assert!((s.objective - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // minimize x s.t. x >= -5 bound, x + y <= 0, y in [2, 3] → x <= -2; min x = -5.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(-5.0, 5.0, 1.0);
+        let y = p.add_var(2.0, 3.0, 0.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, 0.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.value(x) + 5.0).abs() < 1e-7);
+    }
+
+    /// Fractional knapsack has a closed-form optimum (greedy by ratio);
+    /// the LP relaxation must match it exactly.
+    fn knapsack_optimum(values: &[f64], weights: &[f64], cap: f64) -> f64 {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            (values[b] / weights[b]).partial_cmp(&(values[a] / weights[a])).unwrap()
+        });
+        let mut rem = cap;
+        let mut total = 0.0;
+        for i in idx {
+            if rem <= 0.0 {
+                break;
+            }
+            let take = weights[i].min(rem);
+            total += values[i] / weights[i] * take;
+            rem -= take;
+        }
+        total
+    }
+
+    #[test]
+    fn fractional_knapsack_matches_greedy() {
+        let values = [6.0, 10.0, 12.0, 7.0, 3.0, 9.0];
+        let weights = [1.0, 2.0, 3.0, 2.5, 0.5, 4.0];
+        for cap in [0.5, 2.0, 5.0, 9.0, 20.0] {
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> =
+                values.iter().map(|&v| p.add_var(0.0, 1.0, v)).collect();
+            p.add_constraint(
+                vars.iter().zip(&weights).map(|(&v, &w)| (v, w)),
+                Cmp::Le,
+                cap,
+            );
+            let s = solve(&p);
+            assert_eq!(s.status, Status::Optimal);
+            let expect = knapsack_optimum(&values, &weights, cap);
+            assert!(
+                (s.objective - expect).abs() < 1e-6,
+                "cap={cap}: got {} expected {expect}",
+                s.objective
+            );
+        }
+    }
+
+    #[test]
+    fn dense_and_eta_agree() {
+        let mut p = Problem::new(Sense::Maximize);
+        let n = 30;
+        let vars: Vec<_> = (0..n).map(|i| p.add_var(0.0, 1.0, ((i * 7) % 13) as f64)).collect();
+        for r in 0..20 {
+            let coeffs: Vec<_> = (0..n)
+                .filter(|i| (i + r) % 3 == 0)
+                .map(|i| (vars[i], 1.0 + ((i * r) % 5) as f64))
+                .collect();
+            p.add_constraint(coeffs, Cmp::Le, 10.0 + r as f64);
+        }
+        let d = solve_with_options(&p, &SolverOptions { basis: BasisChoice::Dense, ..Default::default() }).unwrap();
+        let e = solve_with_options(&p, &SolverOptions { basis: BasisChoice::Eta, ..Default::default() }).unwrap();
+        assert_eq!(d.status, Status::Optimal);
+        assert_eq!(e.status, Status::Optimal);
+        assert!((d.objective - e.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_transportation_like() {
+        // Highly degenerate assignment-style LP.
+        let mut p = Problem::new(Sense::Minimize);
+        let n = 4;
+        let cost = [
+            [4.0, 2.0, 5.0, 7.0],
+            [8.0, 3.0, 10.0, 8.0],
+            [1.0, 9.0, 7.0, 4.0],
+            [6.0, 5.0, 3.0, 2.0],
+        ];
+        let mut vars = vec![vec![]; n];
+        for i in 0..n {
+            for j in 0..n {
+                vars[i].push(p.add_var(0.0, 1.0, cost[i][j]));
+            }
+        }
+        for i in 0..n {
+            p.add_constraint((0..n).map(|j| (vars[i][j], 1.0)), Cmp::Eq, 1.0);
+        }
+        for j in 0..n {
+            p.add_constraint((0..n).map(|i| (vars[i][j], 1.0)), Cmp::Eq, 1.0);
+        }
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        // Optimal assignment: (0,1)=2,(1,?)… brute force over permutations:
+        let mut best = f64::INFINITY;
+        let perms = permutations(n);
+        for perm in perms {
+            let c: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            best = best.min(c);
+        }
+        assert!((s.objective - best).abs() < 1e-6, "{} vs {}", s.objective, best);
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        fn rec(cur: &mut Vec<usize>, used: &mut Vec<bool>, n: usize, out: &mut Vec<Vec<usize>>) {
+            if cur.len() == n {
+                out.push(cur.clone());
+                return;
+            }
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    cur.push(j);
+                    rec(cur, used, n, out);
+                    cur.pop();
+                    used[j] = false;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(&mut Vec::new(), &mut vec![false; n], n, &mut out);
+        out
+    }
+
+    #[test]
+    fn solution_respects_constraints_and_bounds() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 3.0, 5.0);
+        let y = p.add_var(1.0, 4.0, 4.0);
+        p.add_constraint([(x, 2.0), (y, 1.0)], Cmp::Le, 6.0);
+        p.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Le, 9.0);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        let (xv, yv) = (s.value(x), s.value(y));
+        assert!(2.0 * xv + yv <= 6.0 + 1e-7);
+        assert!(xv + 3.0 * yv <= 9.0 + 1e-7);
+        assert!((0.0..=3.0 + 1e-9).contains(&xv));
+        assert!((1.0 - 1e-9..=4.0 + 1e-9).contains(&yv));
+    }
+}

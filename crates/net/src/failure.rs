@@ -1,0 +1,114 @@
+//! Transient link failures (Section 4.4 of the paper).
+//!
+//! Permanent failures are handled by rebuilding the spanning tree and
+//! re-optimizing; transient failures are frequent and are instead folded
+//! into the cost model: "we simply increase the cost of each edge by the
+//! product of its failure probability and the extra cost incurred by
+//! re-routing". This module provides both the statistical model used by
+//! planners and the sampling hook used by the execution simulator to
+//! inject actual failures.
+
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Per-edge transient failure statistics.
+#[derive(Debug, Clone)]
+pub struct FailureModel {
+    /// Probability that a unicast on edge `e` (identified by child node)
+    /// fails and must be rerouted. Indexed by node id; the root's entry is
+    /// unused.
+    fail_prob: Vec<f64>,
+    /// Extra energy (mJ) spent rerouting one failed message around an edge.
+    reroute_penalty_mj: f64,
+}
+
+impl FailureModel {
+    /// A model in which no edge ever fails.
+    pub fn none(n: usize) -> Self {
+        FailureModel { fail_prob: vec![0.0; n], reroute_penalty_mj: 0.0 }
+    }
+
+    /// The same failure probability on every edge.
+    pub fn uniform(n: usize, prob: f64, reroute_penalty_mj: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        FailureModel { fail_prob: vec![prob; n], reroute_penalty_mj }
+    }
+
+    /// Per-edge probabilities (collected as statistics by the network).
+    pub fn per_edge(fail_prob: Vec<f64>, reroute_penalty_mj: f64) -> Self {
+        assert!(fail_prob.iter().all(|p| (0.0..=1.0).contains(p)));
+        FailureModel { fail_prob, reroute_penalty_mj }
+    }
+
+    /// Failure probability of the edge above `child`.
+    pub fn prob(&self, child: NodeId) -> f64 {
+        self.fail_prob[child.index()]
+    }
+
+    /// Extra energy charged when a message on this edge must be rerouted.
+    pub fn reroute_penalty(&self) -> f64 {
+        self.reroute_penalty_mj
+    }
+
+    /// Expected extra cost per message on the edge above `child`; planners
+    /// add this to the per-message cost (Section 4.4).
+    pub fn expected_extra_cost(&self, child: NodeId) -> f64 {
+        self.prob(child) * self.reroute_penalty_mj
+    }
+
+    /// Samples whether a message on the edge above `child` fails.
+    pub fn sample_failure(&self, child: NodeId, rng: &mut StdRng) -> bool {
+        let p = self.prob(child);
+        p > 0.0 && rng.random_bool(p)
+    }
+
+    /// True when the model can never produce a failure.
+    pub fn is_trivial(&self) -> bool {
+        self.fail_prob.iter().all(|&p| p == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_fails() {
+        let m = FailureModel::none(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.is_trivial());
+        for _ in 0..100 {
+            assert!(!m.sample_failure(NodeId(2), &mut rng));
+        }
+        assert_eq!(m.expected_extra_cost(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn uniform_sampling_matches_probability() {
+        let m = FailureModel::uniform(4, 0.3, 2.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let fails = (0..trials).filter(|_| m.sample_failure(NodeId(1), &mut rng)).count();
+        let rate = fails as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "observed rate {rate}");
+        assert!((m.expected_extra_cost(NodeId(1)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_edge_probabilities() {
+        let m = FailureModel::per_edge(vec![0.0, 0.5, 1.0], 1.0);
+        assert_eq!(m.prob(NodeId(0)), 0.0);
+        assert_eq!(m.prob(NodeId(2)), 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(m.sample_failure(NodeId(2), &mut rng));
+        assert!(!m.sample_failure(NodeId(0), &mut rng));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_probability() {
+        FailureModel::uniform(2, 1.5, 0.0);
+    }
+}

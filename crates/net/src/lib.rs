@@ -1,0 +1,29 @@
+//! Sensor-network substrate for the Prospector reproduction.
+//!
+//! This crate models the parts of a wireless sensor network that the paper's
+//! evaluation depends on:
+//!
+//! * [`topology`] — the routing spanning tree (parents, children, depths,
+//!   subtree queries) over which every query plan is expressed;
+//! * [`placement`] — random node placement in a rectangular field and
+//!   min-hop (BFS) spanning-tree construction under a radio-range limit,
+//!   plus the contention-zone layout of Section 5 and synthetic layouts for
+//!   tests;
+//! * [`energy`] — the MICA2-style communication cost model (per-message
+//!   handshake/header cost `c_m`, per-byte cost `c_b`) of Section 2;
+//! * [`meter`] — per-node, per-phase energy accounting;
+//! * [`failure`] — the transient link-failure model of Section 4.4.
+
+pub mod energy;
+pub mod failure;
+pub mod meter;
+pub mod node;
+pub mod placement;
+pub mod topology;
+
+pub use energy::EnergyModel;
+pub use failure::FailureModel;
+pub use meter::{EnergyMeter, Phase};
+pub use node::NodeId;
+pub use placement::{Network, NetworkBuilder, Position, ZoneLayout};
+pub use topology::{Topology, TopologyError};

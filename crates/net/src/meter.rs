@@ -1,0 +1,143 @@
+//! Per-node, per-phase energy accounting.
+
+use crate::node::NodeId;
+
+/// Query-processing phase an energy charge belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Installing a plan (initial distribution phase).
+    PlanInstall,
+    /// Triggering re-execution (subsequent distribution phases).
+    Trigger,
+    /// Routing values up to the root.
+    Collection,
+    /// Exact algorithm's mop-up phase.
+    MopUp,
+    /// Full-network sweeps that feed the sample window.
+    Sampling,
+    /// Retransmissions/rerouting after transient failures.
+    Rerouting,
+}
+
+const NUM_PHASES: usize = 6;
+
+fn phase_index(p: Phase) -> usize {
+    match p {
+        Phase::PlanInstall => 0,
+        Phase::Trigger => 1,
+        Phase::Collection => 2,
+        Phase::MopUp => 3,
+        Phase::Sampling => 4,
+        Phase::Rerouting => 5,
+    }
+}
+
+/// Accumulates energy charges attributed to nodes and phases.
+///
+/// A charge on an edge is attributed to the *child* node (the sender); the
+/// receiver's share is already folded into the cost model's per-byte and
+/// per-message figures.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    per_node: Vec<f64>,
+    per_phase: [f64; NUM_PHASES],
+    total: f64,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for a network of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        EnergyMeter { per_node: vec![0.0; n], per_phase: [0.0; NUM_PHASES], total: 0.0 }
+    }
+
+    /// Charges `mj` millijoules to `node` under `phase`.
+    pub fn charge(&mut self, node: NodeId, phase: Phase, mj: f64) {
+        debug_assert!(mj >= 0.0, "negative energy charge");
+        self.per_node[node.index()] += mj;
+        self.per_phase[phase_index(phase)] += mj;
+        self.total += mj;
+    }
+
+    /// Total energy consumed so far (mJ).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Energy consumed by one node (mJ).
+    pub fn node_total(&self, node: NodeId) -> f64 {
+        self.per_node[node.index()]
+    }
+
+    /// Energy consumed under one phase (mJ).
+    pub fn phase_total(&self, phase: Phase) -> f64 {
+        self.per_phase[phase_index(phase)]
+    }
+
+    /// The node that has spent the most energy, with its total; `None` for
+    /// an empty network. Network lifetime is governed by this node.
+    pub fn hottest_node(&self) -> Option<(NodeId, f64)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("energy totals are finite"))
+            .map(|(i, &e)| (NodeId::from_index(i), e))
+    }
+
+    /// Adds all of `other`'s charges into `self`.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        assert_eq!(self.per_node.len(), other.per_node.len());
+        for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
+            *a += b;
+        }
+        for (a, b) in self.per_phase.iter_mut().zip(&other.per_phase) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.per_node.iter_mut().for_each(|v| *v = 0.0);
+        self.per_phase.iter_mut().for_each(|v| *v = 0.0);
+        self.total = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_by_node_and_phase() {
+        let mut m = EnergyMeter::new(3);
+        m.charge(NodeId(0), Phase::Collection, 1.5);
+        m.charge(NodeId(1), Phase::Collection, 2.0);
+        m.charge(NodeId(1), Phase::Trigger, 0.5);
+        assert!((m.total() - 4.0).abs() < 1e-12);
+        assert!((m.node_total(NodeId(1)) - 2.5).abs() < 1e-12);
+        assert!((m.phase_total(Phase::Collection) - 3.5).abs() < 1e-12);
+        assert_eq!(m.hottest_node().unwrap().0, NodeId(1));
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = EnergyMeter::new(2);
+        let mut b = EnergyMeter::new(2);
+        a.charge(NodeId(0), Phase::Sampling, 1.0);
+        b.charge(NodeId(1), Phase::MopUp, 2.0);
+        a.merge(&b);
+        assert!((a.total() - 3.0).abs() < 1e-12);
+        assert!((a.phase_total(Phase::MopUp) - 2.0).abs() < 1e-12);
+        a.reset();
+        assert_eq!(a.total(), 0.0);
+        assert_eq!(a.node_total(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_requires_same_size() {
+        let mut a = EnergyMeter::new(2);
+        let b = EnergyMeter::new(3);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,47 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a sensor node; also indexes every per-node vector in the
+/// workspace. Edges of the routing tree are identified by their *child*
+/// node (the root has no edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Position of the node in per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a vector index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(n.to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_follows_raw_id() {
+        assert!(NodeId(3) < NodeId(10));
+    }
+}

@@ -1,0 +1,390 @@
+//! The routing spanning tree.
+//!
+//! Following Section 2 of the paper, the network is organized as a spanning
+//! tree rooted at the query station. Every query plan is an assignment of
+//! bandwidth to tree edges; an edge is identified by its child node.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors detected while building a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The root node must have `parent == None`.
+    RootHasParent(NodeId),
+    /// A non-root node is missing a parent.
+    MissingParent(NodeId),
+    /// A parent index is out of range.
+    ParentOutOfRange { node: NodeId, parent: NodeId },
+    /// The parent pointers contain a cycle or a component detached from the
+    /// root.
+    NotATree,
+    /// The node set is empty.
+    Empty,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::RootHasParent(n) => write!(f, "root {n} has a parent"),
+            TopologyError::MissingParent(n) => write!(f, "non-root node {n} has no parent"),
+            TopologyError::ParentOutOfRange { node, parent } => {
+                write!(f, "node {node} has out-of-range parent {parent}")
+            }
+            TopologyError::NotATree => write!(f, "parent pointers do not form a tree"),
+            TopologyError::Empty => write!(f, "topology has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Rooted spanning tree over `n` nodes with precomputed traversal orders
+/// and subtree metadata.
+///
+/// ```
+/// use prospector_net::{NodeId, Topology};
+///
+/// // 0 <- 1 <- 2 plus 0 <- 3
+/// let t = Topology::from_parents(
+///     NodeId(0),
+///     vec![None, Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(0))],
+/// ).unwrap();
+/// assert_eq!(t.subtree_size(NodeId(1)), 2);
+/// assert_eq!(t.depth(NodeId(2)), 2);
+/// assert_eq!(t.edges_to_root(NodeId(2)).count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    /// Nodes in an order where every child precedes its parent.
+    post_order: Vec<NodeId>,
+    subtree_size: Vec<u32>,
+}
+
+impl Topology {
+    /// Builds a topology from parent pointers. `parent[root] == None`,
+    /// every other entry points at the node's parent.
+    pub fn from_parents(root: NodeId, parent: Vec<Option<NodeId>>) -> Result<Self, TopologyError> {
+        let n = parent.len();
+        if n == 0 {
+            return Err(TopologyError::Empty);
+        }
+        if parent[root.index()].is_some() {
+            return Err(TopologyError::RootHasParent(root));
+        }
+        let mut children = vec![Vec::new(); n];
+        for (i, p) in parent.iter().enumerate() {
+            let node = NodeId::from_index(i);
+            match p {
+                None if node != root => return Err(TopologyError::MissingParent(node)),
+                None => {}
+                Some(p) => {
+                    if p.index() >= n {
+                        return Err(TopologyError::ParentOutOfRange { node, parent: *p });
+                    }
+                    children[p.index()].push(node);
+                }
+            }
+        }
+
+        // BFS from the root verifies connectivity/acyclicity and yields the
+        // level order; reversing it gives a valid post order (children
+        // before parents).
+        let mut order = Vec::with_capacity(n);
+        let mut depth = vec![0u32; n];
+        order.push(root);
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &c in &children[u.index()] {
+                depth[c.index()] = depth[u.index()] + 1;
+                order.push(c);
+            }
+        }
+        if order.len() != n {
+            return Err(TopologyError::NotATree);
+        }
+        let post_order: Vec<NodeId> = order.iter().rev().copied().collect();
+
+        let mut subtree_size = vec![1u32; n];
+        for &u in &post_order {
+            if let Some(p) = parent[u.index()] {
+                subtree_size[p.index()] += subtree_size[u.index()];
+            }
+        }
+
+        Ok(Topology { root, parent, children, depth, post_order, subtree_size })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree has no nodes (never true for a built topology).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node (the query station).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `n`, or `None` for the root.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent[n.index()]
+    }
+
+    /// Children of `n`.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.children[n.index()]
+    }
+
+    /// Number of tree edges between `n` and the root; this also equals the
+    /// number of edges a value from `n` crosses to reach the query station.
+    pub fn depth(&self, n: NodeId) -> u32 {
+        self.depth[n.index()]
+    }
+
+    /// Height of the tree (max depth).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// True when `n` has no children.
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        self.children[n.index()].is_empty()
+    }
+
+    /// Nodes in post order (every child precedes its parent); collection
+    /// phases traverse this order.
+    pub fn post_order(&self) -> &[NodeId] {
+        &self.post_order
+    }
+
+    /// Nodes in level (BFS) order; distribution phases traverse this order.
+    pub fn level_order(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.post_order.iter().rev().copied()
+    }
+
+    /// Number of nodes in the subtree rooted at `n` (including `n`).
+    pub fn subtree_size(&self, n: NodeId) -> usize {
+        self.subtree_size[n.index()] as usize
+    }
+
+    /// Path of nodes from `n` to the root, inclusive on both ends.
+    pub fn path_to_root(&self, n: NodeId) -> PathToRoot<'_> {
+        PathToRoot { topo: self, cur: Some(n) }
+    }
+
+    /// Edges (identified by child node) crossed by a value travelling from
+    /// `n` to the root: `n`, `parent(n)`, … down to the child of the root.
+    pub fn edges_to_root(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.path_to_root(n).filter(move |&u| u != self.root)
+    }
+
+    /// All nodes of the subtree rooted at `n` (preorder).
+    pub fn subtree(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.subtree_size(n));
+        let mut stack = vec![n];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend_from_slice(&self.children[u.index()]);
+        }
+        out
+    }
+
+    /// True when `anc` lies on the path from `node` to the root
+    /// (`anc == node` counts).
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        self.path_to_root(node).any(|u| u == anc)
+    }
+
+    /// Total number of edges (`len() - 1`).
+    pub fn num_edges(&self) -> usize {
+        self.len() - 1
+    }
+
+    /// Iterates over all edges, identified by their child node.
+    pub fn edges(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u32).map(NodeId).filter(move |&n| n != self.root)
+    }
+}
+
+/// Iterator for [`Topology::path_to_root`].
+pub struct PathToRoot<'a> {
+    topo: &'a Topology,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for PathToRoot<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.cur?;
+        self.cur = self.topo.parent(cur);
+        Some(cur)
+    }
+}
+
+/// Builds a chain `0 ← 1 ← 2 ← …` rooted at node 0 (each node's parent is
+/// its predecessor). Useful in tests.
+pub fn chain(n: usize) -> Topology {
+    let parent = (0..n)
+        .map(|i| if i == 0 { None } else { Some(NodeId::from_index(i - 1)) })
+        .collect();
+    Topology::from_parents(NodeId(0), parent).expect("chain is a valid tree")
+}
+
+/// Builds a star: node 0 is the root, all others are its children.
+pub fn star(n: usize) -> Topology {
+    let parent = (0..n).map(|i| if i == 0 { None } else { Some(NodeId(0)) }).collect();
+    Topology::from_parents(NodeId(0), parent).expect("star is a valid tree")
+}
+
+/// Builds a complete `fanout`-ary tree of the given `depth` (depth 0 = just
+/// the root). Node 0 is the root; children are allocated level by level.
+pub fn balanced(fanout: usize, depth: usize) -> Topology {
+    assert!(fanout >= 1);
+    let mut parent: Vec<Option<NodeId>> = vec![None];
+    let mut level: Vec<usize> = vec![0];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &p in &level {
+            for _ in 0..fanout {
+                let id = parent.len();
+                parent.push(Some(NodeId::from_index(p)));
+                next.push(id);
+            }
+        }
+        level = next;
+    }
+    Topology::from_parents(NodeId(0), parent).expect("balanced tree is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let t = chain(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(t.depth(NodeId(3)), 3);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.subtree_size(NodeId(1)), 3);
+        assert_eq!(t.num_edges(), 3);
+        let path: Vec<_> = t.path_to_root(NodeId(3)).collect();
+        assert_eq!(path, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+        let edges: Vec<_> = t.edges_to_root(NodeId(3)).collect();
+        assert_eq!(edges, vec![NodeId(3), NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(5);
+        assert_eq!(t.children(NodeId(0)).len(), 4);
+        assert!(t.is_leaf(NodeId(4)));
+        assert!(!t.is_leaf(NodeId(0)));
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.subtree_size(NodeId(0)), 5);
+    }
+
+    #[test]
+    fn balanced_counts() {
+        let t = balanced(2, 3);
+        assert_eq!(t.len(), 1 + 2 + 4 + 8);
+        assert_eq!(t.height(), 3);
+        // all leaves at depth 3
+        let leaves = (0..t.len()).filter(|&i| t.is_leaf(NodeId::from_index(i))).count();
+        assert_eq!(leaves, 8);
+    }
+
+    #[test]
+    fn post_order_children_before_parents() {
+        let t = balanced(3, 2);
+        let mut seen = vec![false; t.len()];
+        for &u in t.post_order() {
+            for &c in t.children(u) {
+                assert!(seen[c.index()], "child {c} must precede parent {u}");
+            }
+            seen[u.index()] = true;
+        }
+    }
+
+    #[test]
+    fn subtree_contents() {
+        let t = chain(5);
+        let mut sub = t.subtree(NodeId(2));
+        sub.sort();
+        assert_eq!(sub, vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn is_ancestor_works() {
+        let t = chain(4);
+        assert!(t.is_ancestor(NodeId(1), NodeId(3)));
+        assert!(t.is_ancestor(NodeId(3), NodeId(3)));
+        assert!(!t.is_ancestor(NodeId(3), NodeId(1)));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // 0 is root; 1 and 2 point at each other.
+        let parent = vec![None, Some(NodeId(2)), Some(NodeId(1))];
+        assert_eq!(
+            Topology::from_parents(NodeId(0), parent).unwrap_err(),
+            TopologyError::NotATree
+        );
+    }
+
+    #[test]
+    fn rejects_missing_parent() {
+        let parent = vec![None, None];
+        assert_eq!(
+            Topology::from_parents(NodeId(0), parent).unwrap_err(),
+            TopologyError::MissingParent(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_root_with_parent() {
+        let parent = vec![Some(NodeId(1)), None];
+        assert_eq!(
+            Topology::from_parents(NodeId(0), parent).unwrap_err(),
+            TopologyError::RootHasParent(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_parent() {
+        let parent = vec![None, Some(NodeId(9))];
+        assert!(matches!(
+            Topology::from_parents(NodeId(0), parent),
+            Err(TopologyError::ParentOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Topology::from_parents(NodeId(0), vec![]).unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn level_order_is_reverse_post_order() {
+        let t = balanced(2, 2);
+        let lvl: Vec<_> = t.level_order().collect();
+        assert_eq!(lvl[0], t.root());
+        let mut rev = t.post_order().to_vec();
+        rev.reverse();
+        assert_eq!(lvl, rev);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the network substrate: every random placement
+//! that builds must satisfy the topology invariants the planners rely on.
+
+use proptest::prelude::*;
+use prospector_net::topology::{balanced, chain, star};
+use prospector_net::{NetworkBuilder, NodeId, Topology};
+
+fn check_invariants(t: &Topology) {
+    let n = t.len();
+    // Subtree sizes sum correctly: root's subtree is everything.
+    assert_eq!(t.subtree_size(t.root()), n);
+    // Each node's subtree size = 1 + children's.
+    for i in 0..n {
+        let u = NodeId::from_index(i);
+        let from_children: usize =
+            t.children(u).iter().map(|&c| t.subtree_size(c)).sum::<usize>() + 1;
+        assert_eq!(t.subtree_size(u), from_children);
+        // depth(child) = depth(parent) + 1
+        for &c in t.children(u) {
+            assert_eq!(t.depth(c), t.depth(u) + 1);
+        }
+        // path_to_root terminates at the root and has depth+1 nodes.
+        let path: Vec<NodeId> = t.path_to_root(u).collect();
+        assert_eq!(path.len() as u32, t.depth(u) + 1);
+        assert_eq!(*path.last().unwrap(), t.root());
+        // edges_to_root excludes the root.
+        assert_eq!(t.edges_to_root(u).count() as u32, t.depth(u));
+    }
+    // Post order covers every node exactly once.
+    let mut seen = vec![false; n];
+    for &u in t.post_order() {
+        assert!(!seen[u.index()], "duplicate in post order");
+        seen[u.index()] = true;
+    }
+    assert!(seen.iter().all(|&s| s));
+    // Subtrees partition under siblings.
+    for i in 0..n {
+        let u = NodeId::from_index(i);
+        let kids = t.children(u);
+        let total: usize = kids.iter().map(|&c| t.subtree(c).len()).sum();
+        assert_eq!(total + 1, t.subtree_size(u));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_placements_yield_valid_topologies(
+        n in 5usize..80,
+        seed in 0u64..500,
+    ) {
+        let side = 40.0 * (n as f64).sqrt();
+        if let Ok(net) = NetworkBuilder::new(n, side, side, 70.0).seed(seed).build() {
+            prop_assert_eq!(net.len(), n);
+            check_invariants(&net.topology);
+            // Every edge respects the radio range.
+            for e in net.topology.edges() {
+                let p = net.topology.parent(e).unwrap();
+                let d = net.positions[e.index()].distance(&net.positions[p.index()]);
+                prop_assert!(d <= 70.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn random_parent_arrays_yield_valid_topologies(
+        parents in proptest::collection::vec(0u32..30, 1..30),
+    ) {
+        // Parent of node i+1 drawn from 0..=i: always a tree.
+        let n = parents.len() + 1;
+        let mut arr: Vec<Option<NodeId>> = vec![None];
+        for (i, &p) in parents.iter().enumerate() {
+            arr.push(Some(NodeId(p % (i as u32 + 1))));
+        }
+        let t = Topology::from_parents(NodeId(0), arr).unwrap();
+        prop_assert_eq!(t.len(), n);
+        check_invariants(&t);
+    }
+}
+
+#[test]
+fn synthetic_shapes_pass_invariants() {
+    for t in [chain(1), chain(7), star(9), balanced(2, 4), balanced(4, 2)] {
+        check_invariants(&t);
+    }
+}

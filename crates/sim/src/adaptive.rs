@@ -1,0 +1,267 @@
+//! Adaptive re-sampling (Section 4.4, "Re-sampling").
+//!
+//! "When to re-sample depends on how confident we are in the accuracy of
+//! the current model for predicting top k. This confidence can be measured
+//! by periodically running ProspectorProof or ProspectorExact (instead of
+//! Prospectors without proofs), which can tell us the accuracy of our
+//! approximate solutions. If the accuracy is not acceptable, the rate of
+//! re-sampling is increased."
+//!
+//! The loop here runs an approximate plan epoch by epoch; every
+//! `audit_every` epochs it spends a two-phase **exact** execution (whose
+//! answer is ground truth *and* doubles as a fresh sample) to measure the
+//! current plan's real accuracy, then adapts the sampling period: halve it
+//! when accuracy is below the floor, lengthen it when comfortably above.
+
+use crate::exact_exec::run_exact;
+use crate::exec::execute_plan;
+use prospector_core::{exact::ExactConfig, Plan, PlanContext, PlanError, Planner};
+use prospector_data::{SampleSet, ValueSource};
+use prospector_net::{EnergyMeter, EnergyModel, NodeId, Phase, Topology};
+
+/// Configuration of the adaptive loop.
+pub struct AdaptiveConfig {
+    /// Top-k parameter.
+    pub k: usize,
+    /// Sample-window capacity.
+    pub window: usize,
+    /// Budget per approximate collection.
+    pub budget_mj: f64,
+    /// Epochs of mandatory initial sampling.
+    pub warmup: u64,
+    /// Run the exact audit every this many epochs.
+    pub audit_every: u64,
+    /// Adapt downward when measured accuracy falls below this.
+    pub accuracy_floor: f64,
+    /// Initial / minimum / maximum sampling period.
+    pub initial_period: u64,
+    pub min_period: u64,
+    pub max_period: u64,
+    /// Phase-1 budget multiplier (over the minimum proof cost) for audits.
+    pub audit_budget_factor: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            k: 5,
+            window: 16,
+            budget_mj: 30.0,
+            warmup: 8,
+            audit_every: 16,
+            accuracy_floor: 0.8,
+            initial_period: 12,
+            min_period: 2,
+            max_period: 48,
+            audit_budget_factor: 1.2,
+        }
+    }
+}
+
+/// One epoch of the adaptive loop.
+#[derive(Debug, Clone)]
+pub struct AdaptiveEpoch {
+    pub epoch: u64,
+    /// The sampling period in force this epoch.
+    pub period: u64,
+    /// What the epoch was spent on.
+    pub kind: AdaptiveAction,
+    /// True accuracy of the delivered answer (1.0 for sweeps/audits).
+    pub accuracy: f64,
+    /// Energy spent this epoch (mJ).
+    pub energy_mj: f64,
+}
+
+/// What an adaptive epoch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveAction {
+    /// Full sweep feeding the window.
+    Sample,
+    /// Exact two-phase audit: measures the plan's real accuracy.
+    Audit,
+    /// Ordinary approximate query.
+    Query,
+}
+
+/// Runs the adaptive loop for `epochs` epochs.
+pub fn run_adaptive<S: ValueSource>(
+    topology: &Topology,
+    energy: &EnergyModel,
+    planner: &dyn Planner,
+    source: &mut S,
+    config: &AdaptiveConfig,
+    epochs: u64,
+) -> Result<(Vec<AdaptiveEpoch>, EnergyMeter), PlanError> {
+    let n = topology.len();
+    let mut samples = SampleSet::new(n, config.k, config.window);
+    let mut meter = EnergyMeter::new(n);
+    let mut period = config.initial_period.clamp(config.min_period, config.max_period);
+    let mut since_sample = 0u64;
+    let mut plan: Option<Plan> = None;
+    let mut reports = Vec::with_capacity(epochs as usize);
+
+    for epoch in 0..epochs {
+        let values = source.values(epoch);
+        let truth = prospector_data::top_k_nodes(&values, config.k);
+
+        // Mandatory warmup and period-driven sweeps.
+        if epoch < config.warmup || since_sample >= period {
+            let sweep = Plan::full_sweep(topology);
+            let r = execute_plan(&sweep, topology, energy, &values, config.k, None);
+            charge_as(&mut meter, &r.meter, topology, Phase::Sampling);
+            samples.push(values);
+            since_sample = 0;
+            plan = None; // stale: replan on next query epoch
+            reports.push(AdaptiveEpoch {
+                epoch,
+                period,
+                kind: AdaptiveAction::Sample,
+                accuracy: 1.0,
+                energy_mj: r.total_mj(),
+            });
+            continue;
+        }
+        since_sample += 1;
+
+        // Plan lazily against the current window.
+        if plan.is_none() {
+            let ctx = PlanContext::new(topology, energy, &samples, config.budget_mj);
+            let p = planner.plan(&ctx)?;
+            meter.merge(&crate::dissemination::install_plan(&p, topology, energy));
+            plan = Some(p);
+        }
+        let current = plan.as_ref().expect("planned above");
+
+        // Periodic exact audit: measures the plan's *true* accuracy and
+        // feeds the window with its (exact) answer epoch.
+        if config.audit_every > 0 && epoch % config.audit_every == 0 {
+            let approx = execute_plan(current, topology, energy, &values, config.k, None);
+            let hits =
+                approx.answer.iter().filter(|r| truth.contains(&r.node)).count();
+            let measured = hits as f64 / config.k as f64;
+
+            let probe = PlanContext::new(topology, energy, &samples, 1.0);
+            let cfg = ExactConfig {
+                phase1_budget_mj: probe.min_proof_cost() * config.audit_budget_factor,
+            };
+            let ctx = PlanContext::new(topology, energy, &samples, cfg.phase1_budget_mj);
+            let phase1 = cfg.plan_phase1(&ctx)?;
+            let exact = run_exact(&phase1, topology, energy, &values, config.k, None);
+            charge_as(&mut meter, &exact.meter, topology, Phase::Sampling);
+            charge_as(&mut meter, &approx.meter, topology, Phase::Collection);
+
+            // Adapt the sampling rate.
+            period = if measured < config.accuracy_floor {
+                (period / 2).max(config.min_period)
+            } else {
+                (period + period / 4 + 1).min(config.max_period)
+            };
+            // The exact answer also makes a (partial) sample: a full value
+            // vector is only known for sweep epochs, so audits only reset
+            // staleness pressure rather than pushing to the window.
+            reports.push(AdaptiveEpoch {
+                epoch,
+                period,
+                kind: AdaptiveAction::Audit,
+                accuracy: measured,
+                energy_mj: exact.total_mj() + approx.total_mj(),
+            });
+            continue;
+        }
+
+        // Ordinary approximate query.
+        let r = execute_plan(current, topology, energy, &values, config.k, None);
+        meter.merge(&r.meter);
+        let hits = r.answer.iter().filter(|x| truth.contains(&x.node)).count();
+        reports.push(AdaptiveEpoch {
+            epoch,
+            period,
+            kind: AdaptiveAction::Query,
+            accuracy: hits as f64 / config.k as f64,
+            energy_mj: r.total_mj(),
+        });
+    }
+
+    Ok((reports, meter))
+}
+
+/// Re-attributes all of `src`'s charges under one phase.
+fn charge_as(dst: &mut EnergyMeter, src: &EnergyMeter, topology: &Topology, phase: Phase) {
+    for i in 0..topology.len() {
+        let node = NodeId::from_index(i);
+        let mj = src.node_total(node);
+        if mj > 0.0 {
+            dst.charge(node, phase, mj);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_core::ProspectorGreedy;
+    use prospector_data::{IndependentGaussian, RandomWalk};
+    use prospector_net::topology::balanced;
+
+    fn avg_period_tail(reports: &[AdaptiveEpoch]) -> f64 {
+        let tail = &reports[reports.len() / 2..];
+        tail.iter().map(|r| r.period as f64).sum::<f64>() / tail.len() as f64
+    }
+
+    #[test]
+    fn stable_source_lengthens_sampling_period() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let mut src = IndependentGaussian::random(t.len(), 40.0..60.0, 0.2..0.5, 3);
+        let cfg = AdaptiveConfig { budget_mj: 40.0, ..Default::default() };
+        let (reports, _) =
+            run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 120).unwrap();
+        assert!(
+            avg_period_tail(&reports) > cfg.initial_period as f64,
+            "stable data should earn a longer sampling period"
+        );
+    }
+
+    #[test]
+    fn drifting_source_shortens_sampling_period() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        // Strong drift plus a tight budget: the plan can only cover a
+        // subset of nodes, and drift moves the top-k out from under it.
+        let mut src = RandomWalk::new(t.len(), 50.0, 5.0, 4.0, 0.0, 9);
+        let cfg = AdaptiveConfig {
+            budget_mj: 9.0,
+            accuracy_floor: 0.9,
+            audit_every: 8,
+            ..Default::default()
+        };
+        let (reports, _) =
+            run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 120).unwrap();
+        assert!(
+            avg_period_tail(&reports) < cfg.initial_period as f64,
+            "drifting data should force more frequent sampling (avg {})",
+            avg_period_tail(&reports)
+        );
+    }
+
+    #[test]
+    fn all_epochs_accounted() {
+        let t = balanced(2, 3);
+        let em = EnergyModel::mica2();
+        let mut src = IndependentGaussian::random(t.len(), 0.0..10.0, 0.5..1.0, 1);
+        let cfg = AdaptiveConfig::default();
+        let (reports, meter) =
+            run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 60).unwrap();
+        assert_eq!(reports.len(), 60);
+        assert!(meter.total() > 0.0);
+        assert!(reports.iter().any(|r| r.kind == AdaptiveAction::Sample));
+        assert!(reports.iter().any(|r| r.kind == AdaptiveAction::Audit));
+        assert!(reports.iter().any(|r| r.kind == AdaptiveAction::Query));
+        // Energy per epoch is recorded and positive for sweeps.
+        for r in &reports {
+            if r.kind == AdaptiveAction::Sample {
+                assert!(r.energy_mj > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The initial distribution phase: installing a plan in the network.
+//!
+//! "Each node sends a subplan to each of its children using a unicast
+//! message." Only nodes participating in the plan need subplans, and the
+//! paper notes this cost is on the order of one collection phase but is
+//! amortized over many executions of the same plan.
+
+use prospector_core::Plan;
+use prospector_net::{EnergyMeter, EnergyModel, Phase, Topology};
+
+/// Charges the plan-installation unicasts (one per used edge) and returns
+/// the meter.
+pub fn install_plan(plan: &Plan, topology: &Topology, energy: &EnergyModel) -> EnergyMeter {
+    let mut meter = EnergyMeter::new(topology.len());
+    for e in topology.edges() {
+        if plan.is_used(e) {
+            meter.charge(e, Phase::PlanInstall, energy.subplan_install());
+        }
+    }
+    meter
+}
+
+/// Total energy (mJ) to install the plan.
+pub fn install_cost(plan: &Plan, topology: &Topology, energy: &EnergyModel) -> f64 {
+    install_plan(plan, topology, energy).total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_net::topology::star;
+    use prospector_net::NodeId;
+
+    #[test]
+    fn only_used_edges_pay() {
+        let t = star(4);
+        let em = EnergyModel::mica2();
+        let mut p = Plan::empty(4);
+        p.set_bandwidth(NodeId(1), 1);
+        p.set_bandwidth(NodeId(3), 1);
+        let cost = install_cost(&p, &t, &em);
+        assert!((cost - 2.0 * em.subplan_install()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn install_on_naive_k_is_order_of_collection() {
+        // The paper: installation "is on the order of the cost of one
+        // collection phase".
+        let t = star(30);
+        let em = EnergyModel::mica2();
+        let p = Plan::naive_k(&t, 5);
+        let install = install_cost(&p, &t, &em);
+        let collection: f64 =
+            t.edges().map(|e| em.unicast_values(p.bandwidth(e) as usize)).sum();
+        assert!(install > 0.3 * collection && install < 3.0 * collection);
+    }
+}

@@ -1,0 +1,315 @@
+//! `ProspectorExact`: the two-phase exact algorithm (Section 4.3).
+//!
+//! Phase 1 executes a proof-carrying plan. If the root proves all k answer
+//! values, done. Otherwise the **mop-up** phase walks the tree with
+//! range-bounded requests `(t, l, u)` — "return the top `t` values at or
+//! below this node within the open range `(l, u)`" — using the
+//! `retrieved`/`proven` state every node kept from phase 1 to prune both
+//! the request count `t` and the range at every hop.
+
+use crate::exec::{execute_proof_plan, ExecutionReport};
+use prospector_core::{Plan, ProofOutcome};
+use prospector_data::Reading;
+use prospector_net::{EnergyMeter, EnergyModel, FailureModel, NodeId, Phase, Topology};
+use rand::rngs::StdRng;
+use std::cmp::Ordering;
+
+/// Result of a full two-phase exact execution.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// The exact top-k answer.
+    pub answer: Vec<Reading>,
+    /// Energy spent by the proof-carrying phase 1 (mJ).
+    pub phase1_mj: f64,
+    /// Energy spent by the mop-up phase 2 (mJ, zero when phase 1 proved
+    /// everything).
+    pub phase2_mj: f64,
+    /// Whether the mop-up phase ran at all.
+    pub mopup_ran: bool,
+    /// Merged per-node meter across both phases.
+    pub meter: EnergyMeter,
+}
+
+impl ExactResult {
+    /// Total energy across both phases.
+    pub fn total_mj(&self) -> f64 {
+        self.phase1_mj + self.phase2_mj
+    }
+}
+
+/// An open rank-interval `(lower, upper)`: a reading qualifies when it
+/// ranks strictly better than `lower` and strictly worse than `upper`
+/// (`None` = unbounded). "Better" means larger value (ties by node id).
+#[derive(Debug, Clone, Copy)]
+struct Range {
+    lower: Option<Reading>,
+    upper: Option<Reading>,
+}
+
+impl Range {
+    fn contains(&self, v: &Reading) -> bool {
+        self.lower.is_none_or(|l| v.rank_cmp(&l) == Ordering::Less)
+            && self.upper.is_none_or(|u| v.rank_cmp(&u) == Ordering::Greater)
+    }
+
+    /// True when some reading could lie strictly between the bounds.
+    fn is_nonempty(&self) -> bool {
+        match (self.lower, self.upper) {
+            (Some(l), Some(u)) => u.rank_cmp(&l) == Ordering::Less,
+            _ => true,
+        }
+    }
+}
+
+struct MopupState {
+    /// Rank-sorted known readings per node (phase-1 `retrieved`, extended
+    /// by mop-up responses).
+    retrieved: Vec<Vec<Reading>>,
+    /// Rank-sorted proven readings per node (fixed after phase 1).
+    proven: Vec<Vec<Reading>>,
+}
+
+/// Merges `extra` into the rank-sorted `list`, deduplicating by node.
+fn merge_readings(list: &mut Vec<Reading>, extra: &[Reading]) {
+    for v in extra {
+        if !list.iter().any(|x| x.node == v.node) {
+            list.push(*v);
+        }
+    }
+    list.sort_unstable_by(Reading::rank_cmp);
+}
+
+/// Services a `(t, range)` request at node `u` (Section 4.3 steps 1–3);
+/// returns the top `t` known values of `subtree(u)` within the range.
+fn mopup(
+    u: NodeId,
+    t: usize,
+    range: Range,
+    topology: &Topology,
+    energy: &EnergyModel,
+    state: &mut MopupState,
+    meter: &mut EnergyMeter,
+) -> Vec<Reading> {
+    // Step 2a: proven values in range already service part of the request.
+    let proven_in_range =
+        state.proven[u.index()].iter().filter(|v| range.contains(v)).count();
+    let t_fwd = t.saturating_sub(proven_in_range);
+
+    // Step 2b: tighten the lower bound to the t-th known in-range value —
+    // anything new must beat it to matter.
+    let in_range: Vec<Reading> = state.retrieved[u.index()]
+        .iter()
+        .copied()
+        .filter(|v| range.contains(v))
+        .collect();
+    let lower = if in_range.len() >= t && t > 0 { Some(in_range[t - 1]) } else { range.lower };
+
+    // Step 2c: tighten the upper bound to the worst proven value — every
+    // subtree value above it is already known (Lemma 1).
+    let upper = match state.proven[u.index()].last() {
+        Some(&worst_proven) => match range.upper {
+            // The *smaller* value (worse rank) is the tighter upper bound.
+            Some(u0) if u0.rank_cmp(&worst_proven) == Ordering::Greater => Some(u0),
+            _ => Some(worst_proven),
+        },
+        None => range.upper,
+    };
+    let fwd = Range { lower, upper };
+
+    if t_fwd > 0 && fwd.is_nonempty() && !topology.is_leaf(u) {
+        // Broadcast the request to all children at once.
+        meter.charge(u, Phase::MopUp, energy.broadcast_bytes(energy.request_bytes as usize));
+        for &c in topology.children(u) {
+            let resp = mopup(c, t_fwd, fwd, topology, energy, state, meter);
+            // Empty responses are suppressed: the request's link-layer ack
+            // already tells the parent the child has nothing in range.
+            if !resp.is_empty() {
+                meter.charge(c, Phase::MopUp, energy.unicast_values(resp.len()));
+            }
+            merge_readings(&mut state.retrieved[u.index()], &resp);
+        }
+    }
+
+    // Step 3: answer the original request from the merged state.
+    state.retrieved[u.index()]
+        .iter()
+        .copied()
+        .filter(|v| range.contains(v))
+        .take(t)
+        .collect()
+}
+
+/// Runs both phases of `ProspectorExact` with the given proof-carrying
+/// phase-1 plan. The returned answer is always the exact top k.
+pub fn run_exact(
+    phase1_plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    values: &[f64],
+    k: usize,
+    failures: Option<(&FailureModel, &mut StdRng)>,
+) -> ExactResult {
+    let (report, proof): (ExecutionReport, ProofOutcome) =
+        execute_proof_plan(phase1_plan, topology, energy, values, k, failures);
+    let phase1_mj = report.meter.total();
+
+    if proof.proven >= k.min(topology.len()) {
+        return ExactResult {
+            answer: report.answer,
+            phase1_mj,
+            phase2_mj: 0.0,
+            mopup_ran: false,
+            meter: report.meter,
+        };
+    }
+
+    // Assemble mop-up state from phase 1.
+    let n = topology.len();
+    let root = topology.root();
+    let mut proven: Vec<Vec<Reading>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = proof.proven_count[i] as usize;
+        proven.push(proof.retrieved[i][..p.min(proof.retrieved[i].len())].to_vec());
+    }
+    let mut state = MopupState { retrieved: proof.retrieved, proven };
+    let mut meter = EnergyMeter::new(n);
+
+    // Root request: t = k − |proven(root)|, lower = the k-th retrieved
+    // value, upper = the worst proven value.
+    let t0 = k - proof.proven;
+    let retrieved_root = &state.retrieved[root.index()];
+    let lower0 = retrieved_root.get(k - 1).copied();
+    let upper0 = state.proven[root.index()].last().copied();
+    let range0 = Range { lower: lower0, upper: upper0 };
+    if t0 > 0 && range0.is_nonempty() {
+        meter.charge(root, Phase::MopUp, energy.broadcast_bytes(energy.request_bytes as usize));
+        for &c in topology.children(root).to_vec().iter() {
+            let resp = mopup(c, t0, range0, topology, energy, &mut state, &mut meter);
+            if !resp.is_empty() {
+                meter.charge(c, Phase::MopUp, energy.unicast_values(resp.len()));
+            }
+            let root_list = &mut state.retrieved[root.index()];
+            merge_readings(root_list, &resp);
+        }
+    }
+
+    let answer: Vec<Reading> =
+        state.retrieved[root.index()].iter().copied().take(k).collect();
+    let phase2_mj = meter.total();
+    let mut merged = report.meter;
+    merged.merge(&meter);
+    ExactResult { answer, phase1_mj, phase2_mj, mopup_ran: true, meter: merged }
+}
+
+/// Convenience assertion helper: the exact answer's node set.
+pub fn exact_answer_nodes(result: &ExactResult) -> Vec<NodeId> {
+    result.answer.iter().map(|r| r.node).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_data::top_k_nodes;
+    use prospector_net::topology::{balanced, chain, star};
+    use rand::{RngExt, SeedableRng};
+
+    fn check_exact(topology: &Topology, values: &[f64], k: usize, plan: &Plan) -> ExactResult {
+        let em = EnergyModel::mica2();
+        let r = run_exact(plan, topology, &em, values, k, None);
+        let got = exact_answer_nodes(&r);
+        let expect = top_k_nodes(values, k);
+        assert_eq!(got, expect, "exactness violated (k={k})");
+        r
+    }
+
+    fn minimal_proof_plan(t: &Topology) -> Plan {
+        let mut p = Plan::empty(t.len());
+        p.proof_carrying = true;
+        for e in t.edges() {
+            p.set_bandwidth(e, 1);
+        }
+        p
+    }
+
+    #[test]
+    fn exact_on_random_networks_and_minimal_plans() {
+        // The stress case: minimal phase-1 bandwidth forces heavy mop-up.
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..12 {
+            let t = match trial % 4 {
+                0 => balanced(2, 3),
+                1 => balanced(3, 2),
+                2 => chain(10),
+                _ => star(10),
+            };
+            let values: Vec<f64> = (0..t.len()).map(|_| rng.random_range(0.0..100.0)).collect();
+            for k in [1, 2, 5] {
+                check_exact(&t, &values, k, &minimal_proof_plan(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_with_duplicate_values() {
+        let t = balanced(2, 3);
+        let values: Vec<f64> = (0..t.len()).map(|i| (i % 3) as f64).collect();
+        check_exact(&t, &values, 4, &minimal_proof_plan(&t));
+    }
+
+    #[test]
+    fn generous_phase1_skips_mopup() {
+        let t = balanced(2, 3);
+        let values: Vec<f64> = (0..t.len()).map(|i| ((i * 7) % 31) as f64).collect();
+        let k = 3;
+        let mut plan = Plan::full_sweep(&t);
+        plan.proof_carrying = true;
+        let r = check_exact(&t, &values, k, &plan);
+        assert!(!r.mopup_ran);
+        assert_eq!(r.phase2_mj, 0.0);
+    }
+
+    #[test]
+    fn tight_phase1_triggers_mopup() {
+        let t = chain(8);
+        let values: Vec<f64> = vec![0.0, 1.0, 7.0, 3.0, 6.0, 5.0, 4.0, 2.0];
+        let r = check_exact(&t, &values, 3, &minimal_proof_plan(&t));
+        assert!(r.mopup_ran);
+        assert!(r.phase2_mj > 0.0);
+    }
+
+    #[test]
+    fn mopup_cheaper_than_full_second_sweep() {
+        // The whole point of retrieved/proven state: phase 2 should cost
+        // less than collecting everything again.
+        let t = balanced(3, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<f64> = (0..t.len()).map(|_| rng.random_range(0.0..100.0)).collect();
+        let k = 5;
+        let em = EnergyModel::mica2();
+        // Phase-1 plan with a bit more than minimal bandwidth.
+        let mut plan = Plan::empty(t.len());
+        plan.proof_carrying = true;
+        for e in t.edges() {
+            plan.set_bandwidth(e, 2.min(t.subtree_size(e) as u32));
+        }
+        let r = check_exact(&t, &values, k, &plan);
+        let naive = Plan::naive_k(&t, k);
+        let naive_cost =
+            crate::exec::execute_plan(&naive, &t, &em, &values, k, None).total_mj();
+        if r.mopup_ran {
+            assert!(
+                r.phase2_mj < naive_cost,
+                "mop-up {} should undercut a full NAIVE-k pass {naive_cost}",
+                r.phase2_mj
+            );
+        }
+    }
+
+    #[test]
+    fn phase_costs_add_up() {
+        let t = chain(6);
+        let values: Vec<f64> = vec![0.0, 5.0, 1.0, 4.0, 2.0, 3.0];
+        let r = check_exact(&t, &values, 2, &minimal_proof_plan(&t));
+        assert!((r.total_mj() - r.meter.total()).abs() < 1e-9);
+    }
+}

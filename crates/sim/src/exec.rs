@@ -1,0 +1,228 @@
+//! Energy-metered plan execution.
+
+use prospector_core::{run_plan, run_proof_plan, Plan};
+use prospector_data::Reading;
+use prospector_net::{EnergyModel, EnergyMeter, FailureModel, NodeId, Phase, Topology};
+use rand::rngs::StdRng;
+
+/// One executed collection phase: the answer plus its energy bill.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// The root's answer (top k), in rank order.
+    pub answer: Vec<Reading>,
+    /// Answer values proven at the root (0 for non-proof plans).
+    pub proven: usize,
+    /// Per-node, per-phase energy charges for this execution.
+    pub meter: EnergyMeter,
+}
+
+impl ExecutionReport {
+    /// Total energy (mJ) of this execution.
+    pub fn total_mj(&self) -> f64 {
+        self.meter.total()
+    }
+
+    /// Node ids of the answer.
+    pub fn answer_nodes(&self) -> Vec<NodeId> {
+        self.answer.iter().map(|r| r.node).collect()
+    }
+}
+
+/// Charges the subsequent-distribution trigger: a header-only broadcast at
+/// every participating node that has at least one participating child.
+fn charge_trigger(plan: &Plan, topology: &Topology, energy: &EnergyModel, meter: &mut EnergyMeter) {
+    for u in (0..topology.len()).map(NodeId::from_index) {
+        if !plan.visits(topology, u) {
+            continue;
+        }
+        if topology.children(u).iter().any(|&c| plan.is_used(c)) {
+            meter.charge(u, Phase::Trigger, energy.broadcast());
+        }
+    }
+}
+
+/// Charges per-edge unicast costs for the values actually sent, injecting
+/// transient failures when a model and RNG are supplied.
+fn charge_collection(
+    sent: &[u32],
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    meter: &mut EnergyMeter,
+    mut failures: Option<(&FailureModel, &mut StdRng)>,
+) {
+    for e in topology.edges() {
+        if !plan.is_used(e) {
+            continue;
+        }
+        meter.charge(e, Phase::Collection, energy.unicast_values(sent[e.index()] as usize));
+        if let Some((fm, rng)) = failures.as_mut() {
+            if fm.sample_failure(e, rng) {
+                meter.charge(e, Phase::Rerouting, fm.reroute_penalty());
+            }
+        }
+    }
+}
+
+/// Executes an approximate plan for one epoch: trigger broadcast plus the
+/// collection phase, with optional failure injection.
+pub fn execute_plan(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    values: &[f64],
+    k: usize,
+    failures: Option<(&FailureModel, &mut StdRng)>,
+) -> ExecutionReport {
+    let mut meter = EnergyMeter::new(topology.len());
+    charge_trigger(plan, topology, energy, &mut meter);
+    let out = run_plan(plan, topology, values, k);
+    charge_collection(&out.sent, plan, topology, energy, &mut meter, failures);
+    ExecutionReport { answer: out.answer, proven: 0, meter }
+}
+
+/// Executes a proof-carrying plan, additionally charging the proven-count
+/// side channel on non-leaf edges that prove fewer values than they send
+/// (Section 4.3 step 4). Returns the full proof outcome alongside the
+/// report so the exact algorithm can run its mop-up phase.
+pub fn execute_proof_plan(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    values: &[f64],
+    k: usize,
+    failures: Option<(&FailureModel, &mut StdRng)>,
+) -> (ExecutionReport, prospector_core::ProofOutcome) {
+    let mut meter = EnergyMeter::new(topology.len());
+    charge_trigger(plan, topology, energy, &mut meter);
+    let out = run_proof_plan(plan, topology, values, k);
+    charge_collection(&out.sent, plan, topology, energy, &mut meter, failures);
+    for e in topology.edges() {
+        if !topology.is_leaf(e)
+            && plan.is_used(e)
+            && out.proven_count[e.index()] < out.sent[e.index()]
+        {
+            meter.charge(
+                e,
+                Phase::Collection,
+                energy.per_byte_mj * energy.proven_count_bytes as f64,
+            );
+        }
+    }
+    let report = ExecutionReport { answer: out.answer.clone(), proven: out.proven, meter };
+    (report, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_net::topology::{chain, star};
+    use rand::SeedableRng;
+
+    #[test]
+    fn energy_matches_hand_computation() {
+        // Chain 0 <- 1 <- 2, w = [_, 2, 1]: trigger at 0 and 1; messages
+        // on both edges with 2 and 1 values.
+        let t = chain(3);
+        let em = EnergyModel::mica2();
+        let mut plan = Plan::empty(3);
+        plan.set_bandwidth(NodeId(1), 2);
+        plan.set_bandwidth(NodeId(2), 1);
+        let r = execute_plan(&plan, &t, &em, &[1.0, 2.0, 3.0], 2, None);
+        let expect = 2.0 * em.broadcast()
+            + em.unicast_values(2)
+            + em.unicast_values(1);
+        assert!((r.total_mj() - expect).abs() < 1e-9, "{} vs {expect}", r.total_mj());
+        assert_eq!(r.answer_nodes(), vec![NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    fn unused_subtrees_cost_nothing() {
+        let t = star(5);
+        let em = EnergyModel::mica2();
+        let mut plan = Plan::empty(5);
+        plan.set_bandwidth(NodeId(1), 1);
+        let r = execute_plan(&plan, &t, &em, &[0.0; 5], 1, None);
+        assert_eq!(r.meter.node_total(NodeId(2)), 0.0);
+        assert_eq!(r.meter.node_total(NodeId(3)), 0.0);
+        // root pays one trigger broadcast; node 1 pays one message.
+        assert!((r.meter.node_total(NodeId(0)) - em.broadcast()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn actual_bytes_not_bandwidth_are_charged() {
+        // Bandwidth 5 on a leaf edge still ships only one value.
+        let t = chain(2);
+        let em = EnergyModel::mica2();
+        let mut plan = Plan::empty(2);
+        plan.set_bandwidth(NodeId(1), 1);
+        let mut plan5 = Plan::empty(2);
+        plan5.set_bandwidth(NodeId(1), 5);
+        // bandwidth > subtree is invalid; emulate by comparing 1 vs 1.
+        let a = execute_plan(&plan, &t, &em, &[0.0, 1.0], 1, None);
+        let b = execute_plan(&plan5, &t, &em, &[0.0, 1.0], 1, None);
+        assert!((a.total_mj() - b.total_mj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_add_rerouting_charges() {
+        let t = chain(4);
+        let em = EnergyModel::mica2();
+        let plan = Plan::naive_k(&t, 2);
+        let fm = FailureModel::uniform(4, 1.0, 3.0); // always fail
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = execute_plan(&plan, &t, &em, &[0.0, 1.0, 2.0, 3.0], 2, Some((&fm, &mut rng)));
+        assert!((r.meter.phase_total(Phase::Rerouting) - 9.0).abs() < 1e-9, "3 edges × 3 mJ");
+    }
+
+    #[test]
+    fn proof_execution_charges_proven_count_bytes() {
+        // Chain 0 <- 1 <- 2 with w=1: node 1 sends 1 value, proves 1 →
+        // proven == sent, no side-channel charge. With w=2 at edge 1 and a
+        // hidden larger value, proven < sent on a non-leaf edge → charge.
+        let t = chain(3);
+        let em = EnergyModel::mica2();
+        let mut plan = Plan::empty(3);
+        plan.proof_carrying = true;
+        plan.set_bandwidth(NodeId(1), 2);
+        plan.set_bandwidth(NodeId(2), 1);
+        let (r, out) = execute_proof_plan(&plan, &t, &em, &[0.0, 1.0, 2.0], 2, None);
+        // node 2 sends its whole subtree → everything provable at 1; both
+        // of node 1's values proven → no extra byte anywhere.
+        assert_eq!(out.proven_count[1], 2);
+        let expect = 2.0 * em.broadcast() + em.unicast_values(2) + em.unicast_values(1);
+        assert!((r.total_mj() - expect).abs() < 1e-9);
+        assert_eq!(r.proven, 2);
+    }
+
+    #[test]
+    fn proof_execution_charges_when_unproven() {
+        // Star-of-chains where a middle subtree hides values: proven <
+        // sent at the hiding edge's parent side.
+        let t = chain(4); // 0 <- 1 <- 2 <- 3
+        let em = EnergyModel::mica2();
+        let mut plan = Plan::empty(4);
+        plan.proof_carrying = true;
+        plan.set_bandwidth(NodeId(1), 2);
+        plan.set_bandwidth(NodeId(2), 1); // hides one of {v2's subtree}
+        plan.set_bandwidth(NodeId(3), 1);
+        let (r, out) = execute_proof_plan(&plan, &t, &em, &[0.0, 1.0, 2.0, 3.0], 2, None);
+        // node 2 sends top-1 of {2.0, 3.0} = 3.0 proven (child sent all);
+        // node 1 sends [3.0, 1.0]: 3.0 proven (in child's proven prefix),
+        // 1.0 unproven (child may hide something bigger) → side channel on
+        // edge 1.
+        assert_eq!(out.proven_count[1], 1);
+        assert_eq!(out.sent[1], 2);
+        // Triggers at nodes 0, 1, 2 (each has a used child edge); messages
+        // on edges 1 (2 values), 2 and 3 (1 value each); one proven-count
+        // byte on edge 1 only (edge 2 proves everything it sends, edge 3
+        // is a leaf).
+        let side = em.per_byte_mj * em.proven_count_bytes as f64;
+        let expect = 3.0 * em.broadcast()
+            + em.unicast_values(2)
+            + em.unicast_values(1)
+            + em.unicast_values(1)
+            + side;
+        assert!((r.total_mj() - expect).abs() < 1e-9, "{} vs {expect}", r.total_mj());
+    }
+}

@@ -1,0 +1,31 @@
+//! Execution engine for top-k query plans over simulated sensor networks.
+//!
+//! `prospector-core` defines *what* a plan does (pure semantics); this
+//! crate prices it and runs the paper's protocols end to end:
+//!
+//! * [`exec`] — energy-metered execution of approximate and proof-carrying
+//!   plans: trigger broadcasts, per-edge unicasts, proven-count side
+//!   channel, transient-failure injection with rerouting charges;
+//! * [`dissemination`] — the initial distribution phase (installing a plan);
+//! * [`naive1`] — the pipelined `NAIVE-1` exact protocol of Section 2, one
+//!   value per message;
+//! * [`exact_exec`] — `ProspectorExact`'s two phases: a proof-carrying
+//!   collection followed by the range-bounded mop-up of Section 4.3;
+//! * [`runner`] — multi-epoch experiments: exploration sampling,
+//!   re-planning, plan dissemination and per-epoch metrics;
+//! * [`adaptive`] — Section 4.4's re-sampling rate adaptation driven by
+//!   periodic exact audits.
+
+pub mod adaptive;
+pub mod dissemination;
+pub mod exact_exec;
+pub mod exec;
+pub mod naive1;
+pub mod runner;
+
+pub use adaptive::{run_adaptive, AdaptiveAction, AdaptiveConfig, AdaptiveEpoch};
+pub use dissemination::install_cost;
+pub use exact_exec::{run_exact, ExactResult};
+pub use exec::{execute_plan, execute_proof_plan, ExecutionReport};
+pub use naive1::run_naive1;
+pub use runner::{EpochReport, ExperimentConfig, ExperimentRunner};

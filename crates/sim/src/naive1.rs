@@ -1,0 +1,178 @@
+//! The pipelined `NAIVE-1` exact protocol (Section 2).
+//!
+//! "Each node maintains a heap containing its own value and the last value
+//! requested from each of its children. When the node receives from its
+//! parent a request for a value, the node first ensures that the heap has
+//! a value from each of its children (unless the child has no more values
+//! to return); if not, a new value is requested from that child. Then, the
+//! largest value in the heap is removed and returned to the parent."
+//!
+//! Every request and every returned value is a separate message, so the
+//! protocol minimizes bytes but pays a per-message overhead per value per
+//! hop — prohibitive in practice, as the paper observes.
+
+use prospector_data::Reading;
+use prospector_net::{EnergyMeter, EnergyModel, NodeId, Phase, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+struct NodeState {
+    /// Min-by-rank heap: best reading on top. Entries carry the child
+    /// slot that supplied them (`None` = the node's own reading).
+    heap: BinaryHeap<(Reverse<Reading>, Option<usize>)>,
+    initialized: bool,
+    /// Per child slot: needs a refill before the next pop.
+    need: Vec<bool>,
+    /// Per child slot: child has no more values.
+    exhausted: Vec<bool>,
+}
+
+/// Runs `NAIVE-1` to completion for a top-`k` query, returning the exact
+/// answer and the energy meter (requests and single-value responses are
+/// all individual messages).
+pub fn run_naive1(
+    topology: &Topology,
+    energy: &EnergyModel,
+    values: &[f64],
+    k: usize,
+) -> (Vec<Reading>, EnergyMeter) {
+    assert_eq!(values.len(), topology.len());
+    let n = topology.len();
+    let mut meter = EnergyMeter::new(n);
+    let mut states: Vec<NodeState> = (0..n)
+        .map(|i| {
+            let deg = topology.children(NodeId::from_index(i)).len();
+            NodeState {
+                heap: BinaryHeap::new(),
+                initialized: false,
+                need: vec![true; deg],
+                exhausted: vec![false; deg],
+            }
+        })
+        .collect();
+
+    let root = topology.root();
+    let mut answer = Vec::with_capacity(k);
+    for _ in 0..k.min(n) {
+        match next_value(root, topology, values, energy, &mut states, &mut meter) {
+            Some(v) => answer.push(v),
+            None => break,
+        }
+    }
+    (answer, meter)
+}
+
+/// Services one value request at `u`; `None` when the subtree is
+/// exhausted. Charges the request/response messages on child edges.
+fn next_value(
+    u: NodeId,
+    topology: &Topology,
+    values: &[f64],
+    energy: &EnergyModel,
+    states: &mut [NodeState],
+    meter: &mut EnergyMeter,
+) -> Option<Reading> {
+    if !states[u.index()].initialized {
+        states[u.index()].initialized = true;
+        let own = Reading { node: u, value: values[u.index()] };
+        states[u.index()].heap.push((Reverse(own), None));
+    }
+    let children: Vec<NodeId> = topology.children(u).to_vec();
+    for (slot, &c) in children.iter().enumerate() {
+        let (need, exhausted) =
+            (states[u.index()].need[slot], states[u.index()].exhausted[slot]);
+        if !need || exhausted {
+            continue;
+        }
+        // Request message down the edge (header only).
+        meter.charge(c, Phase::Collection, energy.unicast_bytes(0));
+        match next_value(c, topology, values, energy, states, meter) {
+            Some(v) => {
+                // Response carrying one value.
+                meter.charge(c, Phase::Collection, energy.unicast_values(1));
+                states[u.index()].heap.push((Reverse(v), Some(slot)));
+                states[u.index()].need[slot] = false;
+            }
+            None => {
+                // "No more values" reply (header only).
+                meter.charge(c, Phase::Collection, energy.unicast_bytes(0));
+                states[u.index()].exhausted[slot] = true;
+            }
+        }
+    }
+    let (Reverse(v), src) = states[u.index()].heap.pop()?;
+    if let Some(slot) = src {
+        states[u.index()].need[slot] = true;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_data::top_k_nodes;
+    use prospector_net::topology::{balanced, chain, star};
+
+    #[test]
+    fn returns_exact_top_k() {
+        for t in [balanced(2, 3), balanced(3, 2), chain(9), star(9)] {
+            let values: Vec<f64> = (0..t.len()).map(|i| ((i * 41 + 7) % 53) as f64).collect();
+            for k in [1, 3, 5] {
+                let (ans, _) = run_naive1(&t, &EnergyModel::mica2(), &values, k);
+                let got: Vec<NodeId> = ans.iter().map(|r| r.node).collect();
+                assert_eq!(got, top_k_nodes(&values, k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_network_returns_everything() {
+        let t = chain(4);
+        let values = vec![4.0, 3.0, 2.0, 1.0];
+        let (ans, _) = run_naive1(&t, &EnergyModel::mica2(), &values, 10);
+        assert_eq!(ans.len(), 4);
+    }
+
+    #[test]
+    fn message_overhead_grows_with_k() {
+        let t = balanced(2, 4); // 31 nodes
+        let values: Vec<f64> = (0..t.len()).map(|i| ((i * 19) % 37) as f64).collect();
+        let em = EnergyModel::mica2();
+        let (_, m1) = run_naive1(&t, &em, &values, 1);
+        let (_, m8) = run_naive1(&t, &em, &values, 8);
+        // Even k = 1 visits every node (each must report its subtree
+        // max), so growth is linear in k on top of that base, as the
+        // paper notes.
+        assert!(
+            m8.total() > 1.5 * m1.total(),
+            "cost should grow with k: {} vs {}",
+            m8.total(),
+            m1.total()
+        );
+        let (_, m4) = run_naive1(&t, &em, &values, 4);
+        let step1 = m4.total() - m1.total();
+        let step2 = m8.total() - m4.total();
+        assert!(step1 > 0.0 && step2 > 0.0, "strictly increasing in k");
+    }
+
+    #[test]
+    fn naive1_beats_naive_k_on_bytes_but_not_messages() {
+        // The tradeoff of Section 2: NAIVE-1 ships few values but many
+        // messages; with MICA2's large per-message cost it loses for
+        // realistic k.
+        use prospector_core::Plan;
+        let t = balanced(3, 3); // 40 nodes
+        let values: Vec<f64> = (0..t.len()).map(|i| ((i * 23 + 11) % 59) as f64).collect();
+        let em = EnergyModel::mica2();
+        let k = 10;
+        let (_, m1) = run_naive1(&t, &em, &values, k);
+        let plan = Plan::naive_k(&t, k);
+        let rk = crate::exec::execute_plan(&plan, &t, &em, &values, k, None);
+        assert!(
+            m1.total() > rk.total_mj(),
+            "per-message overhead should dominate: naive1 {} vs naive-k {}",
+            m1.total(),
+            rk.total_mj()
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Multi-epoch experiment runner: exploration sampling, planning,
+//! re-planning and per-epoch metrics (Sections 3 and 4.4).
+//!
+//! Per epoch the runner either spends a full-network sweep to refresh the
+//! sample window (the exploration/exploitation scheme) or executes the
+//! current plan. Plans are re-optimized at the base station every
+//! `replan_every` epochs and **disseminated only if the expected
+//! improvement exceeds a threshold** ("Plan Re-calculation", Section 4.4),
+//! in which case the installation unicasts are charged.
+
+use crate::dissemination::install_plan;
+use crate::exec::execute_plan;
+use prospector_core::{evaluate, Plan, PlanContext, PlanError, Planner};
+use prospector_data::{top_k_nodes, SamplePolicy, SampleSet, ValueSource};
+use prospector_net::{EnergyMeter, EnergyModel, FailureModel, Phase, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a multi-epoch experiment.
+pub struct ExperimentConfig {
+    /// Top-k parameter.
+    pub k: usize,
+    /// Sample-window capacity.
+    pub window: usize,
+    /// When to spend full sweeps on sampling.
+    pub policy: SamplePolicy,
+    /// Collection-phase energy budget handed to the planner.
+    pub budget_mj: f64,
+    /// Re-optimize the plan every this many epochs (0 = plan once).
+    pub replan_every: u64,
+    /// Disseminate a recomputed plan only if it improves expected misses
+    /// by at least this much (absolute, in values per query).
+    pub replan_threshold: f64,
+    /// Optional transient-failure model (used for both planning and
+    /// injection).
+    pub failures: Option<FailureModel>,
+    /// Seed for failure injection.
+    pub seed: u64,
+}
+
+/// What happened during one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    pub epoch: u64,
+    /// This epoch was spent on a full sampling sweep.
+    pub sampled: bool,
+    /// A new plan was disseminated this epoch.
+    pub replanned: bool,
+    /// Fraction of the true top k returned (sampling sweeps are exact).
+    pub accuracy: f64,
+    /// Energy spent this epoch (mJ), all phases.
+    pub energy_mj: f64,
+}
+
+/// Drives a planner over a value source for many epochs.
+pub struct ExperimentRunner<'a> {
+    topology: &'a Topology,
+    energy: &'a EnergyModel,
+    planner: &'a dyn Planner,
+    config: ExperimentConfig,
+    samples: SampleSet,
+    plan: Option<Plan>,
+    /// Epoch of the last plan recalculation (None before the first).
+    last_replan: Option<u64>,
+    meter: EnergyMeter,
+    rng: StdRng,
+}
+
+impl<'a> ExperimentRunner<'a> {
+    pub fn new(
+        topology: &'a Topology,
+        energy: &'a EnergyModel,
+        planner: &'a dyn Planner,
+        config: ExperimentConfig,
+    ) -> Self {
+        let samples = SampleSet::new(topology.len(), config.k, config.window);
+        let rng = StdRng::seed_from_u64(config.seed);
+        ExperimentRunner {
+            topology,
+            energy,
+            planner,
+            config,
+            samples,
+            plan: None,
+            last_replan: None,
+            meter: EnergyMeter::new(topology.len()),
+            rng,
+        }
+    }
+
+    /// Cumulative energy across all epochs run so far.
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// The currently installed plan, if any.
+    pub fn current_plan(&self) -> Option<&Plan> {
+        self.plan.as_ref()
+    }
+
+    /// Current sample window (for inspection).
+    pub fn samples(&self) -> &SampleSet {
+        &self.samples
+    }
+
+    fn plan_context(&self) -> PlanContext<'_> {
+        let mut ctx =
+            PlanContext::new(self.topology, self.energy, &self.samples, self.config.budget_mj);
+        if let Some(f) = &self.config.failures {
+            ctx = ctx.with_failures(f);
+        }
+        ctx
+    }
+
+    /// Runs one epoch against `source`, returning what happened.
+    pub fn step<S: ValueSource>(&mut self, source: &mut S, epoch: u64) -> Result<EpochReport, PlanError> {
+        let values = source.values(epoch);
+        let k = self.config.k;
+
+        // Exploration: full sweep feeds the window and answers exactly.
+        if self.config.policy.should_sample(epoch) {
+            let sweep = Plan::full_sweep(self.topology);
+            let report = execute_plan(&sweep, self.topology, self.energy, &values, k, None);
+            // Re-attribute the sweep to the sampling phase.
+            let mut sweep_meter = EnergyMeter::new(self.topology.len());
+            for i in 0..self.topology.len() {
+                let node = prospector_net::NodeId::from_index(i);
+                let mj = report.meter.node_total(node);
+                if mj > 0.0 {
+                    sweep_meter.charge(node, Phase::Sampling, mj);
+                }
+            }
+            self.meter.merge(&sweep_meter);
+            self.samples.push(values);
+            return Ok(EpochReport {
+                epoch,
+                sampled: true,
+                replanned: false,
+                accuracy: 1.0,
+                energy_mj: sweep_meter.total(),
+            });
+        }
+
+        if self.samples.is_empty() {
+            return Err(PlanError::NoSamples);
+        }
+
+        // (Re-)planning. The cadence counts epochs since the last
+        // recalculation: a plain `epoch % replan_every` silently collides
+        // with the sampling period (those epochs return early above) and
+        // can starve replanning entirely.
+        let mut replanned = false;
+        let mut epoch_meter = EnergyMeter::new(self.topology.len());
+        let due = self.plan.is_none()
+            || (self.config.replan_every > 0
+                && self.last_replan.is_none_or(|lr| epoch - lr >= self.config.replan_every));
+        if due {
+            self.last_replan = Some(epoch);
+            let ctx = self.plan_context();
+            let candidate = self.planner.plan(&ctx)?;
+            let install = match &self.plan {
+                None => true,
+                Some(current) => {
+                    let cur =
+                        evaluate::expected_misses(current, self.topology, &self.samples);
+                    let new =
+                        evaluate::expected_misses(&candidate, self.topology, &self.samples);
+                    cur - new >= self.config.replan_threshold
+                }
+            };
+            if install {
+                epoch_meter.merge(&install_plan(&candidate, self.topology, self.energy));
+                self.plan = Some(candidate);
+                replanned = true;
+            }
+        }
+
+        let plan = self.plan.as_ref().expect("plan exists after planning step");
+        let failure_pair = self.config.failures.as_ref().map(|f| (f, &mut self.rng));
+        let report = execute_plan(plan, self.topology, self.energy, &values, k, failure_pair);
+        epoch_meter.merge(&report.meter);
+        self.meter.merge(&epoch_meter);
+
+        let truth = top_k_nodes(&values, k);
+        let hits = report.answer.iter().filter(|r| truth.contains(&r.node)).count();
+        Ok(EpochReport {
+            epoch,
+            sampled: false,
+            replanned,
+            accuracy: hits as f64 / k as f64,
+            energy_mj: epoch_meter.total(),
+        })
+    }
+
+    /// Runs epochs `0..epochs`, collecting per-epoch reports.
+    pub fn run<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        epochs: u64,
+    ) -> Result<Vec<EpochReport>, PlanError> {
+        (0..epochs).map(|e| self.step(source, e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_core::ProspectorGreedy;
+    use prospector_data::IndependentGaussian;
+    use prospector_net::topology::balanced;
+
+    fn config(budget: f64) -> ExperimentConfig {
+        ExperimentConfig {
+            k: 3,
+            window: 10,
+            policy: SamplePolicy::Periodic { warmup: 5, period: 20 },
+            budget_mj: budget,
+            replan_every: 10,
+            replan_threshold: 0.25,
+            failures: None,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn warmup_then_querying() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..4.0, 7);
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, config(30.0));
+        let reports = runner.run(&mut source, 30).unwrap();
+        assert!(reports[0].sampled && reports[4].sampled);
+        assert!(!reports[5].sampled);
+        assert!(reports[5].replanned, "first query epoch installs a plan");
+        // Sampling epochs are exact.
+        for r in &reports {
+            if r.sampled {
+                assert_eq!(r.accuracy, 1.0);
+            }
+        }
+        // Energy is attributed per phase.
+        assert!(runner.meter().phase_total(Phase::Sampling) > 0.0);
+        assert!(runner.meter().phase_total(Phase::Collection) > 0.0);
+        assert!(runner.meter().phase_total(Phase::PlanInstall) > 0.0);
+    }
+
+    #[test]
+    fn accuracy_reasonable_with_stable_source() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        // Very predictable source: tiny variance.
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 0.1..0.2, 9);
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, config(40.0));
+        let reports = runner.run(&mut source, 40).unwrap();
+        let queries: Vec<&EpochReport> = reports.iter().filter(|r| !r.sampled).collect();
+        let avg: f64 =
+            queries.iter().map(|r| r.accuracy).sum::<f64>() / queries.len() as f64;
+        assert!(avg > 0.9, "stable source should be predictable: {avg}");
+    }
+
+    #[test]
+    fn replanning_is_throttled_by_threshold() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 0.1..0.2, 3);
+        let mut cfg = config(40.0);
+        cfg.replan_threshold = 100.0; // impossible improvement
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+        let reports = runner.run(&mut source, 40).unwrap();
+        let replans = reports.iter().filter(|r| r.replanned).count();
+        assert_eq!(replans, 1, "only the initial installation");
+    }
+
+    #[test]
+    fn no_samples_error_when_policy_never_samples() {
+        let t = balanced(2, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut source = IndependentGaussian::random(t.len(), 0.0..1.0, 0.1..0.2, 1);
+        let mut cfg = config(10.0);
+        cfg.policy = SamplePolicy::Never;
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+        assert!(matches!(runner.step(&mut source, 0), Err(PlanError::NoSamples)));
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: plan and run one energy-budgeted top-k query.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a 60-node random sensor network, collects a window of samples,
+//! asks `ProspectorLpLf` for a plan that fits a 30 mJ collection budget,
+//! executes it on a fresh epoch and compares against the true top 10.
+
+use prospector::core::{evaluate, PlanContext, Planner, ProspectorLpLf};
+use prospector::data::{IndependentGaussian, SampleSet, ValueSource};
+use prospector::net::{EnergyModel, NetworkBuilder};
+use prospector::sim::execute_plan;
+
+fn main() {
+    // 1. Deploy: 60 nodes in a 300 m × 300 m field, min-hop routing tree.
+    let network = NetworkBuilder::new(60, 300.0, 300.0, 70.0)
+        .seed(7)
+        .build()
+        .expect("placement connects");
+    let topology = &network.topology;
+    println!(
+        "network: {} nodes, tree height {}, root {}",
+        topology.len(),
+        topology.height(),
+        topology.root()
+    );
+
+    // 2. Readings: independent per-node Gaussians (Figure 3's workload).
+    let mut source = IndependentGaussian::random(60, 40.0..60.0, 1.0..5.0, 7);
+
+    // 3. Sample window: 12 full-network sweeps (the exploration phase).
+    let k = 10;
+    let mut samples = SampleSet::new(60, k, 12);
+    for epoch in 0..12 {
+        samples.push(source.values(epoch));
+    }
+
+    // 4. Plan: highest expected accuracy within a 30 mJ collection budget.
+    let energy = EnergyModel::mica2();
+    let budget_mj = 30.0;
+    let ctx = PlanContext::new(topology, &energy, &samples, budget_mj);
+    let plan = ProspectorLpLf.plan(&ctx).expect("planning succeeds");
+    println!(
+        "plan: visits {} of {} nodes, total bandwidth {}, planned cost {:.1} mJ (budget {budget_mj} mJ)",
+        plan.num_visited(topology),
+        topology.len(),
+        plan.total_bandwidth(),
+        ctx.plan_cost(&plan),
+    );
+
+    // 5. Execute on a fresh epoch and score against the truth.
+    let values = source.values(12);
+    let report = execute_plan(&plan, topology, &energy, &values, k, None);
+    let accuracy = evaluate::accuracy_on_values(&plan, topology, &values, k);
+    println!("answer ({} values):", report.answer.len());
+    for r in &report.answer {
+        println!("  {}  {:.2}", r.node, r.value);
+    }
+    println!(
+        "accuracy: {:.0}% of the true top {k}; measured energy {:.1} mJ",
+        100.0 * accuracy,
+        report.total_mj()
+    );
+}

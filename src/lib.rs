@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the Prospector workspace.
+//!
+//! `prospector` reproduces "A Sampling-Based Approach to Optimizing Top-k
+//! Queries in Sensor Networks" (Silberstein, Braynard, Ellis, Munagala,
+//! Yang — ICDE 2006). See the workspace README for an overview and
+//! `examples/quickstart.rs` for a first tour.
+
+pub use prospector_core as core;
+pub use prospector_data as data;
+pub use prospector_lp as lp;
+pub use prospector_net as net;
+pub use prospector_sim as sim;

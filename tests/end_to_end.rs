@@ -1,0 +1,160 @@
+//! End-to-end integration tests spanning every crate: deploy a network,
+//! generate data, plan with each Prospector algorithm, execute with energy
+//! metering, and check budgets, validity and accuracy orderings.
+
+use prospector::core::{
+    evaluate, oracle, Plan, PlanContext, Planner, ProspectorGreedy, ProspectorLpLf,
+    ProspectorLpNoLf, ProspectorProof,
+};
+use prospector::data::{top_k_nodes, IndependentGaussian, SampleSet, ValueSource};
+use prospector::net::{EnergyModel, NetworkBuilder, Topology};
+use prospector::sim::execute_plan;
+
+struct Setup {
+    topology: Topology,
+    samples: SampleSet,
+    eval: Vec<Vec<f64>>,
+    k: usize,
+}
+
+fn setup(n: usize, k: usize, seed: u64) -> Setup {
+    let side = 40.0 * (n as f64).sqrt();
+    let network = NetworkBuilder::new(n, side, side, 70.0).seed(seed).build().unwrap();
+    let mut source = IndependentGaussian::random(n, 40.0..60.0, 1.0..5.0, seed);
+    let mut samples = SampleSet::new(n, k, 10);
+    for epoch in 0..10 {
+        samples.push(source.values(epoch));
+    }
+    let eval = (10..16).map(|e| source.values(e)).collect();
+    Setup { topology: network.topology, samples, eval, k }
+}
+
+fn planners() -> Vec<(&'static str, Box<dyn Planner>)> {
+    vec![
+        ("greedy", Box::new(ProspectorGreedy)),
+        ("lp-lf", Box::new(ProspectorLpNoLf)),
+        ("lp+lf", Box::new(ProspectorLpLf)),
+    ]
+}
+
+#[test]
+fn every_planner_respects_every_budget() {
+    let s = setup(50, 8, 1);
+    let em = EnergyModel::mica2();
+    for budget in [2.0, 10.0, 40.0, 120.0] {
+        for (name, planner) in planners() {
+            let ctx = PlanContext::new(&s.topology, &em, &s.samples, budget);
+            let plan = planner.plan(&ctx).unwrap_or_else(|e| panic!("{name}: {e}"));
+            plan.validate(&s.topology).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let cost = ctx.plan_cost(&plan);
+            assert!(cost <= budget + 1e-9, "{name} at {budget}: cost {cost}");
+        }
+    }
+}
+
+#[test]
+fn accuracy_grows_with_budget() {
+    let s = setup(60, 10, 2);
+    let em = EnergyModel::mica2();
+    for (name, planner) in planners() {
+        let mut prev = -1.0;
+        for budget in [5.0, 25.0, 80.0, 400.0] {
+            let ctx = PlanContext::new(&s.topology, &em, &s.samples, budget);
+            let plan = planner.plan(&ctx).unwrap();
+            let acc: f64 = s
+                .eval
+                .iter()
+                .map(|v| evaluate::accuracy_on_values(&plan, &s.topology, v, s.k))
+                .sum::<f64>()
+                / s.eval.len() as f64;
+            // Allow small non-monotonicity from rounding, but the overall
+            // trend must be increasing.
+            assert!(acc >= prev - 0.15, "{name}: accuracy dropped {prev} -> {acc} at {budget}");
+            prev = prev.max(acc);
+        }
+        assert!(prev > 0.8, "{name}: even a generous budget reached only {prev}");
+    }
+}
+
+#[test]
+fn oracle_lower_bounds_measured_cost_at_full_accuracy() {
+    let s = setup(40, 6, 3);
+    let em = EnergyModel::mica2();
+    for values in &s.eval {
+        let oracle_plan = oracle::oracle_plan(&s.topology, values, s.k);
+        let oracle_cost = execute_plan(&oracle_plan, &s.topology, &em, values, s.k, None).total_mj();
+        let naive = Plan::naive_k(&s.topology, s.k);
+        let naive_cost = execute_plan(&naive, &s.topology, &em, values, s.k, None).total_mj();
+        assert!(oracle_cost < naive_cost, "oracle {oracle_cost} vs naive {naive_cost}");
+    }
+}
+
+#[test]
+fn proof_planner_composes_with_execution() {
+    let s = setup(30, 5, 4);
+    let em = EnergyModel::mica2();
+    let probe = PlanContext::new(&s.topology, &em, &s.samples, 1.0);
+    let budget = probe.min_proof_cost() * 1.4;
+    let ctx = PlanContext::new(&s.topology, &em, &s.samples, budget);
+    let plan = ProspectorProof::default().plan(&ctx).unwrap();
+    plan.validate(&s.topology).unwrap();
+    for values in &s.eval {
+        let (report, out) =
+            prospector::sim::execute_proof_plan(&plan, &s.topology, &em, values, s.k, None);
+        assert_eq!(report.proven, out.proven);
+        // Proven answers are genuinely the true top values.
+        let truth = top_k_nodes(values, s.k);
+        for (i, r) in out.answer.iter().take(out.proven).enumerate() {
+            assert_eq!(r.node, truth[i], "proven prefix must match the truth exactly");
+        }
+    }
+}
+
+#[test]
+fn lp_planners_beat_greedy_under_contention() {
+    // The central claim: with negative correlation, LP+LF extracts more
+    // accuracy per millijoule than both greedy and LP−LF.
+    use prospector::data::ContentionZones;
+    use prospector::net::ZoneLayout;
+
+    let k = 5;
+    let network = NetworkBuilder::new(50, 400.0, 400.0, 85.0)
+        .seed(11)
+        .zones(ZoneLayout { zones: 4, nodes_per_zone: 2 * k, zone_radius: 35.0 })
+        .build()
+        .unwrap();
+    let n = network.len();
+    let mut source = ContentionZones::paper_setup(network.zone.clone(), k, 100.0, 11);
+    let mut samples = SampleSet::new(n, k, 30);
+    for epoch in 0..30 {
+        samples.push(source.values(epoch));
+    }
+    let eval: Vec<Vec<f64>> = (30..40).map(|e| source.values(e)).collect();
+
+    let em = EnergyModel::mica2();
+    let budget = 90.0;
+    let score = |planner: &dyn Planner| -> f64 {
+        let ctx = PlanContext::new(&network.topology, &em, &samples, budget);
+        let plan = planner.plan(&ctx).unwrap();
+        eval.iter()
+            .map(|v| evaluate::accuracy_on_values(&plan, &network.topology, v, k))
+            .sum::<f64>()
+            / eval.len() as f64
+    };
+    let lf = score(&ProspectorLpLf);
+    let nolf = score(&ProspectorLpNoLf);
+    let greedy = score(&ProspectorGreedy);
+    assert!(
+        lf + 0.05 >= nolf && lf + 0.05 >= greedy,
+        "LP+LF ({lf}) should lead under contention (lp-lf {nolf}, greedy {greedy})"
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The `prospector` facade exposes all five crates.
+    let _ = prospector::net::EnergyModel::mica2();
+    let _ = prospector::lp::Problem::new(prospector::lp::Sense::Maximize);
+    let t = prospector::net::topology::chain(3);
+    let _ = prospector::core::Plan::naive_k(&t, 1);
+}

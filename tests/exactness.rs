@@ -1,0 +1,133 @@
+//! Exactness guarantees across the whole stack: every exact algorithm must
+//! return precisely the true top k on arbitrary networks, value
+//! distributions, tie patterns and failure injections.
+
+use prospector::core::{exact::ExactConfig, Plan, PlanContext};
+use prospector::data::{top_k_nodes, IndependentGaussian, SampleSet, ValueSource};
+use prospector::net::{EnergyModel, FailureModel, NetworkBuilder, NodeId, Topology};
+use prospector::sim::{execute_plan, run_exact, run_naive1};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_network(n: usize, seed: u64) -> Topology {
+    let side = 40.0 * (n as f64).sqrt();
+    NetworkBuilder::new(n, side, side, 70.0).seed(seed).build().unwrap().topology
+}
+
+fn answer_nodes(answer: &[prospector::data::Reading]) -> Vec<NodeId> {
+    answer.iter().map(|r| r.node).collect()
+}
+
+#[test]
+fn naive_k_and_naive_1_agree_with_truth() {
+    let em = EnergyModel::mica2();
+    let mut rng = StdRng::seed_from_u64(7);
+    for seed in 0..6 {
+        let n = 20 + (seed as usize) * 9;
+        let topo = random_network(n, seed);
+        let values: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..100.0)).collect();
+        for k in [1, 4, 9] {
+            let truth = top_k_nodes(&values, k);
+            let plan = Plan::naive_k(&topo, k);
+            let r = execute_plan(&plan, &topo, &em, &values, k, None);
+            assert_eq!(answer_nodes(&r.answer), truth, "naive-k n={n} k={k}");
+            let (a1, _) = run_naive1(&topo, &em, &values, k);
+            assert_eq!(answer_nodes(&a1), truth, "naive-1 n={n} k={k}");
+        }
+    }
+}
+
+#[test]
+fn prospector_exact_is_exact_with_lp_phase1() {
+    let em = EnergyModel::mica2();
+    for seed in 0..4 {
+        let n = 35;
+        let k = 6;
+        let topo = random_network(n, 100 + seed);
+        let mut source = IndependentGaussian::random(n, 40.0..60.0, 1.0..6.0, seed);
+        let mut samples = SampleSet::new(n, k, 6);
+        for e in 0..6 {
+            samples.push(source.values(e));
+        }
+        let probe = PlanContext::new(&topo, &em, &samples, 1.0);
+        for mult in [1.0, 1.2, 1.6] {
+            let budget = probe.min_proof_cost() * mult;
+            let cfg = ExactConfig { phase1_budget_mj: budget };
+            let ctx = PlanContext::new(&topo, &em, &samples, budget);
+            let plan = cfg.plan_phase1(&ctx).unwrap();
+            for e in 6..12 {
+                let values = source.values(e);
+                let truth = top_k_nodes(&values, k);
+                let r = run_exact(&plan, &topo, &em, &values, k, None);
+                assert_eq!(
+                    answer_nodes(&r.answer),
+                    truth,
+                    "seed={seed} mult={mult} epoch={e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exactness_survives_adversarial_ties() {
+    // Many duplicate values stress the rank tie-breaking throughout the
+    // proof and mop-up machinery.
+    let em = EnergyModel::mica2();
+    let topo = random_network(40, 55);
+    let values: Vec<f64> = (0..40).map(|i| (i % 4) as f64).collect();
+    let mut samples = SampleSet::new(40, 7, 3);
+    // Samples with a *different* tie pattern than the query epoch.
+    for e in 0..3u64 {
+        samples.push((0..40).map(|i| ((i as u64 + e) % 5) as f64).collect());
+    }
+    let probe = PlanContext::new(&topo, &em, &samples, 1.0);
+    let cfg = ExactConfig { phase1_budget_mj: probe.min_proof_cost() * 1.1 };
+    let ctx = PlanContext::new(&topo, &em, &samples, cfg.phase1_budget_mj);
+    let plan = cfg.plan_phase1(&ctx).unwrap();
+    let truth = top_k_nodes(&values, 7);
+    let r = run_exact(&plan, &topo, &em, &values, 7, None);
+    assert_eq!(answer_nodes(&r.answer), truth);
+}
+
+#[test]
+fn exactness_unaffected_by_transient_failures() {
+    // Failures cost energy (rerouting) but never change the answer under
+    // the reliable protocol.
+    let em = EnergyModel::mica2();
+    let topo = random_network(30, 77);
+    let values: Vec<f64> = (0..30).map(|i| ((i * 13) % 31) as f64).collect();
+    let k = 5;
+    let fm = FailureModel::uniform(30, 0.4, 3.0);
+
+    let plan = Plan::naive_k(&topo, k);
+    let mut rng = StdRng::seed_from_u64(9);
+    let with = execute_plan(&plan, &topo, &em, &values, k, Some((&fm, &mut rng)));
+    let without = execute_plan(&plan, &topo, &em, &values, k, None);
+    assert_eq!(answer_nodes(&with.answer), answer_nodes(&without.answer));
+    assert!(with.total_mj() > without.total_mj(), "failures must cost energy");
+
+    let mut samples = SampleSet::new(30, k, 2);
+    samples.push(values.clone());
+    samples.push(values.clone());
+    let probe = PlanContext::new(&topo, &em, &samples, 1.0);
+    let cfg = ExactConfig { phase1_budget_mj: probe.min_proof_cost() * 1.2 };
+    let ctx = PlanContext::new(&topo, &em, &samples, cfg.phase1_budget_mj);
+    let pplan = cfg.plan_phase1(&ctx).unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    let r = run_exact(&pplan, &topo, &em, &values, k, Some((&fm, &mut rng)));
+    assert_eq!(answer_nodes(&r.answer), top_k_nodes(&values, k));
+}
+
+#[test]
+fn mopup_skipped_when_phase1_proves_all() {
+    let em = EnergyModel::mica2();
+    let topo = random_network(25, 31);
+    let values: Vec<f64> = (0..25).map(|i| i as f64).collect();
+    let mut plan = Plan::full_sweep(&topo);
+    plan.proof_carrying = true;
+    let r = run_exact(&plan, &topo, &em, &values, 4, None);
+    assert!(!r.mopup_ran);
+    assert_eq!(r.phase2_mj, 0.0);
+    assert_eq!(answer_nodes(&r.answer), top_k_nodes(&values, 4));
+}
