@@ -36,9 +36,8 @@ fn bench_extensions(c: &mut Criterion) {
     });
 
     // Cluster-query planning: 8 clusters over the non-root nodes.
-    let assignment: Vec<Option<usize>> = (0..n)
-        .map(|i| if i == 0 { None } else { Some((i - 1) % 8) })
-        .collect();
+    let assignment: Vec<Option<usize>> =
+        (0..n).map(|i| if i == 0 { None } else { Some((i - 1) % 8) }).collect();
     let clustering = Clustering::new(assignment);
     group.bench_function("cluster_topk_plan", |b| {
         b.iter(|| {

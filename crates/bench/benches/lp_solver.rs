@@ -33,11 +33,7 @@ fn lp_lf_shaped(n_edges: usize, samples: usize, k: usize, seed: u64) -> Problem 
             }
         }
     }
-    let budget: Vec<_> = w
-        .iter()
-        .map(|&v| (v, 0.2))
-        .chain(y.iter().map(|&v| (v, 1.2)))
-        .collect();
+    let budget: Vec<_> = w.iter().map(|&v| (v, 0.2)).chain(y.iter().map(|&v| (v, 1.2))).collect();
     p.add_constraint(budget, Cmp::Le, 0.25 * n_edges as f64);
     p
 }

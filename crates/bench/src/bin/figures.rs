@@ -46,12 +46,14 @@ fn main() {
             "naive1" => run_one(&figures::naive1_vs_naive_k(fast)),
             "ablation" => run_one(&figures::ablation_fill(fast)),
             "efailures" => run_one(&figures::e_failures(fast)),
+            "fault_tolerance" => run_one(&figures::fault_tolerance(fast)),
             "esensitivity" => run_one(&figures::e_sensitivity(fast)),
             "esubset" => run_one(&figures::e_subset(fast)),
             other => {
                 eprintln!(
                     "unknown figure '{other}'; known: all table1 fig3 fig4 fig5 fig7 fig8 fig9 \
-                     esamples elptime edissem naive1 ablation efailures esensitivity esubset"
+                     esamples elptime edissem naive1 ablation efailures fault_tolerance \
+                     esensitivity esubset"
                 );
                 std::process::exit(2);
             }

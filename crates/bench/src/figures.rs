@@ -43,10 +43,8 @@ fn avg_exec_mj(
 
 /// Average accuracy (%) of `plan` over epochs.
 fn avg_accuracy_pct(plan: &Plan, topology: &Topology, epochs: &[Vec<f64>], k: usize) -> f64 {
-    let total: f64 = epochs
-        .iter()
-        .map(|values| evaluate::accuracy_on_values(plan, topology, values, k))
-        .sum();
+    let total: f64 =
+        epochs.iter().map(|values| evaluate::accuracy_on_values(plan, topology, values, k)).sum();
     100.0 * total / epochs.len() as f64
 }
 
@@ -139,15 +137,14 @@ pub fn fig3(fast: bool) -> FigureResult {
         avg_exec_mj(&Plan::naive_k(topo, scenario.k), topo, &em, &scenario.eval_epochs, scenario.k);
 
     let mut points = Vec::new();
-    let k_ladder: Vec<usize> =
-        [0.2, 0.4, 0.6, 0.8, 1.0].iter().map(|f| ((f * scenario.k as f64) as usize).max(1)).collect();
+    let k_ladder: Vec<usize> = [0.2, 0.4, 0.6, 0.8, 1.0]
+        .iter()
+        .map(|f| ((f * scenario.k as f64) as usize).max(1))
+        .collect();
     points.extend(exact_curves(&scenario, &em, &k_ladder));
 
-    let fractions: &[f64] = if fast {
-        &[0.1, 0.3, 0.6, 1.0]
-    } else {
-        &[0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0]
-    };
+    let fractions: &[f64] =
+        if fast { &[0.1, 0.3, 0.6, 1.0] } else { &[0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0] };
     let budgets = budget_ladder(naive_cost, fractions);
     let planners: Vec<(&str, &dyn Planner)> = vec![
         ("greedy", &ProspectorGreedy),
@@ -191,25 +188,26 @@ pub fn fig4(fast: bool) -> FigureResult {
     let em = EnergyModel::mica2();
     let probe = base.build();
     let topo_probe = &probe.network.topology;
-    let naive_cost =
-        avg_exec_mj(&Plan::naive_k(topo_probe, base.k), topo_probe, &em, &probe.eval_epochs, base.k);
+    let naive_cost = avg_exec_mj(
+        &Plan::naive_k(topo_probe, base.k),
+        topo_probe,
+        &em,
+        &probe.eval_epochs,
+        base.k,
+    );
     // "fixed at a sufficiently high level ... to achieve near perfect
     // accuracy when variance is negligible".
     let budget = 0.55 * naive_cost;
 
-    let scales: &[f64] = if fast { &[0.5, 2.0, 8.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] };
+    let scales: &[f64] =
+        if fast { &[0.5, 2.0, 8.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] };
     let mut points = Vec::new();
     for &scale in scales {
         let scenario = {
             let mut sc = base.build();
             let scaled = sc.source.with_std_scale(scale);
-            let (src, samples, eval) = crate::scenarios::warm_up(
-                scaled,
-                base.n,
-                base.k,
-                base.num_samples,
-                base.num_eval,
-            );
+            let (src, samples, eval) =
+                crate::scenarios::warm_up(scaled, base.n, base.k, base.num_samples, base.num_eval);
             sc.source = src;
             sc.samples = samples;
             sc.eval_epochs = eval;
@@ -336,8 +334,7 @@ pub fn fig8(fast: bool) -> FigureResult {
 
     let ctx_probe = PlanContext::new(topo, &em, &scenario.samples, 1.0);
     let min_proof = ctx_probe.min_proof_cost();
-    let fracs: &[f64] =
-        if fast { &[0.0, 0.3, 1.0] } else { &[0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 1.0] };
+    let fracs: &[f64] = if fast { &[0.0, 0.3, 1.0] } else { &[0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 1.0] };
     let mut points = Vec::new();
     for (t, &frac) in fracs.iter().enumerate() {
         let phase1_budget = min_proof + frac * (1.15 * naive_cost - min_proof);
@@ -457,7 +454,9 @@ pub fn e_samples(fast: bool) -> FigureResult {
 
 /// §5 "Other Results": LP solve wall time vs the energy constraint.
 pub fn e_lp_time(fast: bool) -> FigureResult {
-    let scenario = if fast { GaussianScenario::fig3(true) } else {
+    let scenario = if fast {
+        GaussianScenario::fig3(true)
+    } else {
         GaussianScenario {
             n: 80,
             k: 15,
@@ -484,9 +483,25 @@ pub fn e_lp_time(fast: bool) -> FigureResult {
     }
     // Proof LP timings on a smaller network (its LP is the largest).
     let proof_scenario = if fast {
-        GaussianScenario { n: 14, k: 3, num_samples: 4, num_eval: 2, mean_range: 40.0..60.0, std_range: 1.0..4.0, seed: 72 }
+        GaussianScenario {
+            n: 14,
+            k: 3,
+            num_samples: 4,
+            num_eval: 2,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 72,
+        }
     } else {
-        GaussianScenario { n: 30, k: 6, num_samples: 6, num_eval: 2, mean_range: 40.0..60.0, std_range: 1.0..4.0, seed: 72 }
+        GaussianScenario {
+            n: 30,
+            k: 6,
+            num_samples: 6,
+            num_eval: 2,
+            mean_range: 40.0..60.0,
+            std_range: 1.0..4.0,
+            seed: 72,
+        }
     }
     .build();
     let ptopo = &proof_scenario.network.topology;
@@ -559,7 +574,6 @@ pub fn naive1_vs_naive_k(fast: bool) -> FigureResult {
         points,
     }
 }
-
 
 /// Ablation: how the proof planner's budget-fill strategy affects
 /// `ProspectorExact` (DESIGN.md §9). The need-aware fill spreads witness
@@ -665,7 +679,12 @@ pub fn e_failures(fast: bool) -> FigureResult {
             let mut acc = 0.0;
             for values in &scenario.eval_epochs {
                 let r = prospector_sim::execute_plan(
-                    &plan, topo, &em, values, k, Some((&fm, &mut rng)),
+                    &plan,
+                    topo,
+                    &em,
+                    values,
+                    k,
+                    Some((&fm, &mut rng)),
                 );
                 energy += r.total_mj();
                 acc += evaluate::accuracy_on_values(&plan, topo, values, k);
@@ -685,6 +704,77 @@ pub fn e_failures(fast: bool) -> FigureResult {
     }
 }
 
+/// Extension: permanent-failure tolerance (Section 4.4, "Adapting to
+/// change"). A growing fraction of non-root nodes dies mid-run; the
+/// runner detects each death, repairs the spanning tree, masks the dead
+/// out of the sample window and re-plans through the degradation chain.
+/// The reproduction target is graceful decay: accuracy over the
+/// *survivors* should fall slowly with the death rate, never collapse.
+pub fn fault_tolerance(fast: bool) -> FigureResult {
+    use prospector_core::FallbackPlanner;
+    use prospector_data::SamplePolicy;
+    use prospector_net::{FaultSchedule, NetworkBuilder, Phase};
+    use prospector_sim::{ExperimentConfig, ExperimentRunner};
+
+    let (n, k, epochs) = if fast { (30usize, 4usize, 60u64) } else { (80, 10, 160) };
+    let side = 40.0 * (n as f64).sqrt();
+    let network =
+        NetworkBuilder::new(n, side, side, 70.0).seed(87).build().expect("connected placement");
+    let topo = &network.topology;
+    let em = EnergyModel::mica2();
+
+    // Budget pinned to a fraction of NAIVE-k's measured cost, as in the
+    // accuracy figures.
+    let mut probe = prospector_data::IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 87);
+    let probe_values = probe.values(0);
+    let naive_cost =
+        execute_plan(&Plan::naive_k(topo, k), topo, &em, &probe_values, k, None).total_mj();
+
+    let rates: &[f64] = if fast { &[0.0, 0.1, 0.25] } else { &[0.0, 0.05, 0.1, 0.2, 0.3] };
+    let warmup = 8u64;
+    let mut points = Vec::new();
+    for &rate in rates {
+        let deaths = (rate * (n - 1) as f64).round() as usize;
+        // Deaths land strictly after warmup and leave a recovery tail.
+        let faults = FaultSchedule::random_deaths(n, deaths, warmup + 2..epochs * 3 / 4, 87);
+        let planner = FallbackPlanner::standard();
+        let config = ExperimentConfig {
+            k,
+            window: 10,
+            policy: SamplePolicy::Periodic { warmup, period: 10 },
+            budget_mj: 0.4 * naive_cost,
+            replan_every: 8,
+            replan_threshold: 0.1,
+            failures: None,
+            faults,
+            install_retries: 2,
+            seed: 87,
+        };
+        let mut source = prospector_data::IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 87);
+        let mut runner = ExperimentRunner::new(topo, &em, &planner, config);
+        let reports = runner.run(&mut source, epochs).expect("fallback chain never aborts");
+
+        let queries: Vec<_> = reports.iter().filter(|r| !r.sampled).collect();
+        let acc = 100.0 * queries.iter().map(|r| r.accuracy).sum::<f64>() / queries.len() as f64;
+        let repaired = reports.iter().filter(|r| r.repaired).count();
+        let fallbacks = reports.iter().filter(|r| r.fallback_used.is_some()).count();
+        points.push(CurvePoint::new("query-accuracy", rate, acc));
+        points.push(CurvePoint::new("repaired-epochs", rate, repaired as f64));
+        points.push(CurvePoint::new("fallback-epochs", rate, fallbacks as f64));
+        points.push(CurvePoint::new(
+            "repair-energy",
+            rate,
+            runner.meter().phase_total(Phase::Repair),
+        ));
+    }
+    FigureResult {
+        id: "fault_tolerance",
+        title: "Fault tolerance: node-death rate vs accuracy (Section 4.4)",
+        x_label: "fraction of non-root nodes killed",
+        y_label: "accuracy (%) / epochs / energy (mJ)",
+        points,
+    }
+}
 
 /// Extension: the marginal value of energy (the LP+LF budget row's shadow
 /// price) across budgets — a diminishing-returns curve an operator can use
@@ -781,6 +871,7 @@ pub fn all(fast: bool) -> Vec<FigureResult> {
         naive1_vs_naive_k(fast),
         ablation_fill(fast),
         e_failures(fast),
+        fault_tolerance(fast),
         e_sensitivity(fast),
         e_subset(fast),
     ]
@@ -791,8 +882,7 @@ mod tests {
     use super::*;
 
     fn series_avg(points: &[CurvePoint], series: &str) -> f64 {
-        let ys: Vec<f64> =
-            points.iter().filter(|p| p.series == series).map(|p| p.y).collect();
+        let ys: Vec<f64> = points.iter().filter(|p| p.series == series).map(|p| p.y).collect();
         assert!(!ys.is_empty(), "missing series {series}");
         ys.iter().sum::<f64>() / ys.len() as f64
     }
@@ -802,18 +892,10 @@ mod tests {
         let f = fig3(true);
         // Approximate planners must dominate naive-k: higher accuracy at
         // far lower cost. Compare energy needed for the best accuracy.
-        let naive_full_cost = f
-            .points
-            .iter()
-            .filter(|p| p.series == "naive-k")
-            .map(|p| p.x)
-            .fold(0.0f64, f64::max);
-        let lp_costs: Vec<&CurvePoint> =
-            f.points.iter().filter(|p| p.series == "lp+lf").collect();
-        let best_lp = lp_costs
-            .iter()
-            .max_by(|a, b| a.y.partial_cmp(&b.y).unwrap())
-            .unwrap();
+        let naive_full_cost =
+            f.points.iter().filter(|p| p.series == "naive-k").map(|p| p.x).fold(0.0f64, f64::max);
+        let lp_costs: Vec<&CurvePoint> = f.points.iter().filter(|p| p.series == "lp+lf").collect();
+        let best_lp = lp_costs.iter().max_by(|a, b| a.y.partial_cmp(&b.y).unwrap()).unwrap();
         assert!(
             best_lp.x < naive_full_cost,
             "lp+lf should reach its best accuracy below naive-k's full cost"
@@ -851,12 +933,31 @@ mod tests {
         }
         // Later trials (bigger phase-1 budget) spend more in phase 1.
         let p1_first = f.points.iter().find(|p| p.series == "phase-1").unwrap().y;
-        let p1_last = f
-            .points
-            .iter().rfind(|p| p.series == "phase-1")
-            .unwrap()
-            .y;
+        let p1_last = f.points.iter().rfind(|p| p.series == "phase-1").unwrap().y;
         assert!(p1_last >= p1_first - 1e-9);
+    }
+
+    #[test]
+    fn fault_tolerance_fast_shape() {
+        let f = fault_tolerance(true);
+        let at = |series: &str, x: f64| {
+            f.points
+                .iter()
+                .find(|p| p.series == series && p.x == x)
+                .unwrap_or_else(|| panic!("missing {series} at {x}"))
+                .y
+        };
+        // No faults: nothing repaired, no repair energy.
+        assert_eq!(at("repaired-epochs", 0.0), 0.0);
+        assert_eq!(at("repair-energy", 0.0), 0.0);
+        // At the top rate the machinery actually fired and was charged.
+        assert!(at("repaired-epochs", 0.25) > 0.0);
+        assert!(at("repair-energy", 0.25) > 0.0);
+        // Graceful decay: every rate keeps usable accuracy over survivors.
+        for &rate in &[0.0, 0.1, 0.25] {
+            let acc = at("query-accuracy", rate);
+            assert!(acc > 40.0, "accuracy collapsed at death rate {rate}: {acc}");
+        }
     }
 
     #[test]

@@ -30,9 +30,8 @@ pub fn warm_up<S: ValueSource>(
     for epoch in 0..num_samples as u64 {
         samples.push(source.values(epoch));
     }
-    let eval: Vec<Vec<f64>> = (0..num_eval as u64)
-        .map(|i| source.values(num_samples as u64 + i))
-        .collect();
+    let eval: Vec<Vec<f64>> =
+        (0..num_eval as u64).map(|i| source.values(num_samples as u64 + i)).collect();
     (source, samples, eval)
 }
 
@@ -110,7 +109,14 @@ impl ZoneScenario {
         if fast {
             ZoneScenario { zones: 6, k: 4, background: 40, num_samples: 8, num_eval: 6, seed: 17 }
         } else {
-            ZoneScenario { zones: 6, k: 10, background: 140, num_samples: 40, num_eval: 10, seed: 17 }
+            ZoneScenario {
+                zones: 6,
+                k: 10,
+                background: 140,
+                num_samples: 40,
+                num_eval: 10,
+                seed: 17,
+            }
         }
     }
 
@@ -185,11 +191,7 @@ impl IntelScenario {
             })
             .expect("lab network connects at some radio range");
         let positions: Vec<Position> = network.positions.clone();
-        let source = prospector_data::IntelLabLike::new(
-            positions,
-            IntelCfg::default(),
-            self.seed,
-        );
+        let source = prospector_data::IntelLabLike::new(positions, IntelCfg::default(), self.seed);
         let (source, samples, eval_epochs) =
             warm_up(source, self.n, self.k, self.num_samples, self.num_eval);
         Scenario { network, source, samples, eval_epochs, k: self.k }

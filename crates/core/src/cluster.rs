@@ -29,8 +29,7 @@ pub struct Clustering {
 impl Clustering {
     /// Builds a clustering from a per-node assignment.
     pub fn new(assignment: Vec<Option<usize>>) -> Self {
-        let num_clusters =
-            assignment.iter().flatten().copied().max().map_or(0, |c| c + 1);
+        let num_clusters = assignment.iter().flatten().copied().max().map_or(0, |c| c + 1);
         Clustering { assignment, num_clusters }
     }
 
@@ -128,10 +127,8 @@ pub fn plan_cluster_query(
     }
 
     let mut lp = Problem::new(Sense::Maximize);
-    let x: Vec<VarId> = candidates
-        .iter()
-        .map(|&c| lp.add_var(0.0, 1.0, counts[c] as f64))
-        .collect();
+    let x: Vec<VarId> =
+        candidates.iter().map(|&c| lp.add_var(0.0, 1.0, counts[c] as f64)).collect();
     let mut y: Vec<Option<VarId>> = vec![None; n];
     for e in topo.edges() {
         if relevant[e.index()] {
@@ -153,11 +150,8 @@ pub fn plan_cluster_query(
         }
     }
     for (ci, &c) in candidates.iter().enumerate() {
-        let transport: f64 = clustering
-            .members(c)
-            .iter()
-            .map(|&m| per_value * topo.depth(m) as f64)
-            .sum();
+        let transport: f64 =
+            clustering.members(c).iter().map(|&m| per_value * topo.depth(m) as f64).sum();
         budget_terms.push((x[ci], transport));
     }
     lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj);
@@ -185,11 +179,7 @@ pub fn plan_cluster_query(
 }
 
 /// The chosen-set plan fetching every member of the given clusters.
-pub fn plan_for_clusters(
-    topology: &Topology,
-    clustering: &Clustering,
-    clusters: &[usize],
-) -> Plan {
+pub fn plan_for_clusters(topology: &Topology, clustering: &Clustering, clusters: &[usize]) -> Plan {
     let mut chosen = vec![false; topology.len()];
     for &c in clusters {
         for m in clustering.members(c) {
@@ -295,9 +285,7 @@ mod tests {
         let ctx = PlanContext::new(&t, &em, &samples, budget);
         let plan = plan_cluster_query(&ctx, &cl, &samples, 2).unwrap();
         assert!(ctx.plan_cost(&plan) <= budget + 1e-9);
-        let covered = (0..3)
-            .filter(|&c| cl.members(c).iter().all(|&m| plan.visits(&t, m)))
-            .count();
+        let covered = (0..3).filter(|&c| cl.members(c).iter().all(|&m| plan.visits(&t, m))).count();
         assert_eq!(covered, 1);
     }
 

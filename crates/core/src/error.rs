@@ -1,6 +1,7 @@
 //! Planner errors.
 
 use prospector_lp::LpError;
+use prospector_net::RepairError;
 use std::fmt;
 
 /// Errors raised while constructing a query plan.
@@ -17,6 +18,9 @@ pub enum PlanError {
     /// The LP reported an unexpected status (infeasible/unbounded), which
     /// indicates a formulation bug for these always-feasible programs.
     UnexpectedLpStatus(&'static str),
+    /// A permanent failure could not be repaired (e.g. the query station
+    /// itself died), so no plan can be executed at all.
+    Repair(RepairError),
 }
 
 impl fmt::Display for PlanError {
@@ -29,6 +33,7 @@ impl fmt::Display for PlanError {
                 "budget {budget_mj} mJ below the {required_mj} mJ this plan type requires"
             ),
             PlanError::UnexpectedLpStatus(s) => write!(f, "unexpected LP status: {s}"),
+            PlanError::Repair(e) => write!(f, "unrepairable permanent failure: {e}"),
         }
     }
 }
@@ -38,6 +43,12 @@ impl std::error::Error for PlanError {}
 impl From<LpError> for PlanError {
     fn from(e: LpError) -> Self {
         PlanError::Lp(e)
+    }
+}
+
+impl From<RepairError> for PlanError {
+    fn from(e: RepairError) -> Self {
+        PlanError::Repair(e)
     }
 }
 

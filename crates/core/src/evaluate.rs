@@ -27,9 +27,8 @@ pub fn accuracy_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: u
 pub fn expected_misses(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
     assert!(!samples.is_empty(), "no samples to evaluate against");
     let k = samples.k();
-    let total: usize = (0..samples.len())
-        .map(|j| k - hits_on_values(plan, topology, samples.values(j), k))
-        .sum();
+    let total: usize =
+        (0..samples.len()).map(|j| k - hits_on_values(plan, topology, samples.values(j), k)).sum();
     total as f64 / samples.len() as f64
 }
 
@@ -43,8 +42,9 @@ pub fn expected_accuracy(plan: &Plan, topology: &Topology, samples: &SampleSet) 
 pub fn expected_proven(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
     assert!(!samples.is_empty(), "no samples to evaluate against");
     let k = samples.k();
-    let total: usize =
-        (0..samples.len()).map(|j| run_proof_plan(plan, topology, samples.values(j), k).proven).sum();
+    let total: usize = (0..samples.len())
+        .map(|j| run_proof_plan(plan, topology, samples.values(j), k).proven)
+        .sum();
     total as f64 / samples.len() as f64
 }
 

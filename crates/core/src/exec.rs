@@ -89,12 +89,7 @@ pub fn run_plan(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> C
 /// maximum). Besides the answer, the outcome reports how many answer
 /// values are proven and retains each node's `retrieved`/`proven` state
 /// for the exact algorithm's mop-up phase.
-pub fn run_proof_plan(
-    plan: &Plan,
-    topology: &Topology,
-    values: &[f64],
-    k: usize,
-) -> ProofOutcome {
+pub fn run_proof_plan(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> ProofOutcome {
     assert_eq!(values.len(), topology.len());
     debug_assert!(
         topology.edges().all(|e| plan.is_used(e)),
@@ -136,7 +131,11 @@ pub fn run_proof_plan(
         merged.sort_unstable_by(Reading::rank_cmp);
         retrieved[u.index()] = merged.clone();
 
-        let send_len = if is_root { k.min(merged.len()) } else { (plan.bandwidth(u) as usize).min(merged.len()) };
+        let send_len = if is_root {
+            k.min(merged.len())
+        } else {
+            (plan.bandwidth(u) as usize).min(merged.len())
+        };
         let to_send = &merged[..send_len];
 
         // Step 3: prove values. A value v (possibly u's own) is proven at
@@ -159,9 +158,7 @@ pub fn run_proof_plan(
                     }
                 }
                 // (c.2): some proven value of c ranks strictly worse.
-                proven_prefix
-                    .iter()
-                    .any(|x| x.rank_cmp(v) == std::cmp::Ordering::Greater)
+                proven_prefix.iter().any(|x| x.rank_cmp(v) == std::cmp::Ordering::Greater)
             })
         };
 

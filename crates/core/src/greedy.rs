@@ -77,7 +77,12 @@ pub(crate) fn candidates_by_count(ctx: &PlanContext<'_>, counts: &[u32]) -> Vec<
 /// Greedily adds affordable candidates (in priority order) to an existing
 /// chosen set. Shared by the greedy planner, the LP−LF budget filler and
 /// the generalized subset planner.
-pub(crate) fn greedy_extend(set: &mut ChosenSet, ctx: &PlanContext<'_>, counts: &[u32], budget: f64) {
+pub(crate) fn greedy_extend(
+    set: &mut ChosenSet,
+    ctx: &PlanContext<'_>,
+    counts: &[u32],
+    budget: f64,
+) {
     for node in candidates_by_count(ctx, counts) {
         if set.is_chosen(node) {
             continue;

@@ -36,6 +36,7 @@ pub mod error;
 pub mod evaluate;
 pub mod exact;
 pub mod exec;
+pub mod fallback;
 pub mod greedy;
 pub mod lp_lf;
 pub mod lp_no_lf;
@@ -51,11 +52,12 @@ pub use cluster::{plan_cluster_query, Clustering};
 pub use error::PlanError;
 pub use exact::ExactConfig;
 pub use exec::{run_plan, run_proof_plan, CollectionOutcome, ProofOutcome};
+pub use fallback::FallbackPlanner;
 pub use greedy::ProspectorGreedy;
 pub use lp_lf::{budget_shadow_price, ProspectorLpLf};
 pub use lp_no_lf::ProspectorLpNoLf;
 pub use naive::NaiveK;
 pub use plan::Plan;
-pub use planner::{PlanContext, Planner};
+pub use planner::{PlanContext, PlannedWith, Planner};
 pub use proof_lp::ProspectorProof;
 pub use subset::{deliver_chosen, plan_subset_query, subset_accuracy};

@@ -276,10 +276,7 @@ mod tests {
         plan.validate(&t).unwrap();
         let member_bw: u32 = (2..t.len()).map(|i| plan.bandwidth(NodeId::from_index(i))).sum();
         let head_bw = plan.bandwidth(NodeId(1));
-        assert!(
-            head_bw < member_bw,
-            "no filtering: head {head_bw} vs members {member_bw}"
-        );
+        assert!(head_bw < member_bw, "no filtering: head {head_bw} vs members {member_bw}");
         // And it must actually deliver the spike in most samples.
         let misses = expected_misses(&plan, &t, &s);
         assert!(misses < 0.2, "misses {misses}");

@@ -86,12 +86,8 @@ mod tests {
     fn oracle_proof_proves_full_answer() {
         // The m_e + 1 witness rule must yield a fully proven answer on a
         // variety of shapes and value assignments.
-        for (t, seed) in [
-            (balanced(2, 3), 11u64),
-            (balanced(3, 2), 5),
-            (chain(9), 3),
-            (star(9), 7),
-        ] {
+        for (t, seed) in [(balanced(2, 3), 11u64), (balanced(3, 2), 5), (chain(9), 3), (star(9), 7)]
+        {
             let values: Vec<f64> =
                 (0..t.len()).map(|i| ((i as u64 * 131 + seed * 17) % 97) as f64).collect();
             for k in [1, 2, 4] {

@@ -154,7 +154,11 @@ impl Plan {
             let w = self.bandwidth[e.index()];
             let sub = topology.subtree_size(e) as u32;
             if w > sub {
-                return Err(PlanInvariant::BandwidthExceedsSubtree { edge: e, bandwidth: w, subtree: sub });
+                return Err(PlanInvariant::BandwidthExceedsSubtree {
+                    edge: e,
+                    bandwidth: w,
+                    subtree: sub,
+                });
             }
             if self.proof_carrying && w == 0 {
                 return Err(PlanInvariant::ProofPlanSkipsEdge { edge: e });
@@ -237,10 +241,7 @@ mod tests {
         let t = chain(3);
         let mut p = Plan::empty(3);
         p.set_bandwidth(NodeId(2), 5);
-        assert!(matches!(
-            p.validate(&t),
-            Err(PlanInvariant::BandwidthExceedsSubtree { .. })
-        ));
+        assert!(matches!(p.validate(&t), Err(PlanInvariant::BandwidthExceedsSubtree { .. })));
     }
 
     #[test]

@@ -43,8 +43,7 @@ impl<'a> PlanContext<'a> {
     /// Effective per-message cost on the edge above `child`, including the
     /// expected rerouting overhead.
     pub fn edge_message_cost(&self, child: NodeId) -> f64 {
-        self.energy.per_message_mj
-            + self.failures.map_or(0.0, |f| f.expected_extra_cost(child))
+        self.energy.per_message_mj + self.failures.map_or(0.0, |f| f.expected_extra_cost(child))
     }
 
     /// Collection-phase cost of a plan under this context's cost model:
@@ -63,10 +62,7 @@ impl<'a> PlanContext<'a> {
     /// Cost of the proven-count side channel of a proof-carrying plan: one
     /// extra field per non-leaf edge (Section 4.3 step 4).
     pub fn proof_overhead(&self) -> f64 {
-        self.topology
-            .edges()
-            .filter(|&e| !self.topology.is_leaf(e))
-            .count() as f64
+        self.topology.edges().filter(|&e| !self.topology.is_leaf(e)).count() as f64
             * self.energy.per_byte_mj
             * self.energy.proven_count_bytes as f64
     }
@@ -75,12 +71,24 @@ impl<'a> PlanContext<'a> {
     /// at least one value.
     pub fn min_proof_cost(&self) -> f64 {
         let per_value = self.energy.per_value();
-        self.topology
-            .edges()
-            .map(|e| self.edge_message_cost(e) + per_value)
-            .sum::<f64>()
+        self.topology.edges().map(|e| self.edge_message_cost(e) + per_value).sum::<f64>()
             + self.proof_overhead()
     }
+}
+
+/// A plan together with provenance: which algorithm actually produced it.
+///
+/// Produced by [`Planner::plan_traced`]; combinators like
+/// `FallbackPlanner` use it to report *which* link of their chain
+/// succeeded without resorting to interior mutability.
+#[derive(Debug, Clone)]
+pub struct PlannedWith {
+    pub plan: Plan,
+    /// [`Planner::name`] of the algorithm that produced the plan.
+    pub planner: &'static str,
+    /// How many planners failed before this one succeeded (0 = the
+    /// primary planner worked).
+    pub fallback_depth: usize,
 }
 
 /// A query-plan construction algorithm.
@@ -90,6 +98,14 @@ pub trait Planner {
 
     /// Builds a plan whose collection cost stays within `ctx.budget_mj`.
     fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError>;
+
+    /// Like [`Planner::plan`] but also reports which algorithm produced
+    /// the plan. For a plain planner that is simply itself at depth 0;
+    /// combinators override this to attribute the plan to the chain link
+    /// that actually succeeded.
+    fn plan_traced(&self, ctx: &PlanContext<'_>) -> Result<PlannedWith, PlanError> {
+        Ok(PlannedWith { plan: self.plan(ctx)?, planner: self.name(), fallback_depth: 0 })
+    }
 }
 
 #[cfg(test)]

@@ -99,9 +99,8 @@ impl Planner for ProspectorProof {
                 }
             }
         }
-        let pvar = |j: usize, i: NodeId, a: NodeId| -> Option<VarId> {
-            p.get(&(j, i.0, a.0)).copied()
-        };
+        let pvar =
+            |j: usize, i: NodeId, a: NodeId| -> Option<VarId> { p.get(&(j, i.0, a.0)).copied() };
 
         // (13) monotonicity along each node's ancestor path.
         for j in 0..num_samples {
@@ -197,12 +196,10 @@ impl Planner for ProspectorProof {
 
         // (11) budget: every edge pays its message; bandwidth pays bytes;
         // the proven-count side channel is reserved up front.
-        let fixed: f64 = topo.edges().map(|e| ctx.edge_message_cost(e)).sum::<f64>()
-            + ctx.proof_overhead();
-        let budget_terms: Vec<(VarId, f64)> = topo
-            .edges()
-            .map(|e| (w[e.index()].expect("bandwidth var"), per_value))
-            .collect();
+        let fixed: f64 =
+            topo.edges().map(|e| ctx.edge_message_cost(e)).sum::<f64>() + ctx.proof_overhead();
+        let budget_terms: Vec<(VarId, f64)> =
+            topo.edges().map(|e| (w[e.index()].expect("bandwidth var"), per_value)).collect();
         lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj - fixed);
 
         let sol = lp.solve()?;

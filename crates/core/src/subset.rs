@@ -57,12 +57,7 @@ pub fn deliver_chosen(plan: &Plan, topology: &Topology, values: &[f64]) -> Vec<R
 
 /// Fraction of the true answer a plan delivers for one epoch (`1.0` when
 /// the true answer is empty).
-pub fn subset_accuracy(
-    plan: &Plan,
-    topology: &Topology,
-    spec: &AnswerSpec,
-    values: &[f64],
-) -> f64 {
+pub fn subset_accuracy(plan: &Plan, topology: &Topology, spec: &AnswerSpec, values: &[f64]) -> f64 {
     let truth = spec.answer_nodes(values);
     if truth.is_empty() {
         return 1.0;

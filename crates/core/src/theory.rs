@@ -150,10 +150,7 @@ mod tests {
         // Few samples: may be off. Many samples: must be near-optimal.
         let subset = sampled_lp_subset(&d, 2, 400, 7);
         let achieved = d.expected_misses(&subset);
-        assert!(
-            achieved <= opt + 1e-9,
-            "sampled solution {achieved} worse than optimum {opt}"
-        );
+        assert!(achieved <= opt + 1e-9, "sampled solution {achieved} worse than optimum {opt}");
     }
 
     #[test]
@@ -176,10 +173,7 @@ mod tests {
             let (_, opt) = optimal_subset(&d, t);
             let subset = sampled_lp_subset(&d, t, 600, trial);
             let achieved = d.expected_misses(&subset);
-            assert!(
-                achieved <= opt + 0.35,
-                "trial {trial}: sampled {achieved} vs optimum {opt}"
-            );
+            assert!(achieved <= opt + 0.35, "trial {trial}: sampled {achieved} vs optimum {opt}");
         }
     }
 

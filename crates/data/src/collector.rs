@@ -45,10 +45,7 @@ impl SamplePolicy {
 /// value in its subtree to the root in one message per edge (the cheapest
 /// exact full collection).
 pub fn full_sweep_cost(topology: &Topology, energy: &EnergyModel) -> f64 {
-    topology
-        .edges()
-        .map(|e| energy.unicast_values(topology.subtree_size(e)))
-        .sum()
+    topology.edges().map(|e| energy.unicast_values(topology.subtree_size(e))).sum()
 }
 
 #[cfg(test)]

@@ -68,11 +68,7 @@ impl ValueSource for IndependentGaussian {
 
     fn values(&mut self, epoch: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, epoch, 1));
-        self.means
-            .iter()
-            .zip(&self.std_devs)
-            .map(|(&m, &s)| normal(&mut rng, m, s))
-            .collect()
+        self.means.iter().zip(&self.std_devs).map(|(&m, &s)| normal(&mut rng, m, s)).collect()
     }
 
     fn name(&self) -> &'static str {

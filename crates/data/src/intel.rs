@@ -43,6 +43,11 @@ pub struct IntelConfig {
     pub wobble_std: f64,
     /// Number of regional wobble modes.
     pub wobble_modes: usize,
+    /// Length scale (meters) of a wobble mode's spatial falloff. Larger
+    /// scales make the fluctuation more building-wide: it shifts absolute
+    /// temperatures without reordering the warm spots, which is what keeps
+    /// the top-k membership persistent (the Figure 9 statistic).
+    pub wobble_scale: f64,
     /// Per-reading measurement noise standard deviation.
     pub noise_std: f64,
     /// Probability a reading goes missing (filled per the paper).
@@ -56,11 +61,12 @@ impl Default for IntelConfig {
             diurnal_amplitude: 2.5,
             epochs_per_day: 48,
             heat_sources: 9,
-            heat_amplitude: 3.5,
+            heat_amplitude: 4.5,
             heat_scale: 7.0,
             wobble_std: 1.4,
             wobble_modes: 6,
-            noise_std: 0.5,
+            wobble_scale: 60.0,
+            noise_std: 0.15,
             missing_prob: 0.03,
         }
     }
@@ -133,7 +139,7 @@ impl IntelLabLike {
             .iter()
             .map(|(c, phase, period)| {
                 let falloff =
-                    (-(self.positions[node].distance(c) / (3.0 * self.cfg.heat_scale)).powi(2)).exp();
+                    (-(self.positions[node].distance(c) / self.cfg.wobble_scale).powi(2)).exp();
                 self.cfg.wobble_std * falloff * (std::f64::consts::TAU * t / period + phase).sin()
             })
             .sum();

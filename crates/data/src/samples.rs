@@ -25,10 +25,7 @@ impl Reading {
     /// Comparison placing the *better* reading first (descending value,
     /// ascending node id).
     pub fn rank_cmp(&self, other: &Reading) -> Ordering {
-        other
-            .value
-            .total_cmp(&self.value)
-            .then_with(|| self.node.cmp(&other.node))
+        other.value.total_cmp(&self.value).then_with(|| self.node.cmp(&other.node))
     }
 }
 
@@ -170,6 +167,32 @@ impl SampleSet {
         &self.column_counts
     }
 
+    /// Removes `nodes` from every sample in the window, as if they had
+    /// never reported: their readings become `NEG_INFINITY` and the top-k
+    /// sets and column counts are recomputed over the survivors.
+    ///
+    /// Used after a permanent failure — historical samples from a dead
+    /// node would otherwise keep steering planners toward it even though
+    /// it can no longer answer.
+    pub fn mask_nodes(&mut self, nodes: &[NodeId]) {
+        if nodes.is_empty() {
+            return;
+        }
+        self.column_counts.fill(0);
+        for (row, ones) in self.window.iter_mut().zip(self.ones.iter_mut()) {
+            for &node in nodes {
+                row[node.index()] = f64::NEG_INFINITY;
+            }
+            *ones = top_k_nodes(row, self.k);
+            // With fewer than k survivors the top-k would include masked
+            // entries; a dead node must never count as a top-k holder.
+            ones.retain(|n| row[n.index()] != f64::NEG_INFINITY);
+            for &node in ones.iter() {
+                self.column_counts[node.index()] += 1;
+            }
+        }
+    }
+
     /// Nodes among `candidates` whose value in sample `j` is strictly
     /// smaller than `threshold` — the witness sets `smaller(·)` of the
     /// proof LP (Section 4.3).
@@ -252,6 +275,51 @@ mod tests {
         s.push(vec![1.5, 2.5]);
         assert_eq!(s.value(0, NodeId(1)), 2.5);
         assert_eq!(s.values(0), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn mask_nodes_rewrites_window_and_counts() {
+        let mut s = SampleSet::new(4, 2, 10);
+        s.push(vec![1.0, 4.0, 3.0, 2.0]); // top2: n1, n2
+        s.push(vec![9.0, 8.0, 0.0, 1.0]); // top2: n0, n1
+        s.mask_nodes(&[NodeId(1)]);
+        // n1 drops out everywhere; the next best node takes its place.
+        assert_eq!(s.ones(0), &[NodeId(2), NodeId(3)]);
+        assert_eq!(s.ones(1), &[NodeId(0), NodeId(3)]);
+        assert_eq!(s.column_counts(), &[1, 0, 1, 2]);
+        assert_eq!(s.value(0, NodeId(1)), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mask_nodes_never_reports_dead_topk() {
+        // 3 nodes, k = 2, two dead: only the lone survivor may rank.
+        let mut s = SampleSet::new(3, 2, 4);
+        s.push(vec![3.0, 2.0, 1.0]);
+        s.mask_nodes(&[NodeId(0), NodeId(1)]);
+        assert_eq!(s.ones(0), &[NodeId(2)]);
+        assert_eq!(s.column_counts(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn mask_nothing_is_identity() {
+        let mut s = SampleSet::new(3, 1, 4);
+        s.push(vec![1.0, 5.0, 2.0]);
+        let before = s.clone();
+        s.mask_nodes(&[]);
+        assert_eq!(s.ones(0), before.ones(0));
+        assert_eq!(s.column_counts(), before.column_counts());
+        assert_eq!(s.values(0), before.values(0));
+    }
+
+    #[test]
+    fn masking_composes_with_eviction() {
+        let mut s = SampleSet::new(3, 1, 2);
+        s.push(vec![3.0, 1.0, 0.0]); // top: n0
+        s.push(vec![0.0, 3.0, 1.0]); // top: n1
+        s.mask_nodes(&[NodeId(1)]);
+        assert_eq!(s.column_counts(), &[1, 0, 1]);
+        s.push(vec![0.0, 9.0, 1.0]); // evicts the oldest; n1 alive again in new data
+        assert_eq!(s.column_counts(), &[0, 1, 1]);
     }
 
     #[test]

@@ -89,9 +89,8 @@ fn erfc_approx(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         tau
     } else {
@@ -103,7 +102,8 @@ fn erfc_approx(x: f64) -> f64 {
 /// stream id) so stateless sources can regenerate any epoch.
 pub fn mix_seed(seed: u64, epoch: u64, stream: u64) -> u64 {
     // SplitMix64-style finalizer over the XOR of the inputs.
-    let mut z = seed ^ epoch.wrapping_mul(0x9e3779b97f4a7c15) ^ stream.wrapping_mul(0xbf58476d1ce4e5b9);
+    let mut z =
+        seed ^ epoch.wrapping_mul(0x9e3779b97f4a7c15) ^ stream.wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)

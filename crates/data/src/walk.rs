@@ -26,18 +26,18 @@ pub struct RandomWalk {
 impl RandomWalk {
     /// `n` walks starting at `N(mean, start_std²)` with step size
     /// `step_std` and mean-reversion factor `reversion ∈ [0, 1)`.
-    pub fn new(n: usize, mean: f64, start_std: f64, step_std: f64, reversion: f64, seed: u64) -> Self {
+    pub fn new(
+        n: usize,
+        mean: f64,
+        start_std: f64,
+        step_std: f64,
+        reversion: f64,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..1.0).contains(&reversion));
         let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0, 0x3A1));
         let init: Vec<f64> = (0..n).map(|_| normal(&mut rng, mean, start_std)).collect();
-        RandomWalk {
-            seed,
-            step_std,
-            reversion,
-            current: init.clone(),
-            init,
-            current_epoch: None,
-        }
+        RandomWalk { seed, step_std, reversion, current: init.clone(), init, current_epoch: None }
     }
 
     fn advance_to(&mut self, epoch: u64) {

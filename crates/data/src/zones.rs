@@ -50,20 +50,18 @@ impl ContentionZones {
         );
         assert!(zone_std > background_std, "zone variance must exceed background variance");
         let zone_mean = background_mean - zone_std * normal_inv_cdf(1.0 - exceed_prob);
-        ContentionZones {
-            membership,
-            background_mean,
-            background_std,
-            zone_mean,
-            zone_std,
-            seed,
-        }
+        ContentionZones { membership, background_mean, background_std, zone_mean, zone_std, seed }
     }
 
     /// Convenience constructor matching the paper's setup: `z` zones of
     /// `2k` nodes, exceedance probability `1/(2z)` (expected `k` zone nodes
     /// above `m` in total).
-    pub fn paper_setup(membership: Vec<Option<usize>>, k: usize, background_mean: f64, seed: u64) -> Self {
+    pub fn paper_setup(
+        membership: Vec<Option<usize>>,
+        k: usize,
+        background_mean: f64,
+        seed: u64,
+    ) -> Self {
         let zones = membership.iter().flatten().copied().max().map_or(0, |z| z + 1);
         assert!(zones > 0, "membership names no zones");
         let per_zone = membership.iter().filter(|z| z.is_some()).count() / zones;

@@ -292,9 +292,8 @@ mod tests {
         let mut dense = DenseInverse::identity(m);
         let mut eta = EtaFile::identity(m);
         for pivot_row in 0..m {
-            let col: Vec<f64> = (0..m)
-                .map(|i| if i == pivot_row { 2.0 + next().abs() } else { next() })
-                .collect();
+            let col: Vec<f64> =
+                (0..m).map(|i| if i == pivot_row { 2.0 + next().abs() } else { next() }).collect();
             let mut a1 = col.clone();
             dense.ftran(&mut a1);
             let mut a2 = col.clone();

@@ -70,9 +70,8 @@ pub fn presolve(p: &Problem) -> Result<Presolved, LpError> {
     let n = p.num_vars();
 
     // Pass 1: fix variables with equal bounds; find forcing rows.
-    let mut fixed: Vec<Option<f64>> = (0..n)
-        .map(|j| if p.lower[j] == p.upper[j] { Some(p.lower[j]) } else { None })
-        .collect();
+    let mut fixed: Vec<Option<f64>> =
+        (0..n).map(|j| if p.lower[j] == p.upper[j] { Some(p.lower[j]) } else { None }).collect();
 
     for row in &p.rows {
         // Row activity range over non-fixed vars at their bounds.

@@ -77,11 +77,8 @@ impl Problem {
     where
         I: IntoIterator<Item = (VarId, f64)>,
     {
-        let mut v: Vec<(u32, f64)> = coeffs
-            .into_iter()
-            .filter(|&(_, c)| c != 0.0)
-            .map(|(var, c)| (var.0, c))
-            .collect();
+        let mut v: Vec<(u32, f64)> =
+            coeffs.into_iter().filter(|&(_, c)| c != 0.0).map(|(var, c)| (var.0, c)).collect();
         v.sort_unstable_by_key(|&(i, _)| i);
         v.dedup_by(|later, earlier| {
             if later.0 == earlier.0 {

@@ -271,9 +271,8 @@ impl<'a, R: BasisRep> Simplex<'a, R> {
         let m = self.std.m;
         let n_struct_slack_base = self.std.n_struct;
         // Rows whose basic variable is exactly its own slack need no pivot.
-        let mut pending: Vec<usize> = (0..m)
-            .filter(|&r| self.basis[r] as usize != n_struct_slack_base + r)
-            .collect();
+        let mut pending: Vec<usize> =
+            (0..m).filter(|&r| self.basis[r] as usize != n_struct_slack_base + r).collect();
         let mut alpha = vec![0.0; m];
         while !pending.is_empty() {
             let mut progressed = false;
@@ -519,11 +518,7 @@ impl<'a, R: BasisRep> Simplex<'a, R> {
     }
 }
 
-fn run<R: BasisRep>(
-    std: &Std,
-    p: &Problem,
-    opt: &SolverOptions,
-) -> Result<Solution, LpError> {
+fn run<R: BasisRep>(std: &Std, p: &Problem, opt: &SolverOptions) -> Result<Solution, LpError> {
     let mut sx = Simplex::<R>::new(std, opt);
 
     // Phase 1: drive artificials to zero (maximize -Σ|z|; the sign of
@@ -561,12 +556,7 @@ fn finish<R: BasisRep>(p: &Problem, std: &Std, sx: &Simplex<R>, status: Status) 
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
         };
-        Some(
-            y.iter()
-                .zip(&std.row_scale)
-                .map(|(&v, &s)| v * s * sense_mul)
-                .collect(),
-        )
+        Some(y.iter().zip(&std.row_scale).map(|(&v, &s)| v * s * sense_mul).collect())
     } else {
         None
     };
@@ -583,8 +573,16 @@ pub fn solve_with_options(p: &Problem, opt: &SolverOptions) -> Result<Solution, 
         let mut unbounded = false;
         for j in 0..p.num_vars() {
             let c = p.obj[j] * mul;
-            let target = if c > 0.0 { p.upper[j] } else if c < 0.0 { p.lower[j] } else {
-                if p.lower[j].is_finite() { p.lower[j] } else { p.upper[j] }
+            let target = if c > 0.0 {
+                p.upper[j]
+            } else if c < 0.0 {
+                p.lower[j]
+            } else {
+                if p.lower[j].is_finite() {
+                    p.lower[j]
+                } else {
+                    p.upper[j]
+                }
             };
             if !target.is_finite() && c != 0.0 {
                 unbounded = true;
@@ -784,13 +782,8 @@ mod tests {
         let weights = [1.0, 2.0, 3.0, 2.5, 0.5, 4.0];
         for cap in [0.5, 2.0, 5.0, 9.0, 20.0] {
             let mut p = Problem::new(Sense::Maximize);
-            let vars: Vec<_> =
-                values.iter().map(|&v| p.add_var(0.0, 1.0, v)).collect();
-            p.add_constraint(
-                vars.iter().zip(&weights).map(|(&v, &w)| (v, w)),
-                Cmp::Le,
-                cap,
-            );
+            let vars: Vec<_> = values.iter().map(|&v| p.add_var(0.0, 1.0, v)).collect();
+            p.add_constraint(vars.iter().zip(&weights).map(|(&v, &w)| (v, w)), Cmp::Le, cap);
             let s = solve(&p);
             assert_eq!(s.status, Status::Optimal);
             let expect = knapsack_optimum(&values, &weights, cap);
@@ -814,8 +807,16 @@ mod tests {
                 .collect();
             p.add_constraint(coeffs, Cmp::Le, 10.0 + r as f64);
         }
-        let d = solve_with_options(&p, &SolverOptions { basis: BasisChoice::Dense, ..Default::default() }).unwrap();
-        let e = solve_with_options(&p, &SolverOptions { basis: BasisChoice::Eta, ..Default::default() }).unwrap();
+        let d = solve_with_options(
+            &p,
+            &SolverOptions { basis: BasisChoice::Dense, ..Default::default() },
+        )
+        .unwrap();
+        let e = solve_with_options(
+            &p,
+            &SolverOptions { basis: BasisChoice::Eta, ..Default::default() },
+        )
+        .unwrap();
         assert_eq!(d.status, Status::Optimal);
         assert_eq!(e.status, Status::Optimal);
         assert!((d.objective - e.objective).abs() < 1e-6);

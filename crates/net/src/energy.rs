@@ -91,6 +91,13 @@ impl EnergyModel {
         self.unicast_bytes(self.subplan_bytes as usize)
     }
 
+    /// Cost of re-attaching one orphaned node during spanning-tree repair:
+    /// a neighbor-discovery broadcast plus the two-message parent/child
+    /// handshake that establishes the new reliable link.
+    pub fn repair_handshake(&self) -> f64 {
+        self.broadcast() + 2.0 * self.per_message_mj
+    }
+
     /// Marginal cost of shipping one value across one edge, ignoring the
     /// per-message overhead. Used by the LP objective/budget rows.
     pub fn per_value(&self) -> f64 {

@@ -11,6 +11,32 @@
 use crate::node::NodeId;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::fmt;
+
+/// Errors from building a [`FailureModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureModelError {
+    /// The per-edge probability vector does not cover every node of the
+    /// topology it is meant for.
+    LengthMismatch { expected: usize, got: usize },
+    /// A probability is outside `[0, 1]`.
+    ProbOutOfRange { index: usize, prob: f64 },
+}
+
+impl fmt::Display for FailureModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureModelError::LengthMismatch { expected, got } => {
+                write!(f, "failure model covers {got} nodes but the topology has {expected}")
+            }
+            FailureModelError::ProbOutOfRange { index, prob } => {
+                write!(f, "failure probability {prob} at node {index} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FailureModelError {}
 
 /// Per-edge transient failure statistics.
 #[derive(Debug, Clone)]
@@ -36,9 +62,42 @@ impl FailureModel {
     }
 
     /// Per-edge probabilities (collected as statistics by the network).
-    pub fn per_edge(fail_prob: Vec<f64>, reroute_penalty_mj: f64) -> Self {
-        assert!(fail_prob.iter().all(|p| (0.0..=1.0).contains(p)));
-        FailureModel { fail_prob, reroute_penalty_mj }
+    /// `n` is the node count of the topology this model is for; the vector
+    /// must have exactly one entry per node (the root's entry is unused)
+    /// and every probability must lie in `[0, 1]`.
+    pub fn per_edge(
+        n: usize,
+        fail_prob: Vec<f64>,
+        reroute_penalty_mj: f64,
+    ) -> Result<Self, FailureModelError> {
+        if fail_prob.len() != n {
+            return Err(FailureModelError::LengthMismatch { expected: n, got: fail_prob.len() });
+        }
+        for (index, &prob) in fail_prob.iter().enumerate() {
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(FailureModelError::ProbOutOfRange { index, prob });
+            }
+        }
+        Ok(FailureModel { fail_prob, reroute_penalty_mj })
+    }
+
+    /// Number of nodes this model covers.
+    pub fn len(&self) -> usize {
+        self.fail_prob.len()
+    }
+
+    /// True when the model covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.fail_prob.is_empty()
+    }
+
+    /// Permanently worsens the link above `child` by `added_prob`
+    /// (clamped to probability 1), e.g. after a
+    /// [`FaultEvent::LinkDegrade`](crate::fault::FaultEvent) fires.
+    pub fn degrade(&mut self, child: NodeId, added_prob: f64) {
+        assert!((0.0..=1.0).contains(&added_prob), "added probability out of range");
+        let p = &mut self.fail_prob[child.index()];
+        *p = (*p + added_prob).min(1.0);
     }
 
     /// Failure probability of the edge above `child`.
@@ -98,12 +157,40 @@ mod tests {
 
     #[test]
     fn per_edge_probabilities() {
-        let m = FailureModel::per_edge(vec![0.0, 0.5, 1.0], 1.0);
+        let m = FailureModel::per_edge(3, vec![0.0, 0.5, 1.0], 1.0).unwrap();
+        assert_eq!(m.len(), 3);
         assert_eq!(m.prob(NodeId(0)), 0.0);
         assert_eq!(m.prob(NodeId(2)), 1.0);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(m.sample_failure(NodeId(2), &mut rng));
         assert!(!m.sample_failure(NodeId(0), &mut rng));
+    }
+
+    #[test]
+    fn per_edge_rejects_length_mismatch() {
+        assert_eq!(
+            FailureModel::per_edge(4, vec![0.1; 3], 1.0).unwrap_err(),
+            FailureModelError::LengthMismatch { expected: 4, got: 3 }
+        );
+    }
+
+    #[test]
+    fn per_edge_rejects_bad_probability() {
+        assert_eq!(
+            FailureModel::per_edge(2, vec![0.1, 1.5], 1.0).unwrap_err(),
+            FailureModelError::ProbOutOfRange { index: 1, prob: 1.5 }
+        );
+    }
+
+    #[test]
+    fn degrade_accumulates_and_clamps() {
+        let mut m = FailureModel::uniform(3, 0.2, 1.0);
+        m.degrade(NodeId(1), 0.3);
+        assert!((m.prob(NodeId(1)) - 0.5).abs() < 1e-12);
+        assert!((m.prob(NodeId(2)) - 0.2).abs() < 1e-12, "other edges untouched");
+        m.degrade(NodeId(1), 0.9);
+        assert_eq!(m.prob(NodeId(1)), 1.0, "clamped to certainty");
+        assert!(!m.is_trivial());
     }
 
     #[test]

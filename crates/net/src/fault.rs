@@ -1,0 +1,217 @@
+//! Permanent-failure injection (Section 4.4, "permanent failures").
+//!
+//! The paper distinguishes two failure regimes: transient link failures,
+//! folded into the planners' cost model ([`crate::failure`]), and permanent
+//! node failures, which "require rebuilding the spanning tree and
+//! re-optimizing the query plan". This module provides the *injection* side
+//! of the permanent regime: a deterministic, seeded schedule of node deaths
+//! and link degradations keyed by epoch, which the experiment runner
+//! consumes to exercise tree repair and re-planning.
+//!
+//! The schedule is plain data — it never consumes randomness at run time,
+//! so an empty schedule leaves a simulation's RNG stream (and therefore its
+//! output) bit-for-bit unchanged.
+
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// The node stops responding permanently: its readings cease and its
+    /// subtree must be re-parented around it.
+    NodeDeath(NodeId),
+    /// The link above `child` permanently worsens: its transient failure
+    /// probability increases by `added_prob` (clamped to 1.0).
+    LinkDegrade { child: NodeId, added_prob: f64 },
+}
+
+impl FaultEvent {
+    /// The node this event concerns.
+    pub fn node(&self) -> NodeId {
+        match self {
+            FaultEvent::NodeDeath(n) => *n,
+            FaultEvent::LinkDegrade { child, .. } => *child,
+        }
+    }
+}
+
+/// A deterministic schedule of [`FaultEvent`]s keyed by epoch.
+///
+/// ```
+/// use prospector_net::{FaultSchedule, NodeId};
+///
+/// let sched = FaultSchedule::new()
+///     .with_death(10, NodeId(3))
+///     .with_degradation(10, NodeId(5), 0.2);
+/// assert_eq!(sched.deaths_at(10), vec![NodeId(3)]);
+/// assert!(sched.deaths_at(11).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: BTreeMap<u64, Vec<FaultEvent>>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults ever fire).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// True when the schedule contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.values().map(Vec::len).sum()
+    }
+
+    /// Schedules `node` to die at the start of `epoch`.
+    pub fn with_death(mut self, epoch: u64, node: NodeId) -> Self {
+        self.events.entry(epoch).or_default().push(FaultEvent::NodeDeath(node));
+        self
+    }
+
+    /// Schedules the link above `child` to degrade at the start of `epoch`.
+    pub fn with_degradation(mut self, epoch: u64, child: NodeId, added_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&added_prob), "added probability out of range");
+        self.events.entry(epoch).or_default().push(FaultEvent::LinkDegrade { child, added_prob });
+        self
+    }
+
+    /// A schedule killing `deaths` distinct non-root nodes of an `n`-node
+    /// network at epochs drawn uniformly from `epoch_range`, deterministic
+    /// in `seed`. Node ids are drawn from `1..n` (the root never dies).
+    pub fn random_deaths(
+        n: usize,
+        deaths: usize,
+        epoch_range: std::ops::Range<u64>,
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 2, "need at least one non-root node");
+        assert!(deaths < n, "cannot kill {deaths} of {} non-root nodes", n - 1);
+        assert!(!epoch_range.is_empty(), "empty epoch range");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA17_5C8E_D01E_u64);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(deaths);
+        while chosen.len() < deaths {
+            let candidate = NodeId::from_index(rng.random_range(1..n));
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        let mut sched = FaultSchedule::new();
+        for node in chosen {
+            let epoch = rng.random_range(epoch_range.clone());
+            sched = sched.with_death(epoch, node);
+        }
+        sched
+    }
+
+    /// All events scheduled for `epoch`.
+    pub fn events_at(&self, epoch: u64) -> &[FaultEvent] {
+        self.events.get(&epoch).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes scheduled to die at `epoch`.
+    pub fn deaths_at(&self, epoch: u64) -> Vec<NodeId> {
+        self.events_at(epoch)
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::NodeDeath(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Link degradations scheduled for `epoch`, as `(child, added_prob)`.
+    pub fn degradations_at(&self, epoch: u64) -> Vec<(NodeId, f64)> {
+        self.events_at(epoch)
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::LinkDegrade { child, added_prob } => Some((*child, *added_prob)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All scheduled deaths over the schedule's lifetime, in epoch order.
+    pub fn all_deaths(&self) -> Vec<(u64, NodeId)> {
+        self.events
+            .iter()
+            .flat_map(|(&epoch, events)| {
+                events.iter().filter_map(move |e| match e {
+                    FaultEvent::NodeDeath(n) => Some((epoch, *n)),
+                    _ => None,
+                })
+            })
+            .collect()
+    }
+
+    /// Epochs that have at least one scheduled event, in order.
+    pub fn epochs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.events.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_has_no_events() {
+        let s = FaultSchedule::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.deaths_at(0).is_empty());
+        assert!(s.degradations_at(5).is_empty());
+        assert!(s.all_deaths().is_empty());
+    }
+
+    #[test]
+    fn builders_key_by_epoch() {
+        let s = FaultSchedule::new()
+            .with_death(4, NodeId(2))
+            .with_death(4, NodeId(7))
+            .with_degradation(9, NodeId(3), 0.25);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.deaths_at(4), vec![NodeId(2), NodeId(7)]);
+        assert!(s.deaths_at(9).is_empty());
+        assert_eq!(s.degradations_at(9), vec![(NodeId(3), 0.25)]);
+        assert_eq!(s.all_deaths(), vec![(4, NodeId(2)), (4, NodeId(7))]);
+        assert_eq!(s.epochs().collect::<Vec<_>>(), vec![4, 9]);
+    }
+
+    #[test]
+    fn random_deaths_are_deterministic_and_distinct() {
+        let a = FaultSchedule::random_deaths(20, 5, 10..40, 3);
+        let b = FaultSchedule::random_deaths(20, 5, 10..40, 3);
+        assert_eq!(a.all_deaths(), b.all_deaths());
+        let deaths = a.all_deaths();
+        assert_eq!(deaths.len(), 5);
+        let mut nodes: Vec<NodeId> = deaths.iter().map(|&(_, n)| n).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 5, "deaths must hit distinct nodes");
+        for (epoch, node) in deaths {
+            assert!((10..40).contains(&epoch));
+            assert_ne!(node, NodeId(0), "the root never dies");
+        }
+    }
+
+    #[test]
+    fn random_deaths_vary_with_seed() {
+        let a = FaultSchedule::random_deaths(30, 6, 0..100, 1);
+        let b = FaultSchedule::random_deaths(30, 6, 0..100, 2);
+        assert_ne!(a.all_deaths(), b.all_deaths());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_degradation() {
+        let _ = FaultSchedule::new().with_degradation(0, NodeId(1), 1.5);
+    }
+}

@@ -12,18 +12,23 @@
 //! * [`energy`] — the MICA2-style communication cost model (per-message
 //!   handshake/header cost `c_m`, per-byte cost `c_b`) of Section 2;
 //! * [`meter`] — per-node, per-phase energy accounting;
-//! * [`failure`] — the transient link-failure model of Section 4.4.
+//! * [`failure`] — the transient link-failure model of Section 4.4;
+//! * [`fault`] — deterministic permanent-failure injection (node deaths and
+//!   link degradations keyed by epoch), paired with tree repair
+//!   ([`Topology::repair`], [`Network::repair`]).
 
 pub mod energy;
 pub mod failure;
+pub mod fault;
 pub mod meter;
 pub mod node;
 pub mod placement;
 pub mod topology;
 
 pub use energy::EnergyModel;
-pub use failure::FailureModel;
+pub use failure::{FailureModel, FailureModelError};
+pub use fault::{FaultEvent, FaultSchedule};
 pub use meter::{EnergyMeter, Phase};
 pub use node::NodeId;
 pub use placement::{Network, NetworkBuilder, Position, ZoneLayout};
-pub use topology::{Topology, TopologyError};
+pub use topology::{RepairError, Topology, TopologyError};

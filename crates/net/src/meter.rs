@@ -17,9 +17,12 @@ pub enum Phase {
     Sampling,
     /// Retransmissions/rerouting after transient failures.
     Rerouting,
+    /// Spanning-tree rebuild after a permanent node failure: failure
+    /// probes, re-attachment handshakes and plan re-dissemination triggers.
+    Repair,
 }
 
-const NUM_PHASES: usize = 6;
+const NUM_PHASES: usize = 7;
 
 fn phase_index(p: Phase) -> usize {
     match p {
@@ -29,6 +32,7 @@ fn phase_index(p: Phase) -> usize {
         Phase::MopUp => 3,
         Phase::Sampling => 4,
         Phase::Rerouting => 5,
+        Phase::Repair => 6,
     }
 }
 

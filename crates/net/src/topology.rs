@@ -39,6 +39,27 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// Errors from [`Topology::repair`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// The root (query station) is in the dead set; there is nothing to
+    /// re-parent onto, the deployment is lost.
+    RootDead,
+    /// A dead node id is outside the topology.
+    NodeOutOfRange(NodeId),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::RootDead => write!(f, "cannot repair: the root node is dead"),
+            RepairError::NodeOutOfRange(n) => write!(f, "dead node {n} is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
 /// Rooted spanning tree over `n` nodes with precomputed traversal orders
 /// and subtree metadata.
 ///
@@ -141,6 +162,12 @@ impl Topology {
         self.parent[n.index()]
     }
 
+    /// A copy of the full parent-pointer vector, e.g. as the starting point
+    /// for building a modified tree.
+    pub fn parent_vec(&self) -> Vec<Option<NodeId>> {
+        self.parent.clone()
+    }
+
     /// Children of `n`.
     pub fn children(&self, n: NodeId) -> &[NodeId] {
         &self.children[n.index()]
@@ -215,6 +242,57 @@ impl Topology {
     pub fn edges(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.len() as u32).map(NodeId).filter(move |&n| n != self.root)
     }
+
+    /// Rebuilds the tree around permanently failed nodes (Section 4.4:
+    /// permanent failures "require rebuilding the spanning tree").
+    ///
+    /// Every surviving node whose path to the root passes through a dead
+    /// node is re-parented onto its nearest surviving ancestor, so whole
+    /// orphaned subtrees re-attach in one step and all node ids are
+    /// preserved. The dead nodes themselves are parked as inert leaves
+    /// under the root — they keep their ids so plans, meters and sample
+    /// windows stay index-compatible, but they have no children and it is
+    /// the caller's job to keep them out of plans and answers.
+    ///
+    /// Fails with [`RepairError::RootDead`] when the root is in `dead`
+    /// (the query station is gone; no repair can reconnect the deployment)
+    /// and [`RepairError::NodeOutOfRange`] for ids outside the tree.
+    pub fn repair(&self, dead: &[NodeId]) -> Result<Topology, RepairError> {
+        let n = self.len();
+        let mut is_dead = vec![false; n];
+        for &d in dead {
+            if d.index() >= n {
+                return Err(RepairError::NodeOutOfRange(d));
+            }
+            if d == self.root {
+                return Err(RepairError::RootDead);
+            }
+            is_dead[d.index()] = true;
+        }
+
+        let mut parent = self.parent.clone();
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            if node == self.root {
+                continue;
+            }
+            if is_dead[i] {
+                // Parked: an inert leaf hanging off the root.
+                parent[i] = Some(self.root);
+                continue;
+            }
+            // Climb past any dead ancestors to the first surviving one;
+            // the root survives, so this always terminates with Some.
+            let mut p = self.parent[i].expect("non-root has a parent");
+            while is_dead[p.index()] {
+                p = self.parent[p.index()].expect("dead root was rejected above");
+            }
+            parent[i] = Some(p);
+        }
+
+        Ok(Topology::from_parents(self.root, parent)
+            .expect("re-parenting onto surviving ancestors preserves treeness"))
+    }
 }
 
 /// Iterator for [`Topology::path_to_root`].
@@ -236,9 +314,8 @@ impl Iterator for PathToRoot<'_> {
 /// Builds a chain `0 ← 1 ← 2 ← …` rooted at node 0 (each node's parent is
 /// its predecessor). Useful in tests.
 pub fn chain(n: usize) -> Topology {
-    let parent = (0..n)
-        .map(|i| if i == 0 { None } else { Some(NodeId::from_index(i - 1)) })
-        .collect();
+    let parent =
+        (0..n).map(|i| if i == 0 { None } else { Some(NodeId::from_index(i - 1)) }).collect();
     Topology::from_parents(NodeId(0), parent).expect("chain is a valid tree")
 }
 
@@ -340,10 +417,7 @@ mod tests {
     fn rejects_cycle() {
         // 0 is root; 1 and 2 point at each other.
         let parent = vec![None, Some(NodeId(2)), Some(NodeId(1))];
-        assert_eq!(
-            Topology::from_parents(NodeId(0), parent).unwrap_err(),
-            TopologyError::NotATree
-        );
+        assert_eq!(Topology::from_parents(NodeId(0), parent).unwrap_err(), TopologyError::NotATree);
     }
 
     #[test]
@@ -376,6 +450,79 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert_eq!(Topology::from_parents(NodeId(0), vec![]).unwrap_err(), TopologyError::Empty);
+    }
+
+    #[test]
+    fn repair_leaf_death_parks_it_under_root() {
+        let t = chain(4); // 0 <- 1 <- 2 <- 3
+        let r = t.repair(&[NodeId(3)]).unwrap();
+        assert_eq!(r.len(), 4, "node ids are preserved");
+        assert_eq!(r.parent(NodeId(3)), Some(NodeId(0)), "dead leaf parked under root");
+        assert!(r.is_leaf(NodeId(3)));
+        // The surviving chain is untouched.
+        assert_eq!(r.parent(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(r.parent(NodeId(2)), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn repair_interior_death_reattaches_deep_subtree() {
+        // 0 <- 1 <- 2 <- 3 <- 4: killing 1 must lift 2 (and with it the
+        // whole 2 <- 3 <- 4 chain) to the nearest surviving ancestor, 0.
+        let t = chain(5);
+        let r = t.repair(&[NodeId(1)]).unwrap();
+        assert_eq!(r.parent(NodeId(2)), Some(NodeId(0)), "orphan re-parents past the dead node");
+        assert_eq!(r.parent(NodeId(3)), Some(NodeId(2)), "deep subtree stays intact");
+        assert_eq!(r.parent(NodeId(4)), Some(NodeId(3)));
+        assert_eq!(r.depth(NodeId(4)), 3, "subtree is one hop shallower");
+        assert!(r.is_leaf(NodeId(1)), "dead interior node keeps no children");
+    }
+
+    #[test]
+    fn repair_consecutive_dead_ancestors_skips_both() {
+        let t = chain(5);
+        let r = t.repair(&[NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(r.parent(NodeId(3)), Some(NodeId(0)), "climbs past both dead ancestors");
+        assert_eq!(r.parent(NodeId(4)), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn repair_all_root_children_rehomes_every_subtree() {
+        // Star-of-chains: 0 <- {1 <- 3, 2 <- 4}. Kill both of root's
+        // children; the grandchildren must all re-attach directly to root.
+        let t = Topology::from_parents(
+            NodeId(0),
+            vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(2))],
+        )
+        .unwrap();
+        let r = t.repair(&[NodeId(1), NodeId(2)]).unwrap();
+        for g in [NodeId(3), NodeId(4)] {
+            assert_eq!(r.parent(g), Some(NodeId(0)));
+            assert_eq!(r.depth(g), 1);
+        }
+        assert_eq!(r.children(NodeId(0)).len(), 4, "dead nodes parked + survivors re-homed");
+    }
+
+    #[test]
+    fn repair_rejects_dead_root() {
+        let t = star(4);
+        assert_eq!(t.repair(&[NodeId(0)]).unwrap_err(), RepairError::RootDead);
+        // Even mixed in with valid deaths.
+        assert_eq!(t.repair(&[NodeId(2), NodeId(0)]).unwrap_err(), RepairError::RootDead);
+    }
+
+    #[test]
+    fn repair_rejects_out_of_range() {
+        let t = star(4);
+        assert_eq!(t.repair(&[NodeId(9)]).unwrap_err(), RepairError::NodeOutOfRange(NodeId(9)));
+    }
+
+    #[test]
+    fn repair_with_no_deaths_is_identity() {
+        let t = balanced(3, 2);
+        let r = t.repair(&[]).unwrap();
+        for e in t.edges() {
+            assert_eq!(r.parent(e), t.parent(e));
+        }
     }
 
     #[test]

@@ -15,9 +15,10 @@
 
 use crate::exact_exec::run_exact;
 use crate::exec::execute_plan;
+use crate::runner::{charge_repair, mask_dead_edges, mask_dead_values};
 use prospector_core::{exact::ExactConfig, Plan, PlanContext, PlanError, Planner};
 use prospector_data::{SampleSet, ValueSource};
-use prospector_net::{EnergyMeter, EnergyModel, NodeId, Phase, Topology};
+use prospector_net::{EnergyMeter, EnergyModel, FaultSchedule, NodeId, Phase, Topology};
 
 /// Configuration of the adaptive loop.
 pub struct AdaptiveConfig {
@@ -39,6 +40,9 @@ pub struct AdaptiveConfig {
     pub max_period: u64,
     /// Phase-1 budget multiplier (over the minimum proof cost) for audits.
     pub audit_budget_factor: f64,
+    /// Scheduled permanent failures; the loop repairs the tree and keeps
+    /// going when they fire.
+    pub faults: FaultSchedule,
 }
 
 impl Default for AdaptiveConfig {
@@ -54,6 +58,7 @@ impl Default for AdaptiveConfig {
             min_period: 2,
             max_period: 48,
             audit_budget_factor: 1.2,
+            faults: FaultSchedule::new(),
         }
     }
 }
@@ -93,6 +98,8 @@ pub fn run_adaptive<S: ValueSource>(
     epochs: u64,
 ) -> Result<(Vec<AdaptiveEpoch>, EnergyMeter), PlanError> {
     let n = topology.len();
+    let mut topology = topology.clone();
+    let mut alive = vec![true; n];
     let mut samples = SampleSet::new(n, config.k, config.window);
     let mut meter = EnergyMeter::new(n);
     let mut period = config.initial_period.clamp(config.min_period, config.max_period);
@@ -101,14 +108,40 @@ pub fn run_adaptive<S: ValueSource>(
     let mut reports = Vec::with_capacity(epochs as usize);
 
     for epoch in 0..epochs {
-        let values = source.values(epoch);
+        // Permanent failures scheduled for this epoch: repair the tree,
+        // silence the dead in the window, and force a fresh plan.
+        let deaths: Vec<NodeId> = config
+            .faults
+            .deaths_at(epoch)
+            .into_iter()
+            .filter(|d| d.index() < n && alive[d.index()])
+            .collect();
+        let mut repair_mj = 0.0;
+        if !deaths.is_empty() {
+            for &d in &deaths {
+                if d != topology.root() {
+                    alive[d.index()] = false;
+                }
+            }
+            let mut repair_meter = EnergyMeter::new(n);
+            charge_repair(&topology, &alive, &deaths, energy, &mut repair_meter);
+            repair_mj = repair_meter.total();
+            meter.merge(&repair_meter);
+            topology = topology.repair(&deaths)?;
+            samples.mask_nodes(&deaths);
+            plan = None;
+        }
+
+        let mut values = source.values(epoch);
+        mask_dead_values(&mut values, &alive);
         let truth = prospector_data::top_k_nodes(&values, config.k);
 
         // Mandatory warmup and period-driven sweeps.
         if epoch < config.warmup || since_sample >= period {
-            let sweep = Plan::full_sweep(topology);
-            let r = execute_plan(&sweep, topology, energy, &values, config.k, None);
-            charge_as(&mut meter, &r.meter, topology, Phase::Sampling);
+            let mut sweep = Plan::full_sweep(&topology);
+            mask_dead_edges(&mut sweep, &topology, &alive);
+            let r = execute_plan(&sweep, &topology, energy, &values, config.k, None);
+            charge_as(&mut meter, &r.meter, &topology, Phase::Sampling);
             samples.push(values);
             since_sample = 0;
             plan = None; // stale: replan on next query epoch
@@ -117,7 +150,7 @@ pub fn run_adaptive<S: ValueSource>(
                 period,
                 kind: AdaptiveAction::Sample,
                 accuracy: 1.0,
-                energy_mj: r.total_mj(),
+                energy_mj: r.total_mj() + repair_mj,
             });
             continue;
         }
@@ -125,9 +158,10 @@ pub fn run_adaptive<S: ValueSource>(
 
         // Plan lazily against the current window.
         if plan.is_none() {
-            let ctx = PlanContext::new(topology, energy, &samples, config.budget_mj);
-            let p = planner.plan(&ctx)?;
-            meter.merge(&crate::dissemination::install_plan(&p, topology, energy));
+            let ctx = PlanContext::new(&topology, energy, &samples, config.budget_mj);
+            let mut p = planner.plan(&ctx)?;
+            mask_dead_edges(&mut p, &topology, &alive);
+            meter.merge(&crate::dissemination::install_plan(&p, &topology, energy));
             plan = Some(p);
         }
         let current = plan.as_ref().expect("planned above");
@@ -135,20 +169,19 @@ pub fn run_adaptive<S: ValueSource>(
         // Periodic exact audit: measures the plan's *true* accuracy and
         // feeds the window with its (exact) answer epoch.
         if config.audit_every > 0 && epoch % config.audit_every == 0 {
-            let approx = execute_plan(current, topology, energy, &values, config.k, None);
-            let hits =
-                approx.answer.iter().filter(|r| truth.contains(&r.node)).count();
+            let approx = execute_plan(current, &topology, energy, &values, config.k, None);
+            let hits = approx.answer.iter().filter(|r| truth.contains(&r.node)).count();
             let measured = hits as f64 / config.k as f64;
 
-            let probe = PlanContext::new(topology, energy, &samples, 1.0);
+            let probe = PlanContext::new(&topology, energy, &samples, 1.0);
             let cfg = ExactConfig {
                 phase1_budget_mj: probe.min_proof_cost() * config.audit_budget_factor,
             };
-            let ctx = PlanContext::new(topology, energy, &samples, cfg.phase1_budget_mj);
+            let ctx = PlanContext::new(&topology, energy, &samples, cfg.phase1_budget_mj);
             let phase1 = cfg.plan_phase1(&ctx)?;
-            let exact = run_exact(&phase1, topology, energy, &values, config.k, None);
-            charge_as(&mut meter, &exact.meter, topology, Phase::Sampling);
-            charge_as(&mut meter, &approx.meter, topology, Phase::Collection);
+            let exact = run_exact(&phase1, &topology, energy, &values, config.k, None);
+            charge_as(&mut meter, &exact.meter, &topology, Phase::Sampling);
+            charge_as(&mut meter, &approx.meter, &topology, Phase::Collection);
 
             // Adapt the sampling rate.
             period = if measured < config.accuracy_floor {
@@ -164,13 +197,13 @@ pub fn run_adaptive<S: ValueSource>(
                 period,
                 kind: AdaptiveAction::Audit,
                 accuracy: measured,
-                energy_mj: exact.total_mj() + approx.total_mj(),
+                energy_mj: exact.total_mj() + approx.total_mj() + repair_mj,
             });
             continue;
         }
 
         // Ordinary approximate query.
-        let r = execute_plan(current, topology, energy, &values, config.k, None);
+        let r = execute_plan(current, &topology, energy, &values, config.k, None);
         meter.merge(&r.meter);
         let hits = r.answer.iter().filter(|x| truth.contains(&x.node)).count();
         reports.push(AdaptiveEpoch {
@@ -178,7 +211,7 @@ pub fn run_adaptive<S: ValueSource>(
             period,
             kind: AdaptiveAction::Query,
             accuracy: hits as f64 / config.k as f64,
-            energy_mj: r.total_mj(),
+            energy_mj: r.total_mj() + repair_mj,
         });
     }
 
@@ -214,8 +247,7 @@ mod tests {
         let em = EnergyModel::mica2();
         let mut src = IndependentGaussian::random(t.len(), 40.0..60.0, 0.2..0.5, 3);
         let cfg = AdaptiveConfig { budget_mj: 40.0, ..Default::default() };
-        let (reports, _) =
-            run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 120).unwrap();
+        let (reports, _) = run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 120).unwrap();
         assert!(
             avg_period_tail(&reports) > cfg.initial_period as f64,
             "stable data should earn a longer sampling period"
@@ -235,13 +267,31 @@ mod tests {
             audit_every: 8,
             ..Default::default()
         };
-        let (reports, _) =
-            run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 120).unwrap();
+        let (reports, _) = run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 120).unwrap();
         assert!(
             avg_period_tail(&reports) < cfg.initial_period as f64,
             "drifting data should force more frequent sampling (avg {})",
             avg_period_tail(&reports)
         );
+    }
+
+    #[test]
+    fn scheduled_death_repairs_and_finishes() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let mut src = IndependentGaussian::random(t.len(), 40.0..60.0, 0.5..1.0, 5);
+        let victim = t.children(t.root())[0];
+        let cfg = AdaptiveConfig {
+            faults: FaultSchedule::new().with_death(20, victim),
+            ..Default::default()
+        };
+        let (reports, meter) =
+            run_adaptive(&t, &em, &ProspectorGreedy, &mut src, &cfg, 80).unwrap();
+        assert_eq!(reports.len(), 80, "loop survives the death");
+        assert!(meter.phase_total(Phase::Repair) > 0.0, "repair was charged");
+        // The death epoch's energy includes the repair surcharge.
+        let death_epoch = reports.iter().find(|r| r.epoch == 20).unwrap();
+        assert!(death_epoch.energy_mj >= meter.phase_total(Phase::Repair));
     }
 
     #[test]

@@ -91,17 +91,13 @@ fn mopup(
     meter: &mut EnergyMeter,
 ) -> Vec<Reading> {
     // Step 2a: proven values in range already service part of the request.
-    let proven_in_range =
-        state.proven[u.index()].iter().filter(|v| range.contains(v)).count();
+    let proven_in_range = state.proven[u.index()].iter().filter(|v| range.contains(v)).count();
     let t_fwd = t.saturating_sub(proven_in_range);
 
     // Step 2b: tighten the lower bound to the t-th known in-range value —
     // anything new must beat it to matter.
-    let in_range: Vec<Reading> = state.retrieved[u.index()]
-        .iter()
-        .copied()
-        .filter(|v| range.contains(v))
-        .collect();
+    let in_range: Vec<Reading> =
+        state.retrieved[u.index()].iter().copied().filter(|v| range.contains(v)).collect();
     let lower = if in_range.len() >= t && t > 0 { Some(in_range[t - 1]) } else { range.lower };
 
     // Step 2c: tighten the upper bound to the worst proven value — every
@@ -131,12 +127,7 @@ fn mopup(
     }
 
     // Step 3: answer the original request from the merged state.
-    state.retrieved[u.index()]
-        .iter()
-        .copied()
-        .filter(|v| range.contains(v))
-        .take(t)
-        .collect()
+    state.retrieved[u.index()].iter().copied().filter(|v| range.contains(v)).take(t).collect()
 }
 
 /// Runs both phases of `ProspectorExact` with the given proof-carrying
@@ -193,8 +184,7 @@ pub fn run_exact(
         }
     }
 
-    let answer: Vec<Reading> =
-        state.retrieved[root.index()].iter().copied().take(k).collect();
+    let answer: Vec<Reading> = state.retrieved[root.index()].iter().copied().take(k).collect();
     let phase2_mj = meter.total();
     let mut merged = report.meter;
     merged.merge(&meter);
@@ -294,8 +284,7 @@ mod tests {
         }
         let r = check_exact(&t, &values, k, &plan);
         let naive = Plan::naive_k(&t, k);
-        let naive_cost =
-            crate::exec::execute_plan(&naive, &t, &em, &values, k, None).total_mj();
+        let naive_cost = crate::exec::execute_plan(&naive, &t, &em, &values, k, None).total_mj();
         if r.mopup_ran {
             assert!(
                 r.phase2_mj < naive_cost,

@@ -2,7 +2,7 @@
 
 use prospector_core::{run_plan, run_proof_plan, Plan};
 use prospector_data::Reading;
-use prospector_net::{EnergyModel, EnergyMeter, FailureModel, NodeId, Phase, Topology};
+use prospector_net::{EnergyMeter, EnergyModel, FailureModel, NodeId, Phase, Topology};
 use rand::rngs::StdRng;
 
 /// One executed collection phase: the answer plus its energy bill.
@@ -129,9 +129,7 @@ mod tests {
         plan.set_bandwidth(NodeId(1), 2);
         plan.set_bandwidth(NodeId(2), 1);
         let r = execute_plan(&plan, &t, &em, &[1.0, 2.0, 3.0], 2, None);
-        let expect = 2.0 * em.broadcast()
-            + em.unicast_values(2)
-            + em.unicast_values(1);
+        let expect = 2.0 * em.broadcast() + em.unicast_values(2) + em.unicast_values(1);
         assert!((r.total_mj() - expect).abs() < 1e-9, "{} vs {expect}", r.total_mj());
         assert_eq!(r.answer_nodes(), vec![NodeId(2), NodeId(1)]);
     }

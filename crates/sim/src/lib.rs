@@ -24,7 +24,7 @@ pub mod naive1;
 pub mod runner;
 
 pub use adaptive::{run_adaptive, AdaptiveAction, AdaptiveConfig, AdaptiveEpoch};
-pub use dissemination::install_cost;
+pub use dissemination::{install_cost, install_plan, install_plan_lossy, DisseminationReport};
 pub use exact_exec::{run_exact, ExactResult};
 pub use exec::{execute_plan, execute_proof_plan, ExecutionReport};
 pub use naive1::run_naive1;

@@ -79,8 +79,7 @@ fn next_value(
     }
     let children: Vec<NodeId> = topology.children(u).to_vec();
     for (slot, &c) in children.iter().enumerate() {
-        let (need, exhausted) =
-            (states[u.index()].need[slot], states[u.index()].exhausted[slot]);
+        let (need, exhausted) = (states[u.index()].need[slot], states[u.index()].exhausted[slot]);
         if !need || exhausted {
             continue;
         }

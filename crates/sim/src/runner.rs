@@ -1,5 +1,6 @@
 //! Multi-epoch experiment runner: exploration sampling, planning,
-//! re-planning and per-epoch metrics (Sections 3 and 4.4).
+//! re-planning, permanent-failure recovery and per-epoch metrics
+//! (Sections 3 and 4.4).
 //!
 //! Per epoch the runner either spends a full-network sweep to refresh the
 //! sample window (the exploration/exploitation scheme) or executes the
@@ -7,12 +8,23 @@
 //! `replan_every` epochs and **disseminated only if the expected
 //! improvement exceeds a threshold** ("Plan Re-calculation", Section 4.4),
 //! in which case the installation unicasts are charged.
+//!
+//! Permanent failures (Section 4.4) come from a [`FaultSchedule`]: when a
+//! scheduled node death fires, the runner detects the silent node, charges
+//! the tree rebuild under [`Phase::Repair`], re-parents the orphaned
+//! subtrees ([`Topology::repair`]), masks the dead node out of the sample
+//! window and forces a re-plan on the repaired tree. With transient
+//! failures configured, plan dissemination itself is lossy: subplan
+//! unicasts retry a bounded number of times and nodes that never receive
+//! their new subplan keep executing the previous one.
 
-use crate::dissemination::install_plan;
+use crate::dissemination::{install_plan, install_plan_lossy};
 use crate::exec::execute_plan;
 use prospector_core::{evaluate, Plan, PlanContext, PlanError, Planner};
 use prospector_data::{top_k_nodes, SamplePolicy, SampleSet, ValueSource};
-use prospector_net::{EnergyMeter, EnergyModel, FailureModel, Phase, Topology};
+use prospector_net::{
+    EnergyMeter, EnergyModel, FailureModel, FaultSchedule, NodeId, Phase, Topology,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,9 +43,14 @@ pub struct ExperimentConfig {
     /// Disseminate a recomputed plan only if it improves expected misses
     /// by at least this much (absolute, in values per query).
     pub replan_threshold: f64,
-    /// Optional transient-failure model (used for both planning and
-    /// injection).
+    /// Optional transient-failure model (used for planning, collection
+    /// injection, and lossy plan dissemination).
     pub failures: Option<FailureModel>,
+    /// Scheduled permanent failures (node deaths, link degradations).
+    pub faults: FaultSchedule,
+    /// Retries beyond the first attempt for each subplan unicast when
+    /// dissemination is lossy (ignored without a failure model).
+    pub install_retries: u32,
     /// Seed for failure injection.
     pub seed: u64,
 }
@@ -47,44 +64,65 @@ pub struct EpochReport {
     /// A new plan was disseminated this epoch.
     pub replanned: bool,
     /// Fraction of the true top k returned (sampling sweeps are exact).
+    /// After deaths, truth is the top k over surviving nodes.
     pub accuracy: f64,
     /// Energy spent this epoch (mJ), all phases.
     pub energy_mj: f64,
+    /// Nodes that permanently failed at the start of this epoch.
+    pub deaths: Vec<NodeId>,
+    /// The spanning tree was rebuilt this epoch.
+    pub repaired: bool,
+    /// Name of the planner that produced the plan in force this epoch,
+    /// when it was not the chain's primary (see
+    /// [`Planner::plan_traced`](prospector_core::Planner::plan_traced));
+    /// `None` while the primary planner is holding up.
+    pub fallback_used: Option<&'static str>,
 }
 
 /// Drives a planner over a value source for many epochs.
 pub struct ExperimentRunner<'a> {
-    topology: &'a Topology,
+    /// Owned: permanent failures rewrite the tree mid-run.
+    topology: Topology,
     energy: &'a EnergyModel,
     planner: &'a dyn Planner,
     config: ExperimentConfig,
     samples: SampleSet,
     plan: Option<Plan>,
+    /// Provenance of the currently installed plan (planner name, depth).
+    plan_via: Option<(&'static str, usize)>,
     /// Epoch of the last plan recalculation (None before the first).
     last_replan: Option<u64>,
+    /// Owned: link degradations worsen edges mid-run.
+    failures: Option<FailureModel>,
+    /// `alive[i]` is false once node i has permanently failed.
+    alive: Vec<bool>,
     meter: EnergyMeter,
     rng: StdRng,
 }
 
 impl<'a> ExperimentRunner<'a> {
     pub fn new(
-        topology: &'a Topology,
+        topology: &Topology,
         energy: &'a EnergyModel,
         planner: &'a dyn Planner,
         config: ExperimentConfig,
     ) -> Self {
         let samples = SampleSet::new(topology.len(), config.k, config.window);
         let rng = StdRng::seed_from_u64(config.seed);
+        let failures = config.failures.clone();
         ExperimentRunner {
-            topology,
+            topology: topology.clone(),
             energy,
             planner,
-            config,
             samples,
             plan: None,
+            plan_via: None,
             last_replan: None,
+            failures,
+            alive: vec![true; topology.len()],
             meter: EnergyMeter::new(topology.len()),
             rng,
+            config,
         }
     }
 
@@ -103,41 +141,102 @@ impl<'a> ExperimentRunner<'a> {
         &self.samples
     }
 
+    /// The routing tree as currently repaired.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Per-node liveness (false once permanently failed).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
     fn plan_context(&self) -> PlanContext<'_> {
         let mut ctx =
-            PlanContext::new(self.topology, self.energy, &self.samples, self.config.budget_mj);
-        if let Some(f) = &self.config.failures {
+            PlanContext::new(&self.topology, self.energy, &self.samples, self.config.budget_mj);
+        if let Some(f) = &self.failures {
             ctx = ctx.with_failures(f);
         }
         ctx
     }
 
+    /// Applies the faults scheduled for `epoch`; returns the nodes that
+    /// died. Charges detection + re-attachment under [`Phase::Repair`].
+    fn apply_faults(
+        &mut self,
+        epoch: u64,
+        epoch_meter: &mut EnergyMeter,
+    ) -> Result<Vec<NodeId>, PlanError> {
+        let deaths: Vec<NodeId> = self
+            .config
+            .faults
+            .deaths_at(epoch)
+            .into_iter()
+            .filter(|d| d.index() < self.alive.len() && self.alive[d.index()])
+            .collect();
+        if !deaths.is_empty() {
+            for &d in &deaths {
+                if d != self.topology.root() {
+                    self.alive[d.index()] = false;
+                }
+            }
+            charge_repair(&self.topology, &self.alive, &deaths, self.energy, epoch_meter);
+            self.topology = self.topology.repair(&deaths)?;
+            self.samples.mask_nodes(&deaths);
+            // The old plan routes through the dead node; discard it and
+            // re-plan on the repaired tree immediately.
+            self.plan = None;
+            self.plan_via = None;
+            self.last_replan = None;
+        }
+        for (child, added) in self.config.faults.degradations_at(epoch) {
+            if let Some(f) = self.failures.as_mut() {
+                if child.index() < f.len() {
+                    f.degrade(child, added);
+                }
+            }
+        }
+        Ok(deaths)
+    }
+
     /// Runs one epoch against `source`, returning what happened.
-    pub fn step<S: ValueSource>(&mut self, source: &mut S, epoch: u64) -> Result<EpochReport, PlanError> {
-        let values = source.values(epoch);
+    pub fn step<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        epoch: u64,
+    ) -> Result<EpochReport, PlanError> {
+        let mut values = source.values(epoch);
         let k = self.config.k;
+        let mut epoch_meter = EnergyMeter::new(self.topology.len());
+
+        let deaths = self.apply_faults(epoch, &mut epoch_meter)?;
+        let repaired = !deaths.is_empty();
+        mask_dead_values(&mut values, &self.alive);
 
         // Exploration: full sweep feeds the window and answers exactly.
         if self.config.policy.should_sample(epoch) {
-            let sweep = Plan::full_sweep(self.topology);
-            let report = execute_plan(&sweep, self.topology, self.energy, &values, k, None);
+            let mut sweep = Plan::full_sweep(&self.topology);
+            mask_dead_edges(&mut sweep, &self.topology, &self.alive);
+            let report = execute_plan(&sweep, &self.topology, self.energy, &values, k, None);
             // Re-attribute the sweep to the sampling phase.
-            let mut sweep_meter = EnergyMeter::new(self.topology.len());
             for i in 0..self.topology.len() {
-                let node = prospector_net::NodeId::from_index(i);
+                let node = NodeId::from_index(i);
                 let mj = report.meter.node_total(node);
                 if mj > 0.0 {
-                    sweep_meter.charge(node, Phase::Sampling, mj);
+                    epoch_meter.charge(node, Phase::Sampling, mj);
                 }
             }
-            self.meter.merge(&sweep_meter);
+            self.meter.merge(&epoch_meter);
             self.samples.push(values);
             return Ok(EpochReport {
                 epoch,
                 sampled: true,
                 replanned: false,
                 accuracy: 1.0,
-                energy_mj: sweep_meter.total(),
+                energy_mj: epoch_meter.total(),
+                deaths,
+                repaired,
+                fallback_used: self.fallback_used(),
             });
         }
 
@@ -150,34 +249,59 @@ impl<'a> ExperimentRunner<'a> {
         // with the sampling period (those epochs return early above) and
         // can starve replanning entirely.
         let mut replanned = false;
-        let mut epoch_meter = EnergyMeter::new(self.topology.len());
         let due = self.plan.is_none()
             || (self.config.replan_every > 0
                 && self.last_replan.is_none_or(|lr| epoch - lr >= self.config.replan_every));
         if due {
             self.last_replan = Some(epoch);
             let ctx = self.plan_context();
-            let candidate = self.planner.plan(&ctx)?;
+            let traced = self.planner.plan_traced(&ctx)?;
+            let mut candidate = traced.plan;
+            // A planner that ignores samples (e.g. NAIVE-k as the last
+            // fallback) may still route dead parked leaves; strip them.
+            mask_dead_edges(&mut candidate, &self.topology, &self.alive);
             let install = match &self.plan {
                 None => true,
                 Some(current) => {
-                    let cur =
-                        evaluate::expected_misses(current, self.topology, &self.samples);
-                    let new =
-                        evaluate::expected_misses(&candidate, self.topology, &self.samples);
+                    let cur = evaluate::expected_misses(current, &self.topology, &self.samples);
+                    let new = evaluate::expected_misses(&candidate, &self.topology, &self.samples);
                     cur - new >= self.config.replan_threshold
                 }
             };
             if install {
-                epoch_meter.merge(&install_plan(&candidate, self.topology, self.energy));
+                match &self.failures {
+                    Some(f) if !f.is_trivial() => {
+                        let (install_meter, delivery) = install_plan_lossy(
+                            &candidate,
+                            &self.topology,
+                            self.energy,
+                            f,
+                            &mut self.rng,
+                            self.config.install_retries,
+                        );
+                        epoch_meter.merge(&install_meter);
+                        if !delivery.undelivered.is_empty() {
+                            // Nodes that never heard the new subplan keep
+                            // executing their old one.
+                            for &e in &delivery.undelivered {
+                                let old = self.plan.as_ref().map_or(0, |p| p.bandwidth(e));
+                                candidate.set_bandwidth(e, old);
+                            }
+                            candidate.repair_connectivity(&self.topology);
+                            mask_dead_edges(&mut candidate, &self.topology, &self.alive);
+                        }
+                    }
+                    _ => epoch_meter.merge(&install_plan(&candidate, &self.topology, self.energy)),
+                }
                 self.plan = Some(candidate);
+                self.plan_via = Some((traced.planner, traced.fallback_depth));
                 replanned = true;
             }
         }
 
         let plan = self.plan.as_ref().expect("plan exists after planning step");
-        let failure_pair = self.config.failures.as_ref().map(|f| (f, &mut self.rng));
-        let report = execute_plan(plan, self.topology, self.energy, &values, k, failure_pair);
+        let failure_pair = self.failures.as_ref().map(|f| (f, &mut self.rng));
+        let report = execute_plan(plan, &self.topology, self.energy, &values, k, failure_pair);
         epoch_meter.merge(&report.meter);
         self.meter.merge(&epoch_meter);
 
@@ -189,7 +313,17 @@ impl<'a> ExperimentRunner<'a> {
             replanned,
             accuracy: hits as f64 / k as f64,
             energy_mj: epoch_meter.total(),
+            deaths,
+            repaired,
+            fallback_used: self.fallback_used(),
         })
+    }
+
+    fn fallback_used(&self) -> Option<&'static str> {
+        match self.plan_via {
+            Some((name, depth)) if depth > 0 => Some(name),
+            _ => None,
+        }
     }
 
     /// Runs epochs `0..epochs`, collecting per-epoch reports.
@@ -199,6 +333,60 @@ impl<'a> ExperimentRunner<'a> {
         epochs: u64,
     ) -> Result<Vec<EpochReport>, PlanError> {
         (0..epochs).map(|e| self.step(source, e)).collect()
+    }
+}
+
+/// Charges the energy of detecting `deaths` and re-attaching their
+/// orphaned children under [`Phase::Repair`], using the *pre-repair*
+/// topology: each dead node's first surviving ancestor broadcasts a
+/// failure probe after the silence, and every surviving child of a dead
+/// node pays a re-attachment handshake with its new parent.
+pub(crate) fn charge_repair(
+    topology: &Topology,
+    alive: &[bool],
+    deaths: &[NodeId],
+    energy: &EnergyModel,
+    meter: &mut EnergyMeter,
+) {
+    for &d in deaths {
+        // Walk up to the first surviving ancestor; it noticed the silence
+        // and probes for the subtree.
+        let mut probe = topology.parent(d);
+        while let Some(p) = probe {
+            if alive[p.index()] {
+                break;
+            }
+            probe = topology.parent(p);
+        }
+        let prober = probe.unwrap_or(topology.root());
+        meter.charge(prober, Phase::Repair, energy.broadcast());
+        // Each surviving child of the dead node re-attaches somewhere new.
+        for &c in topology.children(d) {
+            if alive[c.index()] {
+                meter.charge(c, Phase::Repair, energy.repair_handshake());
+            }
+        }
+    }
+}
+
+/// Silences dead nodes: their readings become `-inf` so they can never
+/// appear in a top-k answer or truth set.
+pub(crate) fn mask_dead_values(values: &mut [f64], alive: &[bool]) {
+    for (v, &a) in values.iter_mut().zip(alive) {
+        if !a {
+            *v = f64::NEG_INFINITY;
+        }
+    }
+}
+
+/// Zeroes plan bandwidth on edges whose child is dead. Safe because
+/// repaired topologies park dead nodes as leaves: nothing routes *through*
+/// them, so dropping their edges cannot disconnect a survivor.
+pub(crate) fn mask_dead_edges(plan: &mut Plan, topology: &Topology, alive: &[bool]) {
+    for e in topology.edges() {
+        if !alive[e.index()] && plan.bandwidth(e) > 0 {
+            plan.set_bandwidth(e, 0);
+        }
     }
 }
 
@@ -218,6 +406,8 @@ mod tests {
             replan_every: 10,
             replan_threshold: 0.25,
             failures: None,
+            faults: FaultSchedule::new(),
+            install_retries: 2,
             seed: 42,
         }
     }
@@ -255,8 +445,7 @@ mod tests {
         let mut runner = ExperimentRunner::new(&t, &em, &planner, config(40.0));
         let reports = runner.run(&mut source, 40).unwrap();
         let queries: Vec<&EpochReport> = reports.iter().filter(|r| !r.sampled).collect();
-        let avg: f64 =
-            queries.iter().map(|r| r.accuracy).sum::<f64>() / queries.len() as f64;
+        let avg: f64 = queries.iter().map(|r| r.accuracy).sum::<f64>() / queries.len() as f64;
         assert!(avg > 0.9, "stable source should be predictable: {avg}");
     }
 
@@ -272,6 +461,51 @@ mod tests {
         let reports = runner.run(&mut source, 40).unwrap();
         let replans = reports.iter().filter(|r| r.replanned).count();
         assert_eq!(replans, 1, "only the initial installation");
+    }
+
+    #[test]
+    fn scheduled_deaths_are_reported_and_charged() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 11);
+        let mut cfg = config(30.0);
+        let victim = t.children(t.root())[0];
+        cfg.faults = FaultSchedule::new().with_death(12, victim);
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+        let reports = runner.run(&mut source, 30).unwrap();
+        assert_eq!(reports.len(), 30, "the run completes through the death");
+        let death = reports.iter().find(|r| r.epoch == 12).unwrap();
+        assert_eq!(death.deaths, vec![victim]);
+        assert!(death.repaired);
+        assert!(!runner.alive()[victim.index()]);
+        assert!(runner.meter().phase_total(Phase::Repair) > 0.0);
+        // The repaired tree parks the victim as a leaf under the root.
+        assert_eq!(runner.topology().parent(victim), Some(t.root()));
+        assert!(runner.topology().children(victim).is_empty());
+        // Later epochs see no further deaths.
+        assert!(reports[13..].iter().all(|r| r.deaths.is_empty() && !r.repaired));
+    }
+
+    #[test]
+    fn degradation_worsens_transient_failure_rate() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut cfg = config(30.0);
+        cfg.failures = Some(prospector_net::FailureModel::uniform(t.len(), 0.0, 2.0));
+        // Degrade every edge to coin-flip loss: over 20 epochs some used
+        // edge is all but certain to fail and charge a reroute.
+        let mut faults = FaultSchedule::new();
+        for e in t.edges() {
+            faults = faults.with_degradation(0, e, 0.5);
+        }
+        cfg.faults = faults;
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 13);
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+        runner.run(&mut source, 20).unwrap();
+        // With the degraded edge failing every time, rerouting was charged.
+        assert!(runner.meter().phase_total(Phase::Rerouting) > 0.0);
     }
 
     #[test]

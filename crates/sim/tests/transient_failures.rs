@@ -1,0 +1,55 @@
+//! Transient-failure metering (Section 4.4): with `FailureModel::uniform
+//! (n, p, c)`, every used edge's collection unicast fails independently
+//! with probability p and charges a reroute penalty of c mJ. Over many
+//! executions the metered reroute energy must converge to
+//! `p × c × messages_sent`, independent of the RNG seed.
+
+use prospector_core::Plan;
+use prospector_net::{topology, EnergyModel, FailureModel, Phase};
+use prospector_sim::execute_plan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn reroute_energy_converges_to_p_times_c_times_messages() {
+    let t = topology::balanced(3, 3); // 40 nodes, 39 edges
+    let em = EnergyModel::mica2();
+    let k = 3;
+    let plan = Plan::naive_k(&t, k); // uses every edge
+    let messages = t.edges().filter(|&e| plan.is_used(e)).count() as f64;
+    assert_eq!(messages, (t.len() - 1) as f64);
+    let values: Vec<f64> = (0..t.len()).map(|i| i as f64).collect();
+
+    for &(p, c) in &[(0.1, 2.0), (0.3, 3.5)] {
+        let fm = FailureModel::uniform(t.len(), p, c);
+        let expected = p * c * messages;
+        for seed in [1u64, 17, 4242] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let runs = 400;
+            let total: f64 = (0..runs)
+                .map(|_| {
+                    execute_plan(&plan, &t, &em, &values, k, Some((&fm, &mut rng)))
+                        .meter
+                        .phase_total(Phase::Rerouting)
+                })
+                .sum();
+            let avg = total / runs as f64;
+            assert!(
+                (avg - expected).abs() < 0.15 * expected,
+                "seed {seed}, p={p}, c={c}: avg reroute {avg:.2} mJ vs expected {expected:.2} mJ"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_failures_means_no_reroute_energy() {
+    let t = topology::balanced(3, 3);
+    let em = EnergyModel::mica2();
+    let plan = Plan::naive_k(&t, 3);
+    let values: Vec<f64> = (0..t.len()).map(|i| i as f64).collect();
+    let fm = FailureModel::uniform(t.len(), 0.0, 5.0);
+    let mut rng = StdRng::seed_from_u64(8);
+    let r = execute_plan(&plan, &t, &em, &values, 3, Some((&fm, &mut rng)));
+    assert_eq!(r.meter.phase_total(Phase::Rerouting), 0.0);
+}

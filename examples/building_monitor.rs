@@ -11,7 +11,7 @@
 use prospector::core::ProspectorLpNoLf;
 use prospector::data::intel::IntelConfig;
 use prospector::data::{IntelLabLike, SamplePolicy};
-use prospector::net::{EnergyModel, FailureModel, NetworkBuilder, Phase};
+use prospector::net::{EnergyModel, FailureModel, FaultSchedule, NetworkBuilder, Phase};
 use prospector::sim::{ExperimentConfig, ExperimentRunner};
 
 fn main() {
@@ -39,6 +39,8 @@ fn main() {
         replan_every: 24,
         replan_threshold: 0.2,
         failures: Some(failures),
+        faults: FaultSchedule::new(),
+        install_retries: 2,
         seed: 5,
     };
 
@@ -49,8 +51,7 @@ fn main() {
 
     let queries: Vec<_> = reports.iter().filter(|r| !r.sampled).collect();
     let sweeps = reports.len() - queries.len();
-    let avg_acc: f64 =
-        queries.iter().map(|r| r.accuracy).sum::<f64>() / queries.len() as f64;
+    let avg_acc: f64 = queries.iter().map(|r| r.accuracy).sum::<f64>() / queries.len() as f64;
     let replans = reports.iter().filter(|r| r.replanned).count();
 
     println!("\none week of monitoring ({} epochs):", epochs);

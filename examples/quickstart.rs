@@ -15,10 +15,8 @@ use prospector::sim::execute_plan;
 
 fn main() {
     // 1. Deploy: 60 nodes in a 300 m × 300 m field, min-hop routing tree.
-    let network = NetworkBuilder::new(60, 300.0, 300.0, 70.0)
-        .seed(7)
-        .build()
-        .expect("placement connects");
+    let network =
+        NetworkBuilder::new(60, 300.0, 300.0, 70.0).seed(7).build().expect("placement connects");
     let topology = &network.topology;
     println!(
         "network: {} nodes, tree height {}, root {}",

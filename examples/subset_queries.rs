@@ -16,10 +16,8 @@
 use prospector::core::cluster::{cluster_accuracy, plan_cluster_query, Clustering};
 use prospector::core::subset::{plan_subset_query, subset_accuracy, subset_context};
 use prospector::core::PlanContext;
-use prospector::data::{
-    AnswerSpec, IntelLabLike, SampleSet, SubsetSampleSet, ValueSource,
-};
 use prospector::data::intel::IntelConfig;
+use prospector::data::{AnswerSpec, IntelLabLike, SampleSet, SubsetSampleSet, ValueSource};
 use prospector::net::{EnergyModel, NetworkBuilder};
 
 fn main() {
@@ -78,9 +76,7 @@ fn main() {
     // ---- 3. Cluster top-k: hottest vineyard blocks ------------------------
     // Blocks = 8 spatial clusters by x coordinate (6 sensors each).
     let mut order: Vec<usize> = (1..48).collect();
-    order.sort_by(|&a, &b| {
-        network.positions[a].x.total_cmp(&network.positions[b].x)
-    });
+    order.sort_by(|&a, &b| network.positions[a].x.total_cmp(&network.positions[b].x));
     let mut assignment = vec![None; 48];
     for (rank, node) in order.iter().enumerate() {
         assignment[*node] = Some(rank / 6);
@@ -92,8 +88,7 @@ fn main() {
         samples.push(temps.values(epoch));
     }
     let ctx = PlanContext::new(topology, &energy, &samples, 30.0);
-    let plan =
-        plan_cluster_query(&ctx, &clustering, &samples, k_clusters).expect("cluster plan");
+    let plan = plan_cluster_query(&ctx, &clustering, &samples, k_clusters).expect("cluster plan");
     let mut acc = 0.0;
     for epoch in 16..24 {
         acc += cluster_accuracy(&plan, topology, &clustering, &temps.values(epoch), k_clusters);

@@ -82,7 +82,8 @@ fn oracle_lower_bounds_measured_cost_at_full_accuracy() {
     let em = EnergyModel::mica2();
     for values in &s.eval {
         let oracle_plan = oracle::oracle_plan(&s.topology, values, s.k);
-        let oracle_cost = execute_plan(&oracle_plan, &s.topology, &em, values, s.k, None).total_mj();
+        let oracle_cost =
+            execute_plan(&oracle_plan, &s.topology, &em, values, s.k, None).total_mj();
         let naive = Plan::naive_k(&s.topology, s.k);
         let naive_cost = execute_plan(&naive, &s.topology, &em, values, s.k, None).total_mj();
         assert!(oracle_cost < naive_cost, "oracle {oracle_cost} vs naive {naive_cost}");

@@ -59,11 +59,7 @@ fn prospector_exact_is_exact_with_lp_phase1() {
                 let values = source.values(e);
                 let truth = top_k_nodes(&values, k);
                 let r = run_exact(&plan, &topo, &em, &values, k, None);
-                assert_eq!(
-                    answer_nodes(&r.answer),
-                    truth,
-                    "seed={seed} mult={mult} epoch={e}"
-                );
+                assert_eq!(answer_nodes(&r.answer), truth, "seed={seed} mult={mult} epoch={e}");
             }
         }
     }

@@ -1,0 +1,113 @@
+//! End-to-end permanent-failure recovery (Section 4.4): mid-experiment
+//! node deaths must be detected, charged, repaired around and re-planned
+//! through — the run completes every epoch and accuracy over the
+//! survivors returns to near its pre-fault level.
+
+use prospector::core::FallbackPlanner;
+use prospector::data::{IndependentGaussian, SamplePolicy};
+use prospector::net::{EnergyModel, FaultSchedule, NetworkBuilder, NodeId, Phase};
+use prospector::sim::{EpochReport, ExperimentConfig, ExperimentRunner};
+
+fn network(n: usize, seed: u64) -> prospector::net::Network {
+    let side = 40.0 * (n as f64).sqrt();
+    NetworkBuilder::new(n, side, side, 70.0).seed(seed).build().unwrap()
+}
+
+fn avg_query_accuracy<'a>(reports: impl Iterator<Item = &'a EpochReport>) -> f64 {
+    let q: Vec<f64> = reports.filter(|r| !r.sampled).map(|r| r.accuracy).collect();
+    assert!(!q.is_empty(), "window contains query epochs");
+    q.iter().sum::<f64>() / q.len() as f64
+}
+
+fn config(faults: FaultSchedule) -> ExperimentConfig {
+    ExperimentConfig {
+        k: 4,
+        window: 10,
+        policy: SamplePolicy::Periodic { warmup: 6, period: 10 },
+        budget_mj: 25.0,
+        replan_every: 8,
+        replan_threshold: 0.1,
+        failures: None,
+        faults,
+        install_retries: 2,
+        seed: 9,
+    }
+}
+
+#[test]
+fn runner_recovers_from_mid_run_deaths() {
+    let net = network(30, 5);
+    let t = &net.topology;
+    let em = EnergyModel::mica2();
+    let planner = FallbackPlanner::standard();
+
+    // Two non-root victims: a child of the root (an interior node whose
+    // whole subtree must re-parent) and the highest-numbered other node.
+    let v1 = t.children(t.root())[0];
+    let v2 =
+        (0..t.len()).rev().map(NodeId::from_index).find(|&n| n != t.root() && n != v1).unwrap();
+    let death_epoch = 21;
+    let faults = FaultSchedule::new().with_death(death_epoch, v1).with_death(death_epoch, v2);
+
+    // A predictable source so accuracy is limited by the plan, not noise.
+    let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 0.2..0.5, 13);
+    let mut runner = ExperimentRunner::new(t, &em, &planner, config(faults));
+    let reports = runner.run(&mut source, 60).expect("run completes through the deaths");
+    assert_eq!(reports.len(), 60, "every epoch produced a report");
+
+    // The death epoch reports the repair and the forced re-plan.
+    let death = &reports[death_epoch as usize];
+    assert_eq!(death.deaths.len(), 2);
+    assert!(death.deaths.contains(&v1) && death.deaths.contains(&v2));
+    assert!(death.repaired);
+    assert!(death.replanned, "the stale plan is replaced on the repaired tree");
+    assert!(reports.iter().filter(|r| r.repaired).count() == 1);
+
+    // Recovery machinery left its traces: dead marked, repair charged,
+    // victims parked as leaves under the root.
+    assert!(!runner.alive()[v1.index()] && !runner.alive()[v2.index()]);
+    assert!(runner.meter().phase_total(Phase::Repair) > 0.0);
+    assert_eq!(runner.topology().parent(v1), Some(t.root()));
+    assert!(runner.topology().children(v1).is_empty());
+
+    // Post-repair accuracy over the survivors recovers to within 10% of
+    // the pre-fault level (a few epochs of grace while the window heals).
+    let pre = avg_query_accuracy(reports[..death_epoch as usize].iter());
+    let post = avg_query_accuracy(reports[death_epoch as usize + 9..].iter());
+    assert!(
+        post >= pre - 0.10,
+        "post-repair accuracy {post:.2} fell more than 10% below pre-fault {pre:.2}"
+    );
+}
+
+#[test]
+fn empty_fault_schedule_is_inert() {
+    // Determinism guard: with no scheduled faults and no transient-failure
+    // model, the fault machinery must not perturb the run at all — not the
+    // plans, not the RNG, not the energy. Varying the (unused) retry knob
+    // must therefore change nothing.
+    let net = network(25, 8);
+    let t = &net.topology;
+    let em = EnergyModel::mica2();
+    let planner = FallbackPlanner::standard();
+
+    let run = |install_retries: u32| {
+        let mut cfg = config(FaultSchedule::new());
+        cfg.install_retries = install_retries;
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..3.0, 4);
+        let mut runner = ExperimentRunner::new(t, &em, &planner, cfg);
+        let reports = runner.run(&mut source, 50).unwrap();
+        (reports, runner.meter().total())
+    };
+    let (a, a_total) = run(0);
+    let (b, b_total) = run(7);
+
+    assert_eq!(a_total, b_total, "total energy must be bit-identical");
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.sampled, rb.sampled);
+        assert_eq!(ra.replanned, rb.replanned);
+        assert_eq!(ra.accuracy, rb.accuracy);
+        assert_eq!(ra.energy_mj, rb.energy_mj);
+        assert!(ra.deaths.is_empty() && !ra.repaired);
+    }
+}

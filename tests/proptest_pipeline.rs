@@ -12,8 +12,7 @@ use prospector::sim::run_exact;
 fn arb_topology(max_n: usize) -> impl Strategy<Value = Topology> {
     (2..=max_n)
         .prop_flat_map(|n| {
-            let parents: Vec<BoxedStrategy<u32>> =
-                (1..n).map(|i| (0..i as u32).boxed()).collect();
+            let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
             (Just(n), parents)
         })
         .prop_map(|(n, parents)| {
