@@ -1,0 +1,98 @@
+//! Serial vs parallel evaluation: `expected_misses` across thread counts
+//! and the fast Figure-3 harness end-to-end.
+//!
+//! Besides the criterion timings, a plain `cargo bench --bench parallel`
+//! run re-times the same workloads with `Instant`, checks that every
+//! thread count returns a bit-identical result, and writes the numbers to
+//! `BENCH_parallel.json` at the repository root. Speedup only shows on
+//! multicore hosts — the snapshot records `host_parallelism` so a 1-CPU
+//! CI number isn't mistaken for a regression.
+
+use criterion::{criterion_group, Criterion};
+use prospector_bench::{figures, scenarios::GaussianScenario};
+use prospector_core::{evaluate, Plan};
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_parallel(c: &mut Criterion) {
+    let scenario = GaussianScenario::fig3(false).build();
+    let topo = &scenario.network.topology;
+    let plan = Plan::naive_k(topo, scenario.k);
+
+    let mut group = c.benchmark_group("expected_misses");
+    for threads in THREAD_COUNTS {
+        group.bench_function(&format!("{threads}-threads"), |b| {
+            b.iter(|| {
+                black_box(evaluate::expected_misses_with(&plan, topo, &scenario.samples, threads))
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("fig3-fast", |b| b.iter(|| black_box(figures::fig3(true))));
+}
+
+criterion_group!(benches, bench_parallel);
+
+/// Times `f` over `reps` passes (after one warm-up) and returns the mean
+/// seconds per pass plus the last result.
+fn time_mean<R>(reps: u32, mut f: impl FnMut() -> R) -> (f64, R) {
+    black_box(f());
+    let start = Instant::now();
+    let mut last = f();
+    for _ in 1..reps {
+        last = f();
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, last)
+}
+
+fn write_snapshot() {
+    let scenario = GaussianScenario::fig3(false).build();
+    let topo = &scenario.network.topology;
+    let plan = Plan::naive_k(topo, scenario.k);
+
+    let (serial_s, baseline) =
+        time_mean(5, || evaluate::expected_misses_with(&plan, topo, &scenario.samples, 1));
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let (mean_s, result) = time_mean(5, || {
+            evaluate::expected_misses_with(&plan, topo, &scenario.samples, threads)
+        });
+        assert_eq!(
+            result.to_bits(),
+            baseline.to_bits(),
+            "expected_misses must be bit-identical at {threads} threads"
+        );
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"mean_s\": {mean_s:.6}, \
+             \"speedup_vs_serial\": {:.3}, \"bit_identical\": true }}",
+            serial_s / mean_s
+        ));
+    }
+
+    let (fig3_s, _) = time_mean(2, || figures::fig3(true));
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"workload\": \"expected_misses on the paper-scale \
+         fig3 scenario (n=120, k=25, 20 samples), naive-k plan\",\n  \
+         \"host_parallelism\": {host},\n  \
+         \"note\": \"speedup is bounded by host_parallelism; on a 1-CPU host every thread \
+         count degrades to serial throughput\",\n  \
+         \"expected_misses\": [\n{}\n  ],\n  \"fig3_fast_wall_s\": {fig3_s:.6}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, json).expect("write BENCH_parallel.json");
+    println!("[wrote {path}]");
+}
+
+fn main() {
+    benches();
+    // `cargo test --benches` passes `--test`; only full bench runs
+    // refresh the committed snapshot.
+    if !std::env::args().any(|a| a == "--test") {
+        write_snapshot();
+    }
+}

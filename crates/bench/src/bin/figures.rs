@@ -5,7 +5,10 @@
 //! ```
 //!
 //! Each figure is printed as an ASCII table and written to
-//! `results/<id>.csv` (series,x,y).
+//! `results/<id>.csv` (series,x,y). Requested figures are computed across
+//! the worker pool (`PROSPECTOR_THREADS`); rendering and CSV writes stay
+//! serial and in request order, so the output is identical at any thread
+//! count.
 
 use prospector_bench::{figures, render_table, write_csv, FigureResult};
 use std::path::PathBuf;
@@ -26,37 +29,23 @@ fn main() {
         args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let names: Vec<&str> = if names.is_empty() { vec!["all"] } else { names };
 
+    // Resolve every requested name up front so a typo anywhere fails
+    // before hours of figure computation.
+    let mut jobs: Vec<(&str, figures::FigureFn)> = Vec::new();
     for name in names {
-        match name {
-            "all" => {
-                for r in figures::all(fast) {
-                    run_one(&r);
-                }
-            }
-            "table1" => run_one(&figures::table1()),
-            "fig3" => run_one(&figures::fig3(fast)),
-            "fig4" => run_one(&figures::fig4(fast)),
-            "fig5" => run_one(&figures::fig5(fast)),
-            "fig7" => run_one(&figures::fig7(fast)),
-            "fig8" => run_one(&figures::fig8(fast)),
-            "fig9" => run_one(&figures::fig9(fast)),
-            "esamples" => run_one(&figures::e_samples(fast)),
-            "elptime" => run_one(&figures::e_lp_time(fast)),
-            "edissem" => run_one(&figures::e_dissemination(fast)),
-            "naive1" => run_one(&figures::naive1_vs_naive_k(fast)),
-            "ablation" => run_one(&figures::ablation_fill(fast)),
-            "efailures" => run_one(&figures::e_failures(fast)),
-            "fault_tolerance" => run_one(&figures::fault_tolerance(fast)),
-            "esensitivity" => run_one(&figures::e_sensitivity(fast)),
-            "esubset" => run_one(&figures::e_subset(fast)),
-            other => {
-                eprintln!(
-                    "unknown figure '{other}'; known: all table1 fig3 fig4 fig5 fig7 fig8 fig9 \
-                     esamples elptime edissem naive1 ablation efailures fault_tolerance \
-                     esensitivity esubset"
-                );
-                std::process::exit(2);
-            }
+        if name == "all" {
+            jobs.extend_from_slice(figures::REGISTRY);
+        } else if let Some(f) = figures::by_name(name) {
+            jobs.push((name, f));
+        } else {
+            let known: Vec<&str> = figures::REGISTRY.iter().map(|&(n, _)| n).collect();
+            eprintln!("unknown figure '{name}'; known: all {}", known.join(" "));
+            std::process::exit(2);
         }
+    }
+
+    let results = prospector_par::par_map(&jobs, |_, &(_, f)| f(fast));
+    for r in &results {
+        run_one(r);
     }
 }

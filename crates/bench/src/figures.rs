@@ -50,27 +50,34 @@ fn avg_accuracy_pct(plan: &Plan, topology: &Topology, epochs: &[Vec<f64>], k: us
 
 /// Runs each approximate planner across a budget ladder, producing
 /// (measured energy, accuracy%) points.
+///
+/// Every (planner, budget) pair is independent, so the grid is fanned
+/// across the worker pool; results come back in planner-major order, so
+/// the point list is identical to the old serial double loop.
 fn approx_curves<S>(
     scenario: &Scenario<S>,
     energy: &EnergyModel,
     budgets: &[f64],
-    planners: &[(&str, &dyn Planner)],
+    planners: &[(&str, &(dyn Planner + Sync))],
 ) -> Vec<CurvePoint> {
     let topo = &scenario.network.topology;
-    let mut points = Vec::new();
-    for &(name, planner) in planners {
-        for &budget in budgets {
-            let ctx = PlanContext::new(topo, energy, &scenario.samples, budget);
-            let plan = match planner.plan(&ctx) {
-                Ok(p) => p,
-                Err(e) => panic!("{name} failed at budget {budget}: {e}"),
-            };
-            let x = avg_exec_mj(&plan, topo, energy, &scenario.eval_epochs, scenario.k);
-            let y = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
-            points.push(CurvePoint::new(name, x, y));
-        }
-    }
-    points
+    let samples = &scenario.samples;
+    let eval_epochs = &scenario.eval_epochs;
+    let k = scenario.k;
+    let jobs: Vec<(&str, &(dyn Planner + Sync), f64)> = planners
+        .iter()
+        .flat_map(|&(name, planner)| budgets.iter().map(move |&b| (name, planner, b)))
+        .collect();
+    prospector_par::par_map(&jobs, |_, &(name, planner, budget)| {
+        let ctx = PlanContext::new(topo, energy, samples, budget);
+        let plan = match planner.plan(&ctx) {
+            Ok(p) => p,
+            Err(e) => panic!("{name} failed at budget {budget}: {e}"),
+        };
+        let x = avg_exec_mj(&plan, topo, energy, eval_epochs, k);
+        let y = avg_accuracy_pct(&plan, topo, eval_epochs, k);
+        CurvePoint::new(name, x, y)
+    })
 }
 
 /// Exact algorithms (ORACLE / NAIVE-k) traced by varying k' ≤ k, as the
@@ -81,25 +88,24 @@ fn exact_curves<S>(
     k_ladder: &[usize],
 ) -> Vec<CurvePoint> {
     let topo = &scenario.network.topology;
+    let eval_epochs = &scenario.eval_epochs;
     let k = scenario.k;
-    let mut points = Vec::new();
-    for &kp in k_ladder {
+    let mut points = prospector_par::par_map(k_ladder, |_, &kp| {
         let plan = Plan::naive_k(topo, kp);
-        let x = avg_exec_mj(&plan, topo, energy, &scenario.eval_epochs, kp);
-        points.push(CurvePoint::new("naive-k", x, 100.0 * kp as f64 / k as f64));
-    }
-    for &kp in k_ladder {
-        let cost: f64 = scenario
-            .eval_epochs
+        let x = avg_exec_mj(&plan, topo, energy, eval_epochs, kp);
+        CurvePoint::new("naive-k", x, 100.0 * kp as f64 / k as f64)
+    });
+    points.extend(prospector_par::par_map(k_ladder, |_, &kp| {
+        let cost: f64 = eval_epochs
             .iter()
             .map(|values| {
                 let plan = oracle::oracle_plan(topo, values, kp);
                 execute_plan(&plan, topo, energy, values, kp, None).total_mj()
             })
             .sum::<f64>()
-            / scenario.eval_epochs.len() as f64;
-        points.push(CurvePoint::new("oracle", cost, 100.0 * kp as f64 / k as f64));
-    }
+            / eval_epochs.len() as f64;
+        CurvePoint::new("oracle", cost, 100.0 * kp as f64 / k as f64)
+    }));
     points
 }
 
@@ -146,7 +152,7 @@ pub fn fig3(fast: bool) -> FigureResult {
     let fractions: &[f64] =
         if fast { &[0.1, 0.3, 0.6, 1.0] } else { &[0.05, 0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0] };
     let budgets = budget_ladder(naive_cost, fractions);
-    let planners: Vec<(&str, &dyn Planner)> = vec![
+    let planners: Vec<(&str, &(dyn Planner + Sync))> = vec![
         ("greedy", &ProspectorGreedy),
         ("lp-lf", &ProspectorLpNoLf),
         ("lp+lf", &ProspectorLpLf),
@@ -201,8 +207,9 @@ pub fn fig4(fast: bool) -> FigureResult {
 
     let scales: &[f64] =
         if fast { &[0.5, 2.0, 8.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] };
-    let mut points = Vec::new();
-    for &scale in scales {
+    // Each variance scale is a self-contained scenario build + two plans;
+    // fan the scales across workers and flatten in scale order.
+    let points: Vec<CurvePoint> = prospector_par::par_map(scales, |_, &scale| {
         let scenario = {
             let mut sc = base.build();
             let scaled = sc.source.with_std_scale(scale);
@@ -218,15 +225,20 @@ pub fn fig4(fast: bool) -> FigureResult {
             stds.iter().map(|s| s * s).sum::<f64>() / stds.len() as f64
         };
         let topo = &scenario.network.topology;
+        let mut pts = Vec::new();
         for (name, planner) in
             [("lp-lf", &ProspectorLpNoLf as &dyn Planner), ("lp+lf", &ProspectorLpLf)]
         {
             let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
             let plan = planner.plan(&ctx).expect("planning succeeds");
             let acc = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
-            points.push(CurvePoint::new(name, variance, acc));
+            pts.push(CurvePoint::new(name, variance, acc));
         }
-    }
+        pts
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     FigureResult {
         id: "fig4",
         title: "Figure 4: effect of variance (fixed budget)",
@@ -246,7 +258,7 @@ pub fn fig5(fast: bool) -> FigureResult {
     let fractions: &[f64] =
         if fast { &[0.2, 0.5, 0.9] } else { &[0.1, 0.2, 0.3, 0.45, 0.6, 0.8, 1.0] };
     let budgets = budget_ladder(naive_cost, fractions);
-    let planners: Vec<(&str, &dyn Planner)> =
+    let planners: Vec<(&str, &(dyn Planner + Sync))> =
         vec![("lp-lf", &ProspectorLpNoLf), ("lp+lf", &ProspectorLpLf)];
     let points = approx_curves(&scenario, &em, &budgets, &planners);
     FigureResult {
@@ -270,19 +282,25 @@ pub fn fig7(fast: bool) -> FigureResult {
     let budget = 0.4 * naive_cost;
 
     let zone_counts: &[usize] = if fast { &[2, 4, 6] } else { &[1, 2, 3, 4, 5, 6] };
-    let mut points = Vec::new();
-    for &z in zone_counts {
+    // One scenario build + two plans per zone count; independent, so each
+    // zone count runs on its own worker.
+    let points: Vec<CurvePoint> = prospector_par::par_map(zone_counts, |_, &z| {
         let scenario = ZoneScenario::fig5(fast).with_zones(z).build();
         let topo = &scenario.network.topology;
+        let mut pts = Vec::new();
         for (name, planner) in
             [("lp-lf", &ProspectorLpNoLf as &dyn Planner), ("lp+lf", &ProspectorLpLf)]
         {
             let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
             let plan = planner.plan(&ctx).expect("planning succeeds");
             let acc = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
-            points.push(CurvePoint::new(name, z as f64, acc));
+            pts.push(CurvePoint::new(name, z as f64, acc));
         }
-    }
+        pts
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     FigureResult {
         id: "fig7",
         title: "Figure 7: varying the number of contention zones",
@@ -335,8 +353,8 @@ pub fn fig8(fast: bool) -> FigureResult {
     let ctx_probe = PlanContext::new(topo, &em, &scenario.samples, 1.0);
     let min_proof = ctx_probe.min_proof_cost();
     let fracs: &[f64] = if fast { &[0.0, 0.3, 1.0] } else { &[0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 1.0] };
-    let mut points = Vec::new();
-    for (t, &frac) in fracs.iter().enumerate() {
+    // Each budget trial plans and replays every epoch independently.
+    let points: Vec<CurvePoint> = prospector_par::par_map(fracs, |t, &frac| {
         let phase1_budget = min_proof + frac * (1.15 * naive_cost - min_proof);
         let cfg = ExactConfig { phase1_budget_mj: phase1_budget };
         let ctx = PlanContext::new(topo, &em, &scenario.samples, phase1_budget);
@@ -349,11 +367,16 @@ pub fn fig8(fast: bool) -> FigureResult {
         }
         let n_eval = scenario.eval_epochs.len() as f64;
         let x = (t + 1) as f64;
-        points.push(CurvePoint::new("phase-1", x, p1 / n_eval));
-        points.push(CurvePoint::new("phase-2", x, p2 / n_eval));
-        points.push(CurvePoint::new("naive-k", x, naive_cost));
-        points.push(CurvePoint::new("oracle-proof", x, oracle_proof_cost));
-    }
+        vec![
+            CurvePoint::new("phase-1", x, p1 / n_eval),
+            CurvePoint::new("phase-2", x, p2 / n_eval),
+            CurvePoint::new("naive-k", x, naive_cost),
+            CurvePoint::new("oracle-proof", x, oracle_proof_cost),
+        ]
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     FigureResult {
         id: "fig8",
         title: "Figure 8: ProspectorExact two-phase cost breakdown",
@@ -374,7 +397,7 @@ pub fn fig9(fast: bool) -> FigureResult {
     let fractions: &[f64] =
         if fast { &[0.1, 0.3, 0.7] } else { &[0.05, 0.1, 0.18, 0.3, 0.45, 0.65, 0.9] };
     let budgets = budget_ladder(naive_cost, fractions);
-    let planners: Vec<(&str, &dyn Planner)> = vec![
+    let planners: Vec<(&str, &(dyn Planner + Sync))> = vec![
         ("greedy", &ProspectorGreedy),
         ("lp-lf", &ProspectorLpNoLf),
         ("lp+lf", &ProspectorLpLf),
@@ -421,8 +444,9 @@ pub fn e_samples(fast: bool) -> FigureResult {
     let budget = 0.35 * naive_cost;
 
     let counts: &[usize] = if fast { &[1, 3, 8] } else { &[1, 2, 3, 5, 8, 12, 20, 30] };
-    let mut points = Vec::new();
-    for &s in counts {
+    // Each sample-window size replays its own warm-up and plans twice;
+    // window sizes are independent of one another.
+    let points: Vec<CurvePoint> = prospector_par::par_map(counts, |_, &s| {
         // Rebuild a window holding only the first `s` warm-up samples.
         let mut window = SampleSet::new(base.n, base.k, s);
         let mut src = prospector_data::IndependentGaussian::random(
@@ -434,15 +458,20 @@ pub fn e_samples(fast: bool) -> FigureResult {
         for epoch in 0..s as u64 {
             window.push(src.values(epoch));
         }
+        let mut pts = Vec::new();
         for (name, planner) in
             [("lp-lf", &ProspectorLpNoLf as &dyn Planner), ("lp+lf", &ProspectorLpLf)]
         {
             let ctx = PlanContext::new(topo, &em, &window, budget);
             let plan = planner.plan(&ctx).expect("planning succeeds");
             let acc = avg_accuracy_pct(&plan, topo, &scenario.eval_epochs, scenario.k);
-            points.push(CurvePoint::new(name, s as f64, acc));
+            pts.push(CurvePoint::new(name, s as f64, acc));
         }
-    }
+        pts
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     FigureResult {
         id: "esamples",
         title: "Sampling size vs accuracy (Section 5, other results)",
@@ -613,25 +642,28 @@ pub fn ablation_fill(fast: bool) -> FigureResult {
     let min_proof = PlanContext::new(topo, &em, &scenario.samples, 1.0).min_proof_cost();
 
     let fracs: &[f64] = if fast { &[0.2, 0.5] } else { &[0.1, 0.2, 0.3, 0.4, 0.55, 0.75] };
-    let mut points = Vec::new();
-    for (name, fill) in [
+    // Fan the (strategy, budget) grid across workers; strategy-major
+    // job order keeps the point list identical to the serial loops.
+    let jobs: Vec<(&str, FillStrategy, f64)> = [
         ("need-aware", FillStrategy::NeedAware),
         ("subtree-deficit", FillStrategy::SubtreeDeficit),
         ("no-fill", FillStrategy::None),
-    ] {
-        for &frac in fracs {
-            let budget = min_proof + frac * (1.15 * naive_cost - min_proof);
-            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
-            let plan = ProspectorProof { fill }.plan(&ctx).expect("proof plan");
-            let total: f64 = scenario
-                .eval_epochs
-                .iter()
-                .map(|v| run_exact(&plan, topo, &em, v, k, None).total_mj())
-                .sum::<f64>()
-                / scenario.eval_epochs.len() as f64;
-            points.push(CurvePoint::new(name, budget, total));
-        }
-    }
+    ]
+    .into_iter()
+    .flat_map(|(name, fill)| fracs.iter().map(move |&frac| (name, fill, frac)))
+    .collect();
+    let mut points = prospector_par::par_map(&jobs, |_, &(name, fill, frac)| {
+        let budget = min_proof + frac * (1.15 * naive_cost - min_proof);
+        let ctx = PlanContext::new(topo, &em, &scenario.samples, budget);
+        let plan = ProspectorProof { fill }.plan(&ctx).expect("proof plan");
+        let total: f64 = scenario
+            .eval_epochs
+            .iter()
+            .map(|v| run_exact(&plan, topo, &em, v, k, None).total_mj())
+            .sum::<f64>()
+            / scenario.eval_epochs.len() as f64;
+        CurvePoint::new(name, budget, total)
+    });
     for &frac in fracs {
         let budget = min_proof + frac * (1.15 * naive_cost - min_proof);
         points.push(CurvePoint::new("naive-k", budget, naive_cost));
@@ -855,26 +887,43 @@ pub fn e_subset(fast: bool) -> FigureResult {
     }
 }
 
-/// Every figure in paper order.
+/// A figure runner: `fast` shrinks sizes for smoke tests.
+pub type FigureFn = fn(bool) -> FigureResult;
+
+fn table1_any(_fast: bool) -> FigureResult {
+    table1()
+}
+
+/// CLI name → runner, in paper order. The `figures` binary resolves
+/// requested names here, and [`all`] runs the whole list.
+pub const REGISTRY: &[(&str, FigureFn)] = &[
+    ("table1", table1_any),
+    ("fig3", fig3),
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("fig7", fig7),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("esamples", e_samples),
+    ("elptime", e_lp_time),
+    ("edissem", e_dissemination),
+    ("naive1", naive1_vs_naive_k),
+    ("ablation", ablation_fill),
+    ("efailures", e_failures),
+    ("fault_tolerance", fault_tolerance),
+    ("esensitivity", e_sensitivity),
+    ("esubset", e_subset),
+];
+
+/// Looks up one figure runner by its CLI name.
+pub fn by_name(name: &str) -> Option<FigureFn> {
+    REGISTRY.iter().find(|&&(n, _)| n == name).map(|&(_, f)| f)
+}
+
+/// Every figure in paper order, computed across the worker pool (each
+/// figure is independent; results come back in registry order).
 pub fn all(fast: bool) -> Vec<FigureResult> {
-    vec![
-        table1(),
-        fig3(fast),
-        fig4(fast),
-        fig5(fast),
-        fig7(fast),
-        fig8(fast),
-        fig9(fast),
-        e_samples(fast),
-        e_lp_time(fast),
-        e_dissemination(fast),
-        naive1_vs_naive_k(fast),
-        ablation_fill(fast),
-        e_failures(fast),
-        fault_tolerance(fast),
-        e_sensitivity(fast),
-        e_subset(fast),
-    ]
+    prospector_par::par_map(REGISTRY, |_, &(_, f)| f(fast))
 }
 
 #[cfg(test)]
@@ -895,7 +944,7 @@ mod tests {
         let naive_full_cost =
             f.points.iter().filter(|p| p.series == "naive-k").map(|p| p.x).fold(0.0f64, f64::max);
         let lp_costs: Vec<&CurvePoint> = f.points.iter().filter(|p| p.series == "lp+lf").collect();
-        let best_lp = lp_costs.iter().max_by(|a, b| a.y.partial_cmp(&b.y).unwrap()).unwrap();
+        let best_lp = lp_costs.iter().max_by(|a, b| a.y.total_cmp(&b.y)).unwrap();
         assert!(
             best_lp.x < naive_full_cost,
             "lp+lf should reach its best accuracy below naive-k's full cost"

@@ -4,17 +4,30 @@
 //! expected number of top-k values not returned", with the expectation
 //! taken over the sample window. Accuracy in the figures is "the
 //! percentage of actual top-k values returned by the query".
+//!
+//! The `expected_*` functions fan the per-sample simulations out across
+//! the `prospector-par` worker pool (width: `PROSPECTOR_THREADS`, default
+//! [`std::thread::available_parallelism`]). Each sample contributes an
+//! **integer** (hits or proven count), and integer addition is associative
+//! and commutative, so the parallel reduction is bit-identical to the
+//! serial one at any thread count — the determinism contract the planners,
+//! figures and CI gate rely on. The `_with` variants take an explicit
+//! thread count for benchmarks and equivalence tests.
 
-use crate::exec::{run_plan, run_proof_plan};
+use crate::exec::{proven_on_values, run_plan};
 use crate::plan::Plan;
 use prospector_data::{top_k_nodes, SampleSet};
-use prospector_net::{NodeId, Topology};
+use prospector_net::Topology;
 
 /// Number of true top-k values a plan returns for one epoch's values.
 pub fn hits_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> usize {
-    let truth = top_k_nodes(values, k);
+    // Membership by binary search over node ids: `truth` is tiny, but this
+    // runs once per sample per candidate plan in the repair loops, so the
+    // O(k²) `contains` scan it replaces was measurable.
+    let mut truth = top_k_nodes(values, k);
+    truth.sort_unstable();
     let out = run_plan(plan, topology, values, k);
-    count_hits(&out.answer.iter().map(|r| r.node).collect::<Vec<_>>(), &truth)
+    out.answer.iter().filter(|r| truth.binary_search(&r.node).is_ok()).count()
 }
 
 /// Fraction of the true top k returned for one epoch's values (`∈ [0,1]`).
@@ -25,37 +38,69 @@ pub fn accuracy_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: u
 /// Expected number of top-k values *missed* by the plan, averaged over the
 /// sample window — the quantity the LPs minimize.
 pub fn expected_misses(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
+    expected_misses_with(plan, topology, samples, prospector_par::configured_threads())
+}
+
+/// [`expected_misses`] with an explicit worker count (1 = serial). The
+/// result is bit-identical for every `threads` value.
+pub fn expected_misses_with(
+    plan: &Plan,
+    topology: &Topology,
+    samples: &SampleSet,
+    threads: usize,
+) -> f64 {
     assert!(!samples.is_empty(), "no samples to evaluate against");
     let k = samples.k();
-    let total: usize =
-        (0..samples.len()).map(|j| k - hits_on_values(plan, topology, samples.values(j), k)).sum();
+    let per_sample = prospector_par::par_map_range_in(threads, samples.len(), |j| {
+        k - hits_on_values(plan, topology, samples.values(j), k)
+    });
+    let total: usize = per_sample.into_iter().sum();
     total as f64 / samples.len() as f64
 }
 
 /// Expected accuracy over the sample window (`1 - misses/k`).
 pub fn expected_accuracy(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
-    1.0 - expected_misses(plan, topology, samples) / samples.k() as f64
+    expected_accuracy_with(plan, topology, samples, prospector_par::configured_threads())
+}
+
+/// [`expected_accuracy`] with an explicit worker count (1 = serial).
+pub fn expected_accuracy_with(
+    plan: &Plan,
+    topology: &Topology,
+    samples: &SampleSet,
+    threads: usize,
+) -> f64 {
+    1.0 - expected_misses_with(plan, topology, samples, threads) / samples.k() as f64
 }
 
 /// Expected number of answer values a proof-carrying plan *proves* at the
 /// root, averaged over the sample window — the proof LP's objective.
 pub fn expected_proven(plan: &Plan, topology: &Topology, samples: &SampleSet) -> f64 {
-    assert!(!samples.is_empty(), "no samples to evaluate against");
-    let k = samples.k();
-    let total: usize = (0..samples.len())
-        .map(|j| run_proof_plan(plan, topology, samples.values(j), k).proven)
-        .sum();
-    total as f64 / samples.len() as f64
+    expected_proven_with(plan, topology, samples, prospector_par::configured_threads())
 }
 
-fn count_hits(answer: &[NodeId], truth: &[NodeId]) -> usize {
-    answer.iter().filter(|n| truth.contains(n)).count()
+/// [`expected_proven`] with an explicit worker count (1 = serial). The
+/// result is bit-identical for every `threads` value.
+pub fn expected_proven_with(
+    plan: &Plan,
+    topology: &Topology,
+    samples: &SampleSet,
+    threads: usize,
+) -> f64 {
+    assert!(!samples.is_empty(), "no samples to evaluate against");
+    let k = samples.k();
+    let per_sample = prospector_par::par_map_range_in(threads, samples.len(), |j| {
+        proven_on_values(plan, topology, samples.values(j), k)
+    });
+    let total: usize = per_sample.into_iter().sum();
+    total as f64 / samples.len() as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use prospector_net::topology::{chain, star};
+    use prospector_net::NodeId;
 
     fn sample_set(rows: Vec<Vec<f64>>, k: usize) -> SampleSet {
         let n = rows[0].len();

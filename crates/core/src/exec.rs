@@ -90,6 +90,26 @@ pub fn run_plan(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> C
 /// values are proven and retains each node's `retrieved`/`proven` state
 /// for the exact algorithm's mop-up phase.
 pub fn run_proof_plan(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> ProofOutcome {
+    run_proof_plan_impl(plan, topology, values, k, true)
+}
+
+/// How many answer values a proof-carrying plan proves at the root for one
+/// epoch's values — the hot path of `evaluate::expected_proven`.
+///
+/// Unlike [`run_proof_plan`] this skips retaining the per-node `retrieved`
+/// lists (only the exact algorithm's mop-up phase consumes them), so no
+/// full merged reading list is ever kept per node per simulated epoch.
+pub fn proven_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> usize {
+    run_proof_plan_impl(plan, topology, values, k, false).proven
+}
+
+fn run_proof_plan_impl(
+    plan: &Plan,
+    topology: &Topology,
+    values: &[f64],
+    k: usize,
+    keep_retrieved: bool,
+) -> ProofOutcome {
     assert_eq!(values.len(), topology.len());
     debug_assert!(
         topology.edges().all(|e| plan.is_used(e)),
@@ -129,7 +149,6 @@ pub fn run_proof_plan(plan: &Plan, topology: &Topology, values: &[f64], k: usize
             merged.extend_from_slice(&outbox[c.index()]);
         }
         merged.sort_unstable_by(Reading::rank_cmp);
-        retrieved[u.index()] = merged.clone();
 
         let send_len = if is_root {
             k.min(merged.len())
@@ -183,6 +202,13 @@ pub fn run_proof_plan(plan: &Plan, topology: &Topology, values: &[f64], k: usize
             proven_count[u.index()] = proven as u32;
             sent[u.index()] = send_len as u32;
             outbox[u.index()] = merged[..send_len].to_vec();
+        }
+        // Only the exact algorithm's mop-up phase reads `retrieved`;
+        // moving the merged list (instead of the former unconditional
+        // clone per node per epoch) keeps the eval hot path allocation-
+        // light.
+        if keep_retrieved {
+            retrieved[u.index()] = merged;
         }
     }
 

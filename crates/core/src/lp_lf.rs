@@ -11,7 +11,7 @@
 //! subtree holds.
 
 use crate::error::PlanError;
-use crate::evaluate::expected_misses;
+use crate::evaluate::{expected_misses, expected_misses_with};
 use crate::plan::Plan;
 use crate::planner::{PlanContext, Planner};
 use prospector_lp::{Cmp, Problem, Sense, Status, VarId};
@@ -167,6 +167,12 @@ fn build_lp(ctx: &PlanContext<'_>) -> (Problem, Vec<Option<VarId>>) {
 
 /// Greedily decrements bandwidths until the plan fits the budget, dropping
 /// the capacity whose removal costs the fewest expected sample hits.
+///
+/// Candidate drops are scored on the worker pool; each worker evaluates
+/// its candidates serially (the outer fan-out already saturates the pool).
+/// Scores are reduced in edge order with the same strict comparison as the
+/// old serial loop, so the chosen drop — and therefore the final plan — is
+/// identical at any thread count.
 fn repair_budget(plan: &mut Plan, ctx: &PlanContext<'_>) {
     let topo = ctx.topology;
     loop {
@@ -175,20 +181,21 @@ fn repair_budget(plan: &mut Plan, ctx: &PlanContext<'_>) {
             return;
         }
         let base_misses = expected_misses(plan, topo, ctx.samples);
-        let mut best: Option<(f64, f64, NodeId)> = None; // (loss, -saving, edge)
-        for e in topo.edges() {
-            if !plan.is_used(e) {
-                continue;
-            }
-            let candidate = decremented(plan, topo, e);
-            let loss = expected_misses(&candidate, topo, ctx.samples) - base_misses;
+        let current: &Plan = plan;
+        let used: Vec<NodeId> = topo.edges().filter(|&e| current.is_used(e)).collect();
+        let scored = prospector_par::par_map(&used, |_, &e| {
+            let candidate = decremented(current, topo, e);
+            let loss = expected_misses_with(&candidate, topo, ctx.samples, 1) - base_misses;
             let saving = cost - ctx.plan_cost(&candidate);
-            let key = (loss, -saving);
-            if best.is_none_or(|(bl, bns, _)| key < (bl, bns)) {
-                best = Some((loss, -saving, e));
+            (loss, -saving)
+        });
+        let mut best: Option<((f64, f64), NodeId)> = None;
+        for (&e, &key) in used.iter().zip(&scored) {
+            if best.is_none_or(|(bk, _)| key < bk) {
+                best = Some((key, e));
             }
         }
-        let Some((_, _, e)) = best else { return };
+        let Some((_, e)) = best else { return };
         *plan = decremented(plan, topo, e);
     }
 }

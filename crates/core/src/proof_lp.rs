@@ -17,7 +17,7 @@
 //!   matching the paper's c.3 exception).
 
 use crate::error::PlanError;
-use crate::evaluate::expected_proven;
+use crate::evaluate::{expected_proven, expected_proven_with};
 use crate::plan::Plan;
 use crate::planner::{PlanContext, Planner};
 use prospector_data::Reading;
@@ -293,6 +293,10 @@ fn fill_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>, strategy: FillStrat
 
 /// Decrements bandwidths (floor 1) until the plan fits the budget,
 /// dropping the unit whose removal loses the fewest expected proofs.
+///
+/// Candidate drops are scored on the worker pool (serial inner
+/// evaluation, edge-order reduction), so the chosen drop is identical to
+/// the serial loop at any thread count.
 fn repair_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>) {
     let topo = ctx.topology;
     let overhead = ctx.proof_overhead();
@@ -302,14 +306,15 @@ fn repair_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>) {
             return;
         }
         let base = expected_proven(plan, topo, ctx.samples);
+        let current: &Plan = plan;
+        let droppable: Vec<NodeId> = topo.edges().filter(|&e| current.bandwidth(e) > 1).collect();
+        let losses = prospector_par::par_map(&droppable, |_, &e| {
+            let mut cand = current.clone();
+            cand.set_bandwidth(e, current.bandwidth(e) - 1);
+            base - expected_proven_with(&cand, topo, ctx.samples, 1)
+        });
         let mut best: Option<(f64, NodeId)> = None;
-        for e in topo.edges() {
-            if plan.bandwidth(e) <= 1 {
-                continue;
-            }
-            let mut cand = plan.clone();
-            cand.set_bandwidth(e, plan.bandwidth(e) - 1);
-            let loss = base - expected_proven(&cand, topo, ctx.samples);
+        for (&e, &loss) in droppable.iter().zip(&losses) {
             if best.is_none_or(|(bl, _)| loss < bl) {
                 best = Some((loss, e));
             }

@@ -103,10 +103,19 @@ pub fn sampled_lp_subset(
     lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Cmp::Le, t as f64);
     let sol = lp.solve().expect("sampled LP solves");
 
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        sol.x[b].partial_cmp(&sol.x[a]).unwrap().then(counts[b].cmp(&counts[a])).then(a.cmp(&b))
-    });
+    round_lp_solution(&sol.x, &counts, t)
+}
+
+/// Rounds a fractional LP solution to the `t` best nodes: descending
+/// fractional value, ties broken by appearance count then node id.
+///
+/// Uses `f64::total_cmp` and clamps non-finite solver output to 0, so a
+/// pathological column (NaN/±inf escaping the simplex) can neither panic
+/// the sort nor win the selection spuriously.
+fn round_lp_solution(x: &[f64], counts: &[u32], t: usize) -> Vec<NodeId> {
+    let x: Vec<f64> = x.iter().map(|&v| if v.is_finite() { v } else { 0.0 }).collect();
+    let mut order: Vec<usize> = (0..counts.len()).collect();
+    order.sort_by(|&a, &b| x[b].total_cmp(&x[a]).then(counts[b].cmp(&counts[a])).then(a.cmp(&b)));
     order.into_iter().take(t).filter(|&i| counts[i] > 0).map(NodeId::from_index).collect()
 }
 
@@ -175,6 +184,19 @@ mod tests {
             let achieved = d.expected_misses(&subset);
             assert!(achieved <= opt + 0.35, "trial {trial}: sampled {achieved} vs optimum {opt}");
         }
+    }
+
+    #[test]
+    fn rounding_survives_nan_and_inf_columns() {
+        // Regression: `partial_cmp().unwrap()` panicked here when the
+        // solver emitted a NaN column. Non-finite entries now rank as 0.
+        let x = [f64::NAN, 0.5, f64::INFINITY, 1.0, f64::NEG_INFINITY];
+        let counts = [9, 3, 9, 2, 9];
+        let picked = round_lp_solution(&x, &counts, 2);
+        assert_eq!(picked, vec![NodeId(3), NodeId(1)], "finite values beat clamped garbage");
+        // All-NaN solutions degrade to the count order instead of dying.
+        let all_nan = [f64::NAN; 3];
+        assert_eq!(round_lp_solution(&all_nan, &[1, 5, 3], 2), vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]

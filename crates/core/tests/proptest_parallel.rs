@@ -1,0 +1,104 @@
+//! Serial ≡ parallel: evaluation through the `prospector-par` worker pool
+//! must be **bit-identical** to the serial fold at every thread count, on
+//! arbitrary topologies, plans and sample windows. This is the determinism
+//! contract DESIGN.md §9 documents and the CI byte-diff gate relies on.
+
+use proptest::prelude::*;
+use prospector_core::{evaluate, Plan};
+use prospector_data::SampleSet;
+use prospector_net::{NodeId, Topology};
+
+/// Random tree over n nodes: each node's parent is a random earlier node.
+fn arb_topology(max_n: usize) -> impl Strategy<Value = Topology> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
+            (Just(n), parents)
+        })
+        .prop_map(|(n, parents)| {
+            let mut parent = vec![None];
+            parent.extend(parents.into_iter().map(|p| Some(NodeId(p))));
+            let _ = n;
+            Topology::from_parents(NodeId(0), parent).expect("random parents form a tree")
+        })
+}
+
+/// A random valid plan: bandwidths within subtree sizes, connectivity
+/// repaired.
+fn make_plan(topology: &Topology, raw: &[u32], proof: bool) -> Plan {
+    let mut plan = Plan::empty(topology.len());
+    for e in topology.edges() {
+        let cap = topology.subtree_size(e) as u32;
+        let lo = u32::from(proof);
+        let w = (raw[e.index()] % (cap + 1)).max(lo);
+        plan.set_bandwidth(e, w);
+    }
+    plan.repair_connectivity(topology);
+    plan.proof_carrying = proof;
+    plan
+}
+
+/// Deterministic pseudo-random reading for node `i` of sample `j`.
+fn reading(seed: u64, j: u64, i: u64) -> f64 {
+    let h =
+        seed.wrapping_add(j.wrapping_mul(0x9E3779B9)).wrapping_mul(i + 1).wrapping_mul(2654435761);
+    (h % 10_000) as f64
+}
+
+fn sample_window(n: usize, k: usize, num_samples: usize, seed: u64) -> SampleSet {
+    let mut samples = SampleSet::new(n, k, num_samples);
+    for j in 0..num_samples as u64 {
+        samples.push((0..n as u64).map(|i| reading(seed, j, i)).collect());
+    }
+    samples
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expected_misses_is_bit_identical_across_thread_counts(
+        topo in arb_topology(20),
+        raw in proptest::collection::vec(0u32..6, 20),
+        seed in 0u64..1000,
+        num_samples in 1usize..12,
+        k in 1usize..6,
+    ) {
+        let n = topo.len();
+        let samples = sample_window(n, k.min(n), num_samples, seed);
+        let plan = make_plan(&topo, &raw, false);
+        plan.validate(&topo).unwrap();
+
+        let misses = evaluate::expected_misses_with(&plan, &topo, &samples, 1);
+        let accuracy = evaluate::expected_accuracy_with(&plan, &topo, &samples, 1);
+        for threads in [2usize, 8] {
+            let m = evaluate::expected_misses_with(&plan, &topo, &samples, threads);
+            prop_assert_eq!(m.to_bits(), misses.to_bits(),
+                "expected_misses diverged at {} threads: {} vs {}", threads, m, misses);
+            let a = evaluate::expected_accuracy_with(&plan, &topo, &samples, threads);
+            prop_assert_eq!(a.to_bits(), accuracy.to_bits(),
+                "expected_accuracy diverged at {} threads: {} vs {}", threads, a, accuracy);
+        }
+    }
+
+    #[test]
+    fn expected_proven_is_bit_identical_across_thread_counts(
+        topo in arb_topology(16),
+        raw in proptest::collection::vec(1u32..5, 16),
+        seed in 0u64..1000,
+        num_samples in 1usize..10,
+        k in 1usize..5,
+    ) {
+        let n = topo.len();
+        let samples = sample_window(n, k.min(n), num_samples, seed);
+        let plan = make_plan(&topo, &raw, true);
+        plan.validate(&topo).unwrap();
+
+        let proven = evaluate::expected_proven_with(&plan, &topo, &samples, 1);
+        for threads in [2usize, 8] {
+            let p = evaluate::expected_proven_with(&plan, &topo, &samples, threads);
+            prop_assert_eq!(p.to_bits(), proven.to_bits(),
+                "expected_proven diverged at {} threads: {} vs {}", threads, p, proven);
+        }
+    }
+}

@@ -757,14 +757,16 @@ mod tests {
     }
 
     /// Fractional knapsack has a closed-form optimum (greedy by ratio);
-    /// the LP relaxation must match it exactly.
+    /// the LP relaxation must match it exactly. Zero-weight items cost no
+    /// capacity, so the LP takes them fully for free — mirror that here
+    /// rather than dividing by zero (`values/weights` would be NaN and
+    /// poison the ratio sort).
     fn knapsack_optimum(values: &[f64], weights: &[f64], cap: f64) -> f64 {
-        let mut idx: Vec<usize> = (0..values.len()).collect();
-        idx.sort_by(|&a, &b| {
-            (values[b] / weights[b]).partial_cmp(&(values[a] / weights[a])).unwrap()
-        });
+        let mut total: f64 =
+            values.iter().zip(weights).filter(|&(_, &w)| w == 0.0).map(|(&v, _)| v).sum();
+        let mut idx: Vec<usize> = (0..values.len()).filter(|&i| weights[i] > 0.0).collect();
+        idx.sort_by(|&a, &b| (values[b] / weights[b]).total_cmp(&(values[a] / weights[a])));
         let mut rem = cap;
-        let mut total = 0.0;
         for i in idx {
             if rem <= 0.0 {
                 break;
@@ -792,6 +794,30 @@ mod tests {
                 "cap={cap}: got {} expected {expect}",
                 s.objective
             );
+        }
+    }
+
+    #[test]
+    fn fractional_knapsack_with_zero_weight_items() {
+        // Regression: a zero weight made `values/weights` NaN and the
+        // ratio sort panicked. Free items must be taken fully by both the
+        // greedy closed form and the LP.
+        let values = [4.0, 10.0, 6.0, 3.0];
+        let weights = [0.0, 2.0, 0.0, 1.5];
+        for cap in [0.0, 1.0, 4.0] {
+            let mut p = Problem::new(Sense::Maximize);
+            let vars: Vec<_> = values.iter().map(|&v| p.add_var(0.0, 1.0, v)).collect();
+            p.add_constraint(vars.iter().zip(&weights).map(|(&v, &w)| (v, w)), Cmp::Le, cap);
+            let s = solve(&p);
+            assert_eq!(s.status, Status::Optimal);
+            let expect = knapsack_optimum(&values, &weights, cap);
+            assert!(
+                (s.objective - expect).abs() < 1e-6,
+                "cap={cap}: got {} expected {expect}",
+                s.objective
+            );
+            // The free items alone are worth 10 regardless of capacity.
+            assert!(s.objective >= 10.0 - 1e-9);
         }
     }
 

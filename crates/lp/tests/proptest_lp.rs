@@ -83,9 +83,14 @@ proptest! {
     fn knapsack_relaxation_is_exact(seed in 0u64..10_000, n in 1usize..20) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
         let values: Vec<f64> = (0..n).map(|_| rng.random_range(0.1..10.0)).collect();
-        let weights: Vec<f64> = (0..n).map(|_| rng.random_range(0.1..5.0)).collect();
+        // Roughly one item in eight is weightless: the LP takes it for
+        // free, and the greedy below must not divide by its weight
+        // (regression: `values/weights` was NaN and the sort panicked).
+        let weights: Vec<f64> = (0..n)
+            .map(|_| if rng.random_range(0u32..8) == 0 { 0.0 } else { rng.random_range(0.1..5.0) })
+            .collect();
         let total: f64 = weights.iter().sum();
-        let cap = rng.random_range(0.0..total * 1.2);
+        let cap = rng.random_range(0.0..(total * 1.2).max(0.1));
 
         let mut p = Problem::new(Sense::Maximize);
         let vars: Vec<_> = values.iter().map(|&v| p.add_var(0.0, 1.0, v)).collect();
@@ -93,11 +98,13 @@ proptest! {
         let sol = p.solve().unwrap();
         prop_assert_eq!(sol.status, Status::Optimal);
 
-        // Closed-form greedy optimum.
-        let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| (values[b] / weights[b]).partial_cmp(&(values[a] / weights[a])).unwrap());
+        // Closed-form greedy optimum: weightless items first (free), the
+        // rest by value/weight ratio under a NaN-total order.
+        let mut best: f64 =
+            values.iter().zip(&weights).filter(|&(_, &w)| w == 0.0).map(|(&v, _)| v).sum();
+        let mut idx: Vec<usize> = (0..n).filter(|&i| weights[i] > 0.0).collect();
+        idx.sort_by(|&a, &b| (values[b] / weights[b]).total_cmp(&(values[a] / weights[a])));
         let mut rem = cap;
-        let mut best = 0.0;
         for i in idx {
             if rem <= 0.0 { break; }
             let take = weights[i].min(rem);

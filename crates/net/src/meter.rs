@@ -83,7 +83,7 @@ impl EnergyMeter {
         self.per_node
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("energy totals are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &e)| (NodeId::from_index(i), e))
     }
 
