@@ -745,7 +745,7 @@ pub fn e_failures(fast: bool) -> FigureResult {
 pub fn fault_tolerance(fast: bool) -> FigureResult {
     use prospector_core::FallbackPlanner;
     use prospector_data::SamplePolicy;
-    use prospector_net::{FaultSchedule, NetworkBuilder, Phase};
+    use prospector_net::{ArqPolicy, FailureModel, FaultSchedule, NetworkBuilder, Phase};
     use prospector_sim::{ExperimentConfig, ExperimentRunner};
 
     let (n, k, epochs) = if fast { (30usize, 4usize, 60u64) } else { (80, 10, 160) };
@@ -770,6 +770,9 @@ pub fn fault_tolerance(fast: bool) -> FigureResult {
         // Deaths land strictly after warmup and leave a recovery tail.
         let faults = FaultSchedule::random_deaths(n, deaths, warmup + 2..epochs * 3 / 4, 87);
         let planner = FallbackPlanner::standard();
+        // Node deaths ride on top of a constant transient message-loss
+        // floor, so every hop runs the per-hop ARQ and the Retransmit
+        // phase meters real work at every death rate.
         let config = ExperimentConfig {
             k,
             window: 10,
@@ -777,9 +780,12 @@ pub fn fault_tolerance(fast: bool) -> FigureResult {
             budget_mj: 0.4 * naive_cost,
             replan_every: 8,
             replan_threshold: 0.1,
-            failures: None,
+            failures: Some(FailureModel::uniform(n, 0.08, 0.0)),
             faults,
             install_retries: 2,
+            arq: ArqPolicy::default(),
+            min_delivered: 0.0,
+            max_retry_budget: 8,
             seed: 87,
         };
         let mut source = prospector_data::IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 87);
@@ -798,12 +804,72 @@ pub fn fault_tolerance(fast: bool) -> FigureResult {
             rate,
             runner.meter().phase_total(Phase::Repair),
         ));
+        points.push(CurvePoint::new(
+            "retransmit-energy",
+            rate,
+            runner.meter().phase_total(Phase::Retransmit),
+        ));
     }
     FigureResult {
         id: "fault_tolerance",
         title: "Fault tolerance: node-death rate vs accuracy (Section 4.4)",
         x_label: "fraction of non-root nodes killed",
         y_label: "accuracy (%) / epochs / energy (mJ)",
+        points,
+    }
+}
+
+/// Extension: the loss-rate × retry-budget grid behind `BENCH_loss.json`.
+/// For each uniform per-hop loss rate and ARQ retry budget the plan is
+/// rebuilt with loss-aware edge costs, scored analytically over the sample
+/// window ([`expected_accuracy_under_loss`], parallel but bit-identical to
+/// serial) and executed over the eval epochs so Collection + Retransmit
+/// energy is metered to the attempt.
+pub fn e_loss(fast: bool) -> FigureResult {
+    use prospector_core::evaluate::expected_accuracy_under_loss;
+    use prospector_net::{epoch_seed, ArqPolicy, FailureModel};
+    use prospector_sim::execute_plan_arq;
+
+    let scenario = GaussianScenario::fig3(fast).build();
+    let em = EnergyModel::mica2();
+    let topo = &scenario.network.topology;
+    let k = scenario.k;
+    let n = topo.len();
+    let naive_cost = avg_exec_mj(&Plan::naive_k(topo, k), topo, &em, &scenario.eval_epochs, k);
+    let budget = 0.45 * naive_cost;
+
+    let rates: &[f64] = if fast { &[0.0, 0.1, 0.2] } else { &[0.0, 0.05, 0.1, 0.2, 0.35, 0.5] };
+    let retry_budgets: &[u32] = if fast { &[0, 1, 3] } else { &[0, 1, 2, 4] };
+    let mut points = Vec::new();
+    for &retries in retry_budgets {
+        let policy = ArqPolicy { max_retries: retries, ..ArqPolicy::default() };
+        for &p in rates {
+            let fm = FailureModel::uniform(n, p, 0.0);
+            let ctx = PlanContext::new(topo, &em, &scenario.samples, budget)
+                .with_failures(&fm)
+                .with_arq(policy);
+            let plan = ProspectorLpNoLf.plan(&ctx).expect("plan");
+            let acc =
+                expected_accuracy_under_loss(&plan, topo, &scenario.samples, &fm, &policy, 87);
+            let energy: f64 = scenario
+                .eval_epochs
+                .iter()
+                .enumerate()
+                .map(|(j, values)| {
+                    let seed = epoch_seed(87, j as u64);
+                    execute_plan_arq(&plan, topo, &em, values, k, &fm, &policy, seed).total_mj()
+                })
+                .sum::<f64>()
+                / scenario.eval_epochs.len() as f64;
+            points.push(CurvePoint::new(format!("accuracy-r{retries}"), p, 100.0 * acc));
+            points.push(CurvePoint::new(format!("energy-r{retries}"), p, energy));
+        }
+    }
+    FigureResult {
+        id: "eloss",
+        title: "Lossy collection: per-hop loss rate × ARQ retry budget",
+        x_label: "per-hop message loss probability",
+        y_label: "expected accuracy (%) / measured energy (mJ)",
         points,
     }
 }
@@ -911,6 +977,7 @@ pub const REGISTRY: &[(&str, FigureFn)] = &[
     ("ablation", ablation_fill),
     ("efailures", e_failures),
     ("fault_tolerance", fault_tolerance),
+    ("eloss", e_loss),
     ("esensitivity", e_sensitivity),
     ("esubset", e_subset),
 ];
@@ -1006,6 +1073,38 @@ mod tests {
         for &rate in &[0.0, 0.1, 0.25] {
             let acc = at("query-accuracy", rate);
             assert!(acc > 40.0, "accuracy collapsed at death rate {rate}: {acc}");
+            // The constant transient-loss floor keeps the per-hop ARQ
+            // busy, so retransmissions are metered at every death rate.
+            assert!(at("retransmit-energy", rate) > 0.0, "no ARQ work at rate {rate}");
+        }
+    }
+
+    #[test]
+    fn e_loss_fast_shape() {
+        let f = e_loss(true);
+        let at = |series: &str, x: f64| {
+            f.points
+                .iter()
+                .find(|p| p.series == series && p.x == x)
+                .unwrap_or_else(|| panic!("missing {series} at {x}"))
+                .y
+        };
+        // Zero loss: the retry budget is irrelevant — identical plans,
+        // bit-identical accuracy and energy (the zero-loss ≡ reliable
+        // invariant at figure scale).
+        assert_eq!(at("accuracy-r0", 0.0).to_bits(), at("accuracy-r3", 0.0).to_bits());
+        assert_eq!(at("energy-r0", 0.0).to_bits(), at("energy-r3", 0.0).to_bits());
+        // At 20% per-hop loss, retries buy real accuracy.
+        assert!(
+            at("accuracy-r3", 0.2) > at("accuracy-r0", 0.2),
+            "retries did not help: r3 {} vs r0 {}",
+            at("accuracy-r3", 0.2),
+            at("accuracy-r0", 0.2)
+        );
+        // Loss always hurts relative to the same budget's loss-free run.
+        for r in [0i32, 1, 3] {
+            let s = format!("accuracy-r{r}");
+            assert!(at(&s, 0.2) < at(&s, 0.0) + 1e-9, "loss should not raise accuracy ({s})");
         }
     }
 

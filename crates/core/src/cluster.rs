@@ -93,7 +93,6 @@ pub fn plan_cluster_query(
     }
     let topo = ctx.topology;
     let n = topo.len();
-    let per_value = ctx.energy.per_value();
 
     // Cluster appearance counts over the sample window.
     let mut counts = vec![0u32; clustering.len()];
@@ -150,8 +149,13 @@ pub fn plan_cluster_query(
         }
     }
     for (ci, &c) in candidates.iter().enumerate() {
-        let transport: f64 =
-            clustering.members(c).iter().map(|&m| per_value * topo.depth(m) as f64).sum();
+        // Each member's value travels its whole path to the root, paying
+        // every edge's (possibly retransmission-inflated) payload cost.
+        let transport: f64 = clustering
+            .members(c)
+            .iter()
+            .map(|&m| topo.edges_to_root(m).map(|e| ctx.edge_value_cost(e)).sum::<f64>())
+            .sum();
         budget_terms.push((x[ci], transport));
     }
     lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj);

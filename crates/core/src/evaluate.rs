@@ -14,10 +14,10 @@
 //! figures and CI gate rely on. The `_with` variants take an explicit
 //! thread count for benchmarks and equivalence tests.
 
-use crate::exec::{proven_on_values, run_plan};
+use crate::exec::{proven_on_values, run_plan, run_plan_lossy};
 use crate::plan::Plan;
 use prospector_data::{top_k_nodes, SampleSet};
-use prospector_net::Topology;
+use prospector_net::{epoch_seed, ArqPolicy, FailureModel, Topology};
 
 /// Number of true top-k values a plan returns for one epoch's values.
 pub fn hits_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> usize {
@@ -71,6 +71,58 @@ pub fn expected_accuracy_with(
     threads: usize,
 ) -> f64 {
     1.0 - expected_misses_with(plan, topology, samples, threads) / samples.k() as f64
+}
+
+/// Expected accuracy of a plan when collection runs over a lossy radio
+/// under `failures` with per-hop ARQ `policy`, averaged over the sample
+/// window. Each sample replays a deterministic loss realization seeded by
+/// `(seed, sample index)`, so the estimate is reproducible and — because
+/// per-edge draw streams only *extend* when `policy.max_retries` grows —
+/// monotone non-decreasing in the retry budget.
+pub fn expected_accuracy_under_loss(
+    plan: &Plan,
+    topology: &Topology,
+    samples: &SampleSet,
+    failures: &FailureModel,
+    policy: &ArqPolicy,
+    seed: u64,
+) -> f64 {
+    expected_accuracy_under_loss_with(
+        plan,
+        topology,
+        samples,
+        failures,
+        policy,
+        seed,
+        prospector_par::configured_threads(),
+    )
+}
+
+/// [`expected_accuracy_under_loss`] with an explicit worker count
+/// (1 = serial). Each sample contributes an integer hit count, so the
+/// parallel reduction is bit-identical for every `threads` value.
+#[allow(clippy::too_many_arguments)]
+pub fn expected_accuracy_under_loss_with(
+    plan: &Plan,
+    topology: &Topology,
+    samples: &SampleSet,
+    failures: &FailureModel,
+    policy: &ArqPolicy,
+    seed: u64,
+    threads: usize,
+) -> f64 {
+    assert!(!samples.is_empty(), "no samples to evaluate against");
+    let k = samples.k();
+    let per_sample = prospector_par::par_map_range_in(threads, samples.len(), |j| {
+        let values = samples.values(j);
+        let mut truth = top_k_nodes(values, k);
+        truth.sort_unstable();
+        let out =
+            run_plan_lossy(plan, topology, values, k, failures, policy, epoch_seed(seed, j as u64));
+        out.answer.iter().filter(|r| truth.binary_search(&r.node).is_ok()).count()
+    });
+    let total: usize = per_sample.into_iter().sum();
+    total as f64 / (samples.len() * k) as f64
 }
 
 /// Expected number of answer values a proof-carrying plan *proves* at the
@@ -165,6 +217,54 @@ mod tests {
         let mut p = Plan::full_sweep(&t);
         p.proof_carrying = true;
         assert_eq!(expected_proven(&p, &t, &s), 3.0);
+    }
+
+    #[test]
+    fn loss_free_expected_accuracy_matches_reliable() {
+        let t = chain(6);
+        let s = sample_set(
+            vec![vec![1.0, 5.0, 2.0, 8.0, 3.0, 9.0], vec![9.0, 1.0, 8.0, 2.0, 7.0, 3.0]],
+            2,
+        );
+        let p = Plan::naive_k(&t, 2);
+        let fm = prospector_net::FailureModel::none(6);
+        let policy = prospector_net::ArqPolicy::default();
+        let lossless = expected_accuracy_under_loss(&p, &t, &s, &fm, &policy, 5);
+        assert_eq!(lossless, expected_accuracy(&p, &t, &s));
+    }
+
+    #[test]
+    fn loss_hurts_and_retries_help_in_expectation() {
+        let t = star(8);
+        let rows: Vec<Vec<f64>> =
+            (0..16).map(|r| (0..8).map(|i| ((i * 7 + r * 13) % 23) as f64).collect()).collect();
+        let s = sample_set(rows, 3);
+        let p = Plan::naive_k(&t, 3);
+        let fm = prospector_net::FailureModel::uniform(8, 0.4, 0.0);
+        let no_retry = prospector_net::ArqPolicy::no_retries();
+        let retry3 =
+            prospector_net::ArqPolicy { max_retries: 3, backoff: prospector_net::Backoff::none() };
+        let a0 = expected_accuracy_under_loss(&p, &t, &s, &fm, &no_retry, 11);
+        let a3 = expected_accuracy_under_loss(&p, &t, &s, &fm, &retry3, 11);
+        assert!(a0 < 1.0, "40% loss with no retries must cost accuracy, got {a0}");
+        assert!(a3 > a0, "retries must recover accuracy: {a0} -> {a3}");
+        assert_eq!(expected_accuracy(&p, &t, &s), 1.0, "sanity: plan is exact when reliable");
+    }
+
+    #[test]
+    fn lossy_accuracy_parallel_matches_serial_bitwise() {
+        let t = star(10);
+        let rows: Vec<Vec<f64>> =
+            (0..32).map(|r| (0..10).map(|i| ((i * 11 + r * 5) % 29) as f64).collect()).collect();
+        let s = sample_set(rows, 4);
+        let p = Plan::naive_k(&t, 4);
+        let fm = prospector_net::FailureModel::uniform(10, 0.25, 0.0);
+        let policy = prospector_net::ArqPolicy::default();
+        let serial = expected_accuracy_under_loss_with(&p, &t, &s, &fm, &policy, 3, 1);
+        for threads in [2, 4, 8] {
+            let par = expected_accuracy_under_loss_with(&p, &t, &s, &fm, &policy, 3, threads);
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

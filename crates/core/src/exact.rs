@@ -33,6 +33,7 @@ impl ExactConfig {
             samples: ctx.samples,
             budget_mj: self.phase1_budget_mj,
             failures: ctx.failures,
+            arq: ctx.arq,
         };
         ProspectorProof::default().plan(&phase1_ctx)
     }

@@ -9,11 +9,14 @@
 //! * [`run_proof_plan`] — Section 4.3 steps 1–4: additionally computes, at
 //!   every node, how many of the forwarded values are *proven* (conditions
 //!   c.1–c.3), retaining the per-node state the exact algorithm's mop-up
-//!   phase needs.
+//!   phase needs;
+//! * [`run_plan_lossy`] — [`run_plan`] over a lossy radio: each upward
+//!   batch is delivered (or not) by a per-hop ARQ policy, and a hop that
+//!   exhausts its retry budget genuinely loses its subtree's merged batch.
 
 use crate::plan::Plan;
 use prospector_data::Reading;
-use prospector_net::{NodeId, Topology};
+use prospector_net::{link_rng, ArqPolicy, FailureModel, LinkAttempts, NodeId, Topology};
 
 /// Result of executing an approximate plan on one epoch's values.
 #[derive(Debug, Clone)]
@@ -23,6 +26,33 @@ pub struct CollectionOutcome {
     /// Values actually sent on each edge (≤ the edge's bandwidth), indexed
     /// by child node.
     pub sent: Vec<u32>,
+}
+
+/// Result of executing an approximate plan over a lossy radio.
+#[derive(Debug, Clone)]
+pub struct LossyCollectionOutcome {
+    /// The root's answer over whatever actually arrived, in rank order
+    /// (≤ k entries when batches were lost).
+    pub answer: Vec<Reading>,
+    /// Batch size transmitted on each edge (every retransmission resends
+    /// the whole batch), indexed by child node.
+    pub sent: Vec<u32>,
+    /// Per used edge (indexed by child node): how delivery went. `None`
+    /// for unused edges and the root.
+    pub links: Vec<Option<LinkAttempts>>,
+    /// Used edges whose batch was lost after exhausting the retry budget,
+    /// in [`Topology::edges`] order.
+    pub lost_edges: Vec<NodeId>,
+    /// Fraction of plan-visited non-root nodes whose batch survived every
+    /// hop to the root (1.0 when the plan visits nobody).
+    pub delivered_fraction: f64,
+}
+
+impl LossyCollectionOutcome {
+    /// Total retransmissions across all edges (attempts beyond the first).
+    pub fn retransmissions(&self) -> u32 {
+        self.links.iter().flatten().map(LinkAttempts::retries).sum()
+    }
 }
 
 /// Result of executing a proof-carrying plan on one epoch's values.
@@ -81,6 +111,85 @@ pub fn run_plan(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> C
     }
 
     CollectionOutcome { answer, sent }
+}
+
+/// Executes an approximate plan over a lossy radio: [`run_plan`]'s merge
+/// semantics, but every upward batch must survive its hop. Each used edge
+/// samples its deliveries from an **independent** RNG stream keyed by
+/// `(seed, child)` ([`link_rng`]), so outcomes are reproducible and one
+/// edge's draws never perturb another's — and raising `policy.max_retries`
+/// only *extends* each edge's draw sequence, which makes delivery (and
+/// hence the answer's hit count against any fixed truth) monotone
+/// non-decreasing in the retry budget.
+///
+/// A lost batch removes the child's entire merged contribution: ancestors
+/// merge without it and a partial answer propagates to the root. With a
+/// zero-loss `failures` model no randomness is consumed and the outcome is
+/// exactly [`run_plan`]'s.
+pub fn run_plan_lossy(
+    plan: &Plan,
+    topology: &Topology,
+    values: &[f64],
+    k: usize,
+    failures: &FailureModel,
+    policy: &ArqPolicy,
+    seed: u64,
+) -> LossyCollectionOutcome {
+    assert_eq!(values.len(), topology.len());
+    let n = topology.len();
+    let mut outbox: Vec<Vec<Reading>> = vec![Vec::new(); n];
+    let mut sent = vec![0u32; n];
+    let mut links: Vec<Option<LinkAttempts>> = vec![None; n];
+    let mut answer = Vec::new();
+
+    for &u in topology.post_order() {
+        let is_root = u == topology.root();
+        if !is_root && !plan.is_used(u) {
+            continue;
+        }
+        let mut merged = vec![reading(values, u)];
+        for &c in topology.children(u) {
+            // A lost child's outbox was cleared below; appending the empty
+            // vec keeps the merge order identical to `run_plan`.
+            merged.append(&mut outbox[c.index()]);
+        }
+        merged.sort_unstable_by(Reading::rank_cmp);
+        if is_root {
+            merged.truncate(k);
+            answer = merged;
+        } else {
+            merged.truncate(plan.bandwidth(u) as usize);
+            sent[u.index()] = merged.len() as u32;
+            let mut rng = link_rng(seed, u);
+            let link = policy.attempt_delivery(failures, u, &mut rng);
+            links[u.index()] = Some(link);
+            if link.delivered {
+                outbox[u.index()] = merged;
+            }
+        }
+    }
+
+    let lost_edges: Vec<NodeId> =
+        topology.edges().filter(|&e| links[e.index()].is_some_and(|l| !l.delivered)).collect();
+
+    // A node's batch reaches the root iff every hop on its path delivered.
+    // Walk parents-before-children so `covered[parent]` is final when the
+    // child consults it.
+    let mut covered = vec![false; n];
+    let mut used_edges = 0usize;
+    let mut covered_edges = 0usize;
+    for &u in topology.post_order().iter().rev() {
+        let Some(link) = links[u.index()] else { continue };
+        let parent = topology.parent(u).expect("non-root edge has a parent");
+        covered[u.index()] =
+            link.delivered && (parent == topology.root() || covered[parent.index()]);
+        used_edges += 1;
+        covered_edges += covered[u.index()] as usize;
+    }
+    let delivered_fraction =
+        if used_edges == 0 { 1.0 } else { covered_edges as f64 / used_edges as f64 };
+
+    LossyCollectionOutcome { answer, sent, links, lost_edges, delivered_fraction }
 }
 
 /// Executes a proof-carrying plan (Section 4.3 steps 1–4).
@@ -385,6 +494,76 @@ mod tests {
         let vals: Vec<f64> = out.answer.iter().map(|r| r.value).collect();
         assert_eq!(vals, vec![9.0, 8.0, 7.0, 5.0, 4.0]);
         assert_eq!(out.proven, 2, "proofs stop once subtree(2) may hide values");
+    }
+
+    #[test]
+    fn lossy_with_zero_loss_matches_reliable_run() {
+        let t = balanced(3, 2);
+        let values: Vec<f64> = (0..t.len()).map(|i| ((i * 37) % 23) as f64).collect();
+        let k = 4;
+        let plan = Plan::naive_k(&t, k);
+        let reliable = run_plan(&plan, &t, &values, k);
+        let fm = prospector_net::FailureModel::none(t.len());
+        let lossy =
+            run_plan_lossy(&plan, &t, &values, k, &fm, &prospector_net::ArqPolicy::default(), 99);
+        assert_eq!(lossy.answer, reliable.answer);
+        assert_eq!(lossy.sent, reliable.sent);
+        assert!(lossy.lost_edges.is_empty());
+        assert_eq!(lossy.retransmissions(), 0);
+        assert_eq!(lossy.delivered_fraction, 1.0);
+        assert!(lossy
+            .links
+            .iter()
+            .flatten()
+            .all(|l| *l == prospector_net::LinkAttempts::first_try()));
+    }
+
+    #[test]
+    fn certain_loss_drops_the_subtree() {
+        // Chain 0 <- 1 <- 2: edge above node 1 always fails, so nothing
+        // from {1, 2} reaches the root even though 2 -> 1 delivered.
+        let t = chain(3);
+        let mut probs = vec![0.0; 3];
+        probs[1] = 1.0;
+        let fm = prospector_net::FailureModel::per_edge(3, probs, 0.0).unwrap();
+        let policy =
+            prospector_net::ArqPolicy { max_retries: 2, backoff: prospector_net::Backoff::none() };
+        let plan = Plan::naive_k(&t, 2);
+        let out = run_plan_lossy(&plan, &t, &[0.0, 5.0, 9.0], 2, &fm, &policy, 7);
+        assert_eq!(out.answer.len(), 1, "only the root's own reading survives");
+        assert_eq!(out.answer[0].node, NodeId(0));
+        assert_eq!(out.lost_edges, vec![NodeId(1)]);
+        assert_eq!(out.retransmissions(), 2, "the lost hop burned its budget");
+        // Node 2 delivered to node 1, but its path to the root is cut.
+        assert_eq!(out.delivered_fraction, 0.0);
+        // The transmissions still happened and are visible for pricing.
+        assert_eq!(out.sent[1], 2);
+        assert_eq!(out.sent[2], 1);
+    }
+
+    #[test]
+    fn lossy_hits_are_monotone_in_retry_budget() {
+        let t = balanced(3, 2);
+        let values: Vec<f64> = (0..t.len()).map(|i| ((i * 29 + 3) % 31) as f64).collect();
+        let k = 4;
+        let plan = Plan::naive_k(&t, k);
+        let fm = prospector_net::FailureModel::uniform(t.len(), 0.3, 0.0);
+        let mut truth = top_k_nodes(&values, k);
+        truth.sort_unstable();
+        for seed in 0..50u64 {
+            let mut prev = 0usize;
+            for retries in 0..4u32 {
+                let policy = prospector_net::ArqPolicy {
+                    max_retries: retries,
+                    backoff: prospector_net::Backoff::none(),
+                };
+                let out = run_plan_lossy(&plan, &t, &values, k, &fm, &policy, seed);
+                let hits =
+                    out.answer.iter().filter(|r| truth.binary_search(&r.node).is_ok()).count();
+                assert!(hits >= prev, "seed {seed}: hits dropped {prev} -> {hits}");
+                prev = hits;
+            }
+        }
     }
 
     #[test]

@@ -33,13 +33,12 @@ impl ChosenSet {
 
     /// Marginal collection cost of adding `node`'s value to the plan.
     pub fn marginal_cost(&self, ctx: &PlanContext<'_>, node: NodeId) -> f64 {
-        let per_value = ctx.energy.per_value();
         let mut cost = 0.0;
         for e in ctx.topology.edges_to_root(node) {
             if !self.used_edge[e.index()] {
                 cost += ctx.edge_message_cost(e);
             }
-            cost += per_value;
+            cost += ctx.edge_value_cost(e);
         }
         cost
     }

@@ -51,7 +51,10 @@ pub mod theory;
 pub use cluster::{plan_cluster_query, Clustering};
 pub use error::PlanError;
 pub use exact::ExactConfig;
-pub use exec::{proven_on_values, run_plan, run_proof_plan, CollectionOutcome, ProofOutcome};
+pub use exec::{
+    proven_on_values, run_plan, run_plan_lossy, run_proof_plan, CollectionOutcome,
+    LossyCollectionOutcome, ProofOutcome,
+};
 pub use fallback::FallbackPlanner;
 pub use greedy::ProspectorGreedy;
 pub use lp_lf::{budget_shadow_price, ProspectorLpLf};

@@ -89,7 +89,6 @@ fn build_lp(ctx: &PlanContext<'_>) -> (Problem, Vec<Option<VarId>>) {
         let topo = ctx.topology;
         let n = topo.len();
         let k = ctx.k();
-        let per_value = ctx.energy.per_value();
         let num_samples = ctx.samples.len();
 
         // Relevant edges: lie on a path from some sample's top-k node.
@@ -156,7 +155,7 @@ fn build_lp(ctx: &PlanContext<'_>) -> (Problem, Vec<Option<VarId>>) {
         let mut budget_terms: Vec<(VarId, f64)> = Vec::new();
         for e in topo.edges() {
             if let (Some(we), Some(ye)) = (w[e.index()], y[e.index()]) {
-                budget_terms.push((we, per_value));
+                budget_terms.push((we, ctx.edge_value_cost(e)));
                 budget_terms.push((ye, ctx.edge_message_cost(e)));
             }
         }

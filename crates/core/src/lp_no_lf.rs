@@ -43,7 +43,6 @@ pub(crate) fn plan_with_counts(ctx: &PlanContext<'_>, counts: &[u32]) -> Result<
     {
         let topo = ctx.topology;
         let n = topo.len();
-        let per_value = ctx.energy.per_value();
 
         // Candidate nodes: appear in at least one sample's top k and are
         // not the root (whose value is free).
@@ -100,7 +99,11 @@ pub(crate) fn plan_with_counts(ctx: &PlanContext<'_>, counts: &[u32]) -> Result<
         }
         for &i in &candidates {
             let xi = x[i.index()].expect("candidate has a variable");
-            budget_terms.push((xi, per_value * topo.depth(i) as f64));
+            // Without local filtering the value travels every edge to the
+            // root, paying each edge's (possibly retransmission-inflated)
+            // payload cost.
+            let path_value_cost: f64 = topo.edges_to_root(i).map(|e| ctx.edge_value_cost(e)).sum();
+            budget_terms.push((xi, path_value_cost));
         }
         lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj);
 

@@ -3,7 +3,7 @@
 use crate::error::PlanError;
 use crate::plan::Plan;
 use prospector_data::SampleSet;
-use prospector_net::{EnergyModel, FailureModel, NodeId, Topology};
+use prospector_net::{ArqPolicy, EnergyModel, FailureModel, NodeId, Topology};
 
 /// Everything a planner needs: topology, cost model, the sample window and
 /// the energy budget for one collection phase.
@@ -14,8 +14,15 @@ pub struct PlanContext<'a> {
     /// Energy budget (mJ) for the collection phase of one query execution.
     pub budget_mj: f64,
     /// Transient-failure statistics; when present, per-edge message costs
-    /// are inflated by the expected rerouting cost (Section 4.4).
+    /// are inflated by the expected rerouting cost (Section 4.4) — or,
+    /// when an [`ArqPolicy`] is also present, by the expected
+    /// retransmission cost of reliable delivery on that edge.
     pub failures: Option<&'a FailureModel>,
+    /// Per-hop ARQ policy collection will run under. With both `failures`
+    /// and `arq` set, edge costs price the truncated-geometric expected
+    /// attempt count, the backoff windows and the retry ack, so planners
+    /// route bandwidth around bad links.
+    pub arq: Option<ArqPolicy>,
 }
 
 impl<'a> PlanContext<'a> {
@@ -26,7 +33,7 @@ impl<'a> PlanContext<'a> {
         samples: &'a SampleSet,
         budget_mj: f64,
     ) -> Self {
-        PlanContext { topology, energy, samples, budget_mj, failures: None }
+        PlanContext { topology, energy, samples, budget_mj, failures: None, arq: None }
     }
 
     /// Adds failure statistics to the context.
@@ -35,15 +42,53 @@ impl<'a> PlanContext<'a> {
         self
     }
 
+    /// Adds the ARQ policy collection will execute under, switching edge
+    /// costs from the reroute-penalty model to the retransmission model.
+    pub fn with_arq(mut self, arq: ArqPolicy) -> Self {
+        self.arq = Some(arq);
+        self
+    }
+
     /// Query parameter `k`.
     pub fn k(&self) -> usize {
         self.samples.k()
     }
 
-    /// Effective per-message cost on the edge above `child`, including the
-    /// expected rerouting overhead.
+    /// Expected transmissions per message on the edge above `child`
+    /// (1 when no failures or no ARQ policy are configured).
+    fn edge_attempts(&self, child: NodeId) -> f64 {
+        match (self.failures, &self.arq) {
+            (Some(f), Some(policy)) => policy.expected_attempts(f.prob(child)),
+            _ => 1.0,
+        }
+    }
+
+    /// Effective per-message cost on the edge above `child`. Under the
+    /// reroute model this is the expected rerouting overhead
+    /// (Section 4.4); under ARQ it is the header cost of every expected
+    /// attempt, the expected backoff idle-listening, and the header-only
+    /// ack sent when a retry finally succeeds.
     pub fn edge_message_cost(&self, child: NodeId) -> f64 {
-        self.energy.per_message_mj + self.failures.map_or(0.0, |f| f.expected_extra_cost(child))
+        let per_message = self.energy.per_message_mj;
+        match (self.failures, &self.arq) {
+            (Some(f), Some(policy)) => {
+                let p = f.prob(child);
+                // P(delivered on a retry) = (1 - p^(r+1)) - (1 - p).
+                let ack_prob = policy.delivery_prob(p) - (1.0 - p);
+                per_message * policy.expected_attempts(p)
+                    + policy.expected_backoff_mj(p)
+                    + ack_prob * per_message
+            }
+            (Some(f), None) => per_message + f.expected_extra_cost(child),
+            _ => per_message,
+        }
+    }
+
+    /// Effective per-value payload cost on the edge above `child`: every
+    /// retransmission resends the whole batch, so under ARQ the payload
+    /// is paid once per expected attempt.
+    pub fn edge_value_cost(&self, child: NodeId) -> f64 {
+        self.energy.per_value() * self.edge_attempts(child)
     }
 
     /// Collection-phase cost of a plan under this context's cost model:
@@ -51,11 +96,10 @@ impl<'a> PlanContext<'a> {
     /// upper bound — execution may ship fewer values than the bandwidth
     /// allows — and is the quantity planners budget against.
     pub fn plan_cost(&self, plan: &Plan) -> f64 {
-        let per_value = self.energy.per_value();
         self.topology
             .edges()
             .filter(|&e| plan.is_used(e))
-            .map(|e| self.edge_message_cost(e) + per_value * plan.bandwidth(e) as f64)
+            .map(|e| self.edge_message_cost(e) + self.edge_value_cost(e) * plan.bandwidth(e) as f64)
             .sum()
     }
 
@@ -70,8 +114,10 @@ impl<'a> PlanContext<'a> {
     /// Minimum possible cost of a proof-carrying plan: every edge carries
     /// at least one value.
     pub fn min_proof_cost(&self) -> f64 {
-        let per_value = self.energy.per_value();
-        self.topology.edges().map(|e| self.edge_message_cost(e) + per_value).sum::<f64>()
+        self.topology
+            .edges()
+            .map(|e| self.edge_message_cost(e) + self.edge_value_cost(e))
+            .sum::<f64>()
             + self.proof_overhead()
     }
 }
@@ -144,6 +190,29 @@ mod tests {
         p.set_bandwidth(NodeId(1), 1);
         let base_ctx = PlanContext::new(&t, &em, &s, 100.0);
         assert!(ctx.plan_cost(&p) > base_ctx.plan_cost(&p));
+    }
+
+    #[test]
+    fn arq_inflates_both_message_and_value_costs() {
+        let t = chain(3);
+        let em = EnergyModel::mica2();
+        let s = samples(3, 1);
+        let fm = FailureModel::uniform(3, 0.5, 2.0);
+        let policy = prospector_net::ArqPolicy {
+            max_retries: 2,
+            backoff: prospector_net::Backoff { base_mj: 0.4, factor: 2.0, jitter: 0.0 },
+        };
+        let ctx = PlanContext::new(&t, &em, &s, 100.0).with_failures(&fm).with_arq(policy);
+        // p = 0.5, r = 2: E[attempts] = 1.75, E[backoff] = 0.5·0.4 + 0.25·0.8,
+        // P(ack) = (1 - 0.125) - 0.5 = 0.375.
+        let expect_msg = em.per_message_mj * 1.75 + 0.4 + 0.375 * em.per_message_mj;
+        assert!((ctx.edge_message_cost(NodeId(1)) - expect_msg).abs() < 1e-12);
+        assert!((ctx.edge_value_cost(NodeId(1)) - em.per_value() * 1.75).abs() < 1e-12);
+        // A clean edge prices exactly like the reliable model.
+        let clean = FailureModel::none(3);
+        let clean_ctx = PlanContext::new(&t, &em, &s, 100.0).with_failures(&clean).with_arq(policy);
+        assert_eq!(clean_ctx.edge_message_cost(NodeId(1)), em.per_message_mj);
+        assert_eq!(clean_ctx.edge_value_cost(NodeId(1)), em.per_value());
     }
 
     #[test]

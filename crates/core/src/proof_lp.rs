@@ -68,7 +68,6 @@ impl Planner for ProspectorProof {
         let topo = ctx.topology;
         let n = topo.len();
         let num_samples = ctx.samples.len();
-        let per_value = ctx.energy.per_value();
         let root = topo.root();
 
         let mut lp = Problem::new(Sense::Maximize);
@@ -198,8 +197,10 @@ impl Planner for ProspectorProof {
         // the proven-count side channel is reserved up front.
         let fixed: f64 =
             topo.edges().map(|e| ctx.edge_message_cost(e)).sum::<f64>() + ctx.proof_overhead();
-        let budget_terms: Vec<(VarId, f64)> =
-            topo.edges().map(|e| (w[e.index()].expect("bandwidth var"), per_value)).collect();
+        let budget_terms: Vec<(VarId, f64)> = topo
+            .edges()
+            .map(|e| (w[e.index()].expect("bandwidth var"), ctx.edge_value_cost(e)))
+            .collect();
         lp.add_constraint(budget_terms, Cmp::Le, ctx.budget_mj - fixed);
 
         let sol = lp.solve()?;
@@ -286,8 +287,12 @@ fn fill_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>, strategy: FillStrat
                 }),
         };
         let Some(e) = best else { return };
+        let step = ctx.edge_value_cost(e);
+        if cost + step > ctx.budget_mj {
+            return;
+        }
         plan.set_bandwidth(e, plan.bandwidth(e) + 1);
-        cost += per_value;
+        cost += step;
     }
 }
 

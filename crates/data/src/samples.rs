@@ -193,6 +193,33 @@ impl SampleSet {
         }
     }
 
+    /// Prediction of `node`'s current reading from the sample window: the
+    /// mean of its finite window values (masked `NEG_INFINITY` entries
+    /// from dead nodes are skipped). Returns `NEG_INFINITY` when the
+    /// window holds no usable reading for the node, so a prediction for
+    /// an unknown node can never displace a real observation in rank
+    /// order.
+    ///
+    /// This is what the root falls back to when a subtree's batch is lost
+    /// in transit: estimate the missing readings from recent history
+    /// rather than silently returning a short answer.
+    pub fn predicted_value(&self, node: NodeId) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for row in &self.window {
+            let v = row[node.index()];
+            if v.is_finite() {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f64::NEG_INFINITY
+        } else {
+            sum / count as f64
+        }
+    }
+
     /// Nodes among `candidates` whose value in sample `j` is strictly
     /// smaller than `threshold` — the witness sets `smaller(·)` of the
     /// proof LP (Section 4.3).
@@ -320,6 +347,25 @@ mod tests {
         assert_eq!(s.column_counts(), &[1, 0, 1]);
         s.push(vec![0.0, 9.0, 1.0]); // evicts the oldest; n1 alive again in new data
         assert_eq!(s.column_counts(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn predicted_value_averages_finite_history() {
+        let mut s = SampleSet::new(3, 1, 4);
+        s.push(vec![1.0, 4.0, 2.0]);
+        s.push(vec![3.0, 6.0, 2.0]);
+        assert!((s.predicted_value(NodeId(0)) - 2.0).abs() < 1e-12);
+        assert!((s.predicted_value(NodeId(1)) - 5.0).abs() < 1e-12);
+        // Masked (dead) nodes have no finite history left.
+        s.mask_nodes(&[NodeId(2)]);
+        assert_eq!(s.predicted_value(NodeId(2)), f64::NEG_INFINITY);
+        assert!((s.predicted_value(NodeId(0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicted_value_empty_window_is_unknown() {
+        let s = SampleSet::new(2, 1, 4);
+        assert_eq!(s.predicted_value(NodeId(0)), f64::NEG_INFINITY);
     }
 
     #[test]

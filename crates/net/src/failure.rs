@@ -92,12 +92,23 @@ impl FailureModel {
     }
 
     /// Permanently worsens the link above `child` by `added_prob`
-    /// (clamped to probability 1), e.g. after a
+    /// (saturating at probability 1), e.g. after a
     /// [`FaultEvent::LinkDegrade`](crate::fault::FaultEvent) fires.
-    pub fn degrade(&mut self, child: NodeId, added_prob: f64) {
-        assert!((0.0..=1.0).contains(&added_prob), "added probability out of range");
+    ///
+    /// Mirrors [`FailureModel::per_edge`]'s validation: a non-finite or
+    /// out-of-range `added_prob` is rejected rather than poisoning the
+    /// model (NaN would propagate into every later `sample_failure` and
+    /// cost estimate).
+    pub fn degrade(&mut self, child: NodeId, added_prob: f64) -> Result<(), FailureModelError> {
+        if !added_prob.is_finite() || !(0.0..=1.0).contains(&added_prob) {
+            return Err(FailureModelError::ProbOutOfRange {
+                index: child.index(),
+                prob: added_prob,
+            });
+        }
         let p = &mut self.fail_prob[child.index()];
         *p = (*p + added_prob).min(1.0);
+        Ok(())
     }
 
     /// Failure probability of the edge above `child`.
@@ -185,12 +196,32 @@ mod tests {
     #[test]
     fn degrade_accumulates_and_clamps() {
         let mut m = FailureModel::uniform(3, 0.2, 1.0);
-        m.degrade(NodeId(1), 0.3);
+        m.degrade(NodeId(1), 0.3).unwrap();
         assert!((m.prob(NodeId(1)) - 0.5).abs() < 1e-12);
         assert!((m.prob(NodeId(2)) - 0.2).abs() < 1e-12, "other edges untouched");
-        m.degrade(NodeId(1), 0.9);
+        m.degrade(NodeId(1), 0.9).unwrap();
         assert_eq!(m.prob(NodeId(1)), 1.0, "clamped to certainty");
         assert!(!m.is_trivial());
+    }
+
+    #[test]
+    fn degrade_rejects_invalid_added_probability() {
+        // Regression: `degrade` must mirror `per_edge`'s validation —
+        // out-of-range and non-finite increments are errors, and a failed
+        // call leaves the model untouched.
+        let mut m = FailureModel::uniform(3, 0.2, 1.0);
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = m.degrade(NodeId(1), bad).unwrap_err();
+            match err {
+                FailureModelError::ProbOutOfRange { index, prob } => {
+                    assert_eq!(index, 1);
+                    assert!(prob.is_nan() == bad.is_nan() && (prob.is_nan() || prob == bad));
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+            assert!((m.prob(NodeId(1)) - 0.2).abs() < 1e-12, "model unchanged after {bad}");
+        }
+        assert!(m.prob(NodeId(1)).is_finite());
     }
 
     #[test]

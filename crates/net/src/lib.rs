@@ -15,8 +15,12 @@
 //! * [`failure`] — the transient link-failure model of Section 4.4;
 //! * [`fault`] — deterministic permanent-failure injection (node deaths and
 //!   link degradations keyed by epoch), paired with tree repair
-//!   ([`Topology::repair`], [`Network::repair`]).
+//!   ([`Topology::repair`], [`Network::repair`]);
+//! * [`arq`] — the per-hop retry policy (bounded retransmissions, seeded
+//!   backoff, header-only acks) that prices reliable delivery on lossy
+//!   links during collection.
 
+pub mod arq;
 pub mod energy;
 pub mod failure;
 pub mod fault;
@@ -25,6 +29,7 @@ pub mod node;
 pub mod placement;
 pub mod topology;
 
+pub use arq::{epoch_seed, link_rng, ArqPolicy, Backoff, LinkAttempts};
 pub use energy::EnergyModel;
 pub use failure::{FailureModel, FailureModelError};
 pub use fault::{FaultEvent, FaultSchedule};

@@ -20,9 +20,13 @@ pub enum Phase {
     /// Spanning-tree rebuild after a permanent node failure: failure
     /// probes, re-attachment handshakes and plan re-dissemination triggers.
     Repair,
+    /// Link-layer ARQ during collection: retry transmissions, backoff
+    /// idle-listening and the header-only acks confirming a retried
+    /// delivery. First attempts stay under [`Phase::Collection`].
+    Retransmit,
 }
 
-const NUM_PHASES: usize = 7;
+const NUM_PHASES: usize = 8;
 
 fn phase_index(p: Phase) -> usize {
     match p {
@@ -33,6 +37,7 @@ fn phase_index(p: Phase) -> usize {
         Phase::Sampling => 4,
         Phase::Rerouting => 5,
         Phase::Repair => 6,
+        Phase::Retransmit => 7,
     }
 }
 

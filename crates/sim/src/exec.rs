@@ -1,8 +1,8 @@
 //! Energy-metered plan execution.
 
-use prospector_core::{run_plan, run_proof_plan, Plan};
+use prospector_core::{run_plan, run_plan_lossy, run_proof_plan, Plan};
 use prospector_data::Reading;
-use prospector_net::{EnergyMeter, EnergyModel, FailureModel, NodeId, Phase, Topology};
+use prospector_net::{ArqPolicy, EnergyMeter, EnergyModel, FailureModel, NodeId, Phase, Topology};
 use rand::rngs::StdRng;
 
 /// One executed collection phase: the answer plus its energy bill.
@@ -14,6 +14,15 @@ pub struct ExecutionReport {
     pub proven: usize,
     /// Per-node, per-phase energy charges for this execution.
     pub meter: EnergyMeter,
+    /// Used edges whose batch was lost after exhausting the ARQ retry
+    /// budget ([`Topology::edges`] order). Always empty on the reliable
+    /// paths ([`execute_plan`], [`execute_proof_plan`]).
+    pub lost_edges: Vec<NodeId>,
+    /// Transmissions beyond each edge's first attempt, summed.
+    pub retransmissions: u32,
+    /// Fraction of plan-visited non-root nodes whose batch survived every
+    /// hop to the root (1.0 on the reliable paths).
+    pub delivered_fraction: f64,
 }
 
 impl ExecutionReport {
@@ -78,7 +87,74 @@ pub fn execute_plan(
     charge_trigger(plan, topology, energy, &mut meter);
     let out = run_plan(plan, topology, values, k);
     charge_collection(&out.sent, plan, topology, energy, &mut meter, failures);
-    ExecutionReport { answer: out.answer, proven: 0, meter }
+    ExecutionReport {
+        answer: out.answer,
+        proven: 0,
+        meter,
+        lost_edges: Vec::new(),
+        retransmissions: 0,
+        delivered_fraction: 1.0,
+    }
+}
+
+/// Executes an approximate plan over a lossy radio with per-hop ARQ: each
+/// upward batch is sampled against `failures` and retried up to
+/// `policy.max_retries` times; a hop that exhausts its budget genuinely
+/// loses its subtree's batch and the answer is partial.
+///
+/// Energy accounting is exact to the attempt:
+/// * the **first** transmission of each used edge's batch is charged under
+///   [`Phase::Collection`] — exactly what the reliable path charges;
+/// * every retry resends the whole batch and is charged under
+///   [`Phase::Retransmit`], along with the seeded backoff idle-listening
+///   preceding it;
+/// * a delivery that needed at least one retry is confirmed with a
+///   header-only ack, also under [`Phase::Retransmit`] (the first
+///   attempt's ack is already folded into the reliable unicast cost, as
+///   in [`install_plan_lossy`](crate::dissemination::install_plan_lossy));
+///   like every edge charge, it is attributed to the edge's child.
+///
+/// Charges are applied in [`Topology::edges`] order, matching
+/// [`execute_plan`]'s order, so with a zero-loss model the meter is
+/// byte-identical to the reliable path (f64 accumulation order included).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_arq(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    values: &[f64],
+    k: usize,
+    failures: &FailureModel,
+    policy: &ArqPolicy,
+    seed: u64,
+) -> ExecutionReport {
+    let mut meter = EnergyMeter::new(topology.len());
+    charge_trigger(plan, topology, energy, &mut meter);
+    let out = run_plan_lossy(plan, topology, values, k, failures, policy, seed);
+    let mut retransmissions = 0u32;
+    for e in topology.edges() {
+        if !plan.is_used(e) {
+            continue;
+        }
+        let msg = energy.unicast_values(out.sent[e.index()] as usize);
+        meter.charge(e, Phase::Collection, msg);
+        let link = out.links[e.index()].expect("used edge has a delivery record");
+        if link.attempts > 1 {
+            retransmissions += link.retries();
+            meter.charge(e, Phase::Retransmit, link.retries() as f64 * msg + link.backoff_mj);
+            if link.delivered {
+                meter.charge(e, Phase::Retransmit, energy.per_message_mj);
+            }
+        }
+    }
+    ExecutionReport {
+        answer: out.answer,
+        proven: 0,
+        meter,
+        lost_edges: out.lost_edges,
+        retransmissions,
+        delivered_fraction: out.delivered_fraction,
+    }
 }
 
 /// Executes a proof-carrying plan, additionally charging the proven-count
@@ -109,7 +185,14 @@ pub fn execute_proof_plan(
             );
         }
     }
-    let report = ExecutionReport { answer: out.answer.clone(), proven: out.proven, meter };
+    let report = ExecutionReport {
+        answer: out.answer.clone(),
+        proven: out.proven,
+        meter,
+        lost_edges: Vec::new(),
+        retransmissions: 0,
+        delivered_fraction: 1.0,
+    };
     (report, out)
 }
 
@@ -171,6 +254,76 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let r = execute_plan(&plan, &t, &em, &[0.0, 1.0, 2.0, 3.0], 2, Some((&fm, &mut rng)));
         assert!((r.meter.phase_total(Phase::Rerouting) - 9.0).abs() < 1e-9, "3 edges × 3 mJ");
+    }
+
+    #[test]
+    fn arq_zero_loss_is_byte_identical_to_reliable() {
+        let t = chain(4);
+        let em = EnergyModel::mica2();
+        let plan = Plan::naive_k(&t, 2);
+        let values = [0.0, 3.0, 1.0, 2.0];
+        let reliable = execute_plan(&plan, &t, &em, &values, 2, None);
+        let fm = FailureModel::none(4);
+        let arq = execute_plan_arq(&plan, &t, &em, &values, 2, &fm, &ArqPolicy::default(), 77);
+        assert_eq!(arq.answer, reliable.answer);
+        assert_eq!(arq.meter.total().to_bits(), reliable.meter.total().to_bits());
+        for i in 0..4 {
+            let n = NodeId::from_index(i);
+            assert_eq!(arq.meter.node_total(n).to_bits(), reliable.meter.node_total(n).to_bits());
+        }
+        assert_eq!(arq.meter.phase_total(Phase::Retransmit), 0.0);
+        assert!(arq.lost_edges.is_empty());
+        assert_eq!(arq.retransmissions, 0);
+        assert_eq!(arq.delivered_fraction, 1.0);
+    }
+
+    #[test]
+    fn arq_energy_is_exact_to_the_attempt() {
+        // Star with 2 children, both edges always failing, 2 retries, no
+        // jitter: every edge sends its 1-value batch 3 times plus two
+        // backoff windows (0.2 + 0.4), no acks, batches lost.
+        let t = star(3);
+        let em = EnergyModel::mica2();
+        let plan = Plan::naive_k(&t, 2);
+        let fm = FailureModel::uniform(3, 1.0, 0.0);
+        let policy = ArqPolicy {
+            max_retries: 2,
+            backoff: prospector_net::Backoff { base_mj: 0.2, factor: 2.0, jitter: 0.0 },
+        };
+        let r = execute_plan_arq(&plan, &t, &em, &[9.0, 1.0, 2.0], 2, &fm, &policy, 5);
+        assert_eq!(r.lost_edges, vec![NodeId(1), NodeId(2)]);
+        assert_eq!(r.retransmissions, 4);
+        assert_eq!(r.delivered_fraction, 0.0);
+        assert_eq!(r.answer_nodes(), vec![NodeId(0)], "only the root's reading survives");
+        let per_edge_retx = 2.0 * em.unicast_values(1) + 0.2 + 0.4;
+        assert!((r.meter.phase_total(Phase::Retransmit) - 2.0 * per_edge_retx).abs() < 1e-9);
+        // First attempts stay under Collection, exactly as reliable.
+        let first = 2.0 * em.unicast_values(1);
+        assert!((r.meter.phase_total(Phase::Collection) - first).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arq_ack_charged_only_on_retried_delivery() {
+        // One edge at 50% loss: find a seed where delivery needs ≥ 1
+        // retry, and check the ack lands under Retransmit.
+        let t = chain(2);
+        let em = EnergyModel::mica2();
+        let plan = Plan::naive_k(&t, 1);
+        let fm = FailureModel::uniform(2, 0.5, 0.0);
+        let policy = ArqPolicy { max_retries: 3, backoff: prospector_net::Backoff::none() };
+        let mut saw_retried_delivery = false;
+        for seed in 0..64u64 {
+            let r = execute_plan_arq(&plan, &t, &em, &[0.0, 1.0], 1, &fm, &policy, seed);
+            if r.retransmissions > 0 && r.lost_edges.is_empty() {
+                saw_retried_delivery = true;
+                let expect = r.retransmissions as f64 * em.unicast_values(1) + em.per_message_mj;
+                assert!(
+                    (r.meter.phase_total(Phase::Retransmit) - expect).abs() < 1e-9,
+                    "retries + one ack, seed {seed}"
+                );
+            }
+        }
+        assert!(saw_retried_delivery, "no seed produced a retried delivery");
     }
 
     #[test]

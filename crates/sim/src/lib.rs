@@ -17,6 +17,7 @@
 //!   periodic exact audits.
 
 pub mod adaptive;
+pub mod backfill;
 pub mod dissemination;
 pub mod exact_exec;
 pub mod exec;
@@ -24,8 +25,9 @@ pub mod naive1;
 pub mod runner;
 
 pub use adaptive::{run_adaptive, AdaptiveAction, AdaptiveConfig, AdaptiveEpoch};
+pub use backfill::{backfill_answer, AnswerEntry};
 pub use dissemination::{install_cost, install_plan, install_plan_lossy, DisseminationReport};
 pub use exact_exec::{run_exact, ExactResult};
-pub use exec::{execute_plan, execute_proof_plan, ExecutionReport};
+pub use exec::{execute_plan, execute_plan_arq, execute_proof_plan, ExecutionReport};
 pub use naive1::run_naive1;
 pub use runner::{EpochReport, ExperimentConfig, ExperimentRunner};

@@ -18,12 +18,14 @@
 //! unicasts retry a bounded number of times and nodes that never receive
 //! their new subplan keep executing the previous one.
 
+use crate::backfill::{backfill_answer, AnswerEntry};
 use crate::dissemination::{install_plan, install_plan_lossy};
-use crate::exec::execute_plan;
+use crate::exec::{execute_plan, execute_plan_arq};
 use prospector_core::{evaluate, Plan, PlanContext, PlanError, Planner};
 use prospector_data::{top_k_nodes, SamplePolicy, SampleSet, ValueSource};
 use prospector_net::{
-    EnergyMeter, EnergyModel, FailureModel, FaultSchedule, NodeId, Phase, Topology,
+    epoch_seed, ArqPolicy, EnergyMeter, EnergyModel, FailureModel, FaultSchedule, NodeId, Phase,
+    Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,13 +46,24 @@ pub struct ExperimentConfig {
     /// by at least this much (absolute, in values per query).
     pub replan_threshold: f64,
     /// Optional transient-failure model (used for planning, collection
-    /// injection, and lossy plan dissemination).
+    /// loss, and lossy plan dissemination).
     pub failures: Option<FailureModel>,
     /// Scheduled permanent failures (node deaths, link degradations).
     pub faults: FaultSchedule,
     /// Retries beyond the first attempt for each subplan unicast when
     /// dissemination is lossy (ignored without a failure model).
     pub install_retries: u32,
+    /// Per-hop ARQ policy for collection unicasts when a (non-trivial)
+    /// failure model is configured; the reliable path ignores it.
+    pub arq: ArqPolicy,
+    /// Graceful-degradation threshold: when an epoch's delivered fraction
+    /// drops below this, the runner raises the collection retry budget by
+    /// one (up to [`ExperimentConfig::max_retry_budget`]) and, once the
+    /// budget is maxed out, forces a re-plan so a fallback chain can
+    /// route around the bad links. `0.0` disables escalation.
+    pub min_delivered: f64,
+    /// Ceiling for the escalated collection retry budget.
+    pub max_retry_budget: u32,
     /// Seed for failure injection.
     pub seed: u64,
 }
@@ -77,6 +90,21 @@ pub struct EpochReport {
     /// [`Planner::plan_traced`](prospector_core::Planner::plan_traced));
     /// `None` while the primary planner is holding up.
     pub fallback_used: Option<&'static str>,
+    /// Used edges whose batch was lost after exhausting the ARQ budget.
+    pub lost_edges: usize,
+    /// Collection retransmissions this epoch (attempts beyond the first).
+    pub retransmissions: u32,
+    /// Fraction of plan-visited nodes whose batch reached the root.
+    pub delivered_fraction: f64,
+    /// Answer entries backfilled from window predictions (estimated, not
+    /// observed).
+    pub backfilled: usize,
+    /// Collection retry budget in force this epoch (may exceed the
+    /// configured `arq.max_retries` after escalations).
+    pub retry_budget: u32,
+    /// Subplan unicasts that exhausted dissemination retries this epoch
+    /// (0 when no plan was installed).
+    pub install_undelivered: usize,
 }
 
 /// Drives a planner over a value source for many epochs.
@@ -94,6 +122,9 @@ pub struct ExperimentRunner<'a> {
     last_replan: Option<u64>,
     /// Owned: link degradations worsen edges mid-run.
     failures: Option<FailureModel>,
+    /// Collection ARQ policy currently in force; starts at the configured
+    /// policy and escalates when delivery degrades.
+    arq: ArqPolicy,
     /// `alive[i]` is false once node i has permanently failed.
     alive: Vec<bool>,
     meter: EnergyMeter,
@@ -110,6 +141,7 @@ impl<'a> ExperimentRunner<'a> {
         let samples = SampleSet::new(topology.len(), config.k, config.window);
         let rng = StdRng::seed_from_u64(config.seed);
         let failures = config.failures.clone();
+        let arq = config.arq;
         ExperimentRunner {
             topology: topology.clone(),
             energy,
@@ -119,11 +151,17 @@ impl<'a> ExperimentRunner<'a> {
             plan_via: None,
             last_replan: None,
             failures,
+            arq,
             alive: vec![true; topology.len()],
             meter: EnergyMeter::new(topology.len()),
             rng,
             config,
         }
+    }
+
+    /// Collection ARQ policy currently in force (reflects escalations).
+    pub fn arq(&self) -> ArqPolicy {
+        self.arq
     }
 
     /// Cumulative energy across all epochs run so far.
@@ -155,7 +193,10 @@ impl<'a> ExperimentRunner<'a> {
         let mut ctx =
             PlanContext::new(&self.topology, self.energy, &self.samples, self.config.budget_mj);
         if let Some(f) = &self.failures {
-            ctx = ctx.with_failures(f);
+            // Edge costs price the ARQ policy collection will actually run
+            // under (including escalations), steering plans around bad
+            // links.
+            ctx = ctx.with_failures(f).with_arq(self.arq);
         }
         ctx
     }
@@ -192,7 +233,7 @@ impl<'a> ExperimentRunner<'a> {
         for (child, added) in self.config.faults.degradations_at(epoch) {
             if let Some(f) = self.failures.as_mut() {
                 if child.index() < f.len() {
-                    f.degrade(child, added);
+                    f.degrade(child, added).expect("fault schedule validates probabilities");
                 }
             }
         }
@@ -237,6 +278,12 @@ impl<'a> ExperimentRunner<'a> {
                 deaths,
                 repaired,
                 fallback_used: self.fallback_used(),
+                lost_edges: 0,
+                retransmissions: 0,
+                delivered_fraction: 1.0,
+                backfilled: 0,
+                retry_budget: self.arq.max_retries,
+                install_undelivered: 0,
             });
         }
 
@@ -249,6 +296,7 @@ impl<'a> ExperimentRunner<'a> {
         // with the sampling period (those epochs return early above) and
         // can starve replanning entirely.
         let mut replanned = false;
+        let mut install_undelivered = 0usize;
         let due = self.plan.is_none()
             || (self.config.replan_every > 0
                 && self.last_replan.is_none_or(|lr| epoch - lr >= self.config.replan_every));
@@ -280,6 +328,7 @@ impl<'a> ExperimentRunner<'a> {
                             self.config.install_retries,
                         );
                         epoch_meter.merge(&install_meter);
+                        install_undelivered = delivery.undelivered.len();
                         if !delivery.undelivered.is_empty() {
                             // Nodes that never heard the new subplan keep
                             // executing their old one.
@@ -300,13 +349,57 @@ impl<'a> ExperimentRunner<'a> {
         }
 
         let plan = self.plan.as_ref().expect("plan exists after planning step");
-        let failure_pair = self.failures.as_ref().map(|f| (f, &mut self.rng));
-        let report = execute_plan(plan, &self.topology, self.energy, &values, k, failure_pair);
+        let retry_budget = self.arq.max_retries;
+        // With lossy links, collection runs real per-hop delivery: every
+        // upward batch is retried under the ARQ policy and a hop that
+        // exhausts its budget loses its subtree's batch. Loss-free runs
+        // keep the exact reliable path (and its energy accounting,
+        // byte-for-byte).
+        let report = match &self.failures {
+            Some(f) if !f.is_trivial() => execute_plan_arq(
+                plan,
+                &self.topology,
+                self.energy,
+                &values,
+                k,
+                f,
+                &self.arq,
+                epoch_seed(self.config.seed, epoch),
+            ),
+            _ => execute_plan(plan, &self.topology, self.energy, &values, k, None),
+        };
         epoch_meter.merge(&report.meter);
         self.meter.merge(&epoch_meter);
 
+        // Graceful degradation at the root: estimate lost subtrees from
+        // the sample window and answer over delivered + backfilled
+        // entries.
+        let entries: Vec<AnswerEntry> = backfill_answer(
+            &report.answer,
+            &report.lost_edges,
+            plan,
+            &self.topology,
+            &self.samples,
+            k,
+        );
+        let backfilled = entries.iter().filter(|e| e.estimated).count();
         let truth = top_k_nodes(&values, k);
-        let hits = report.answer.iter().filter(|r| truth.contains(&r.node)).count();
+        let hits = entries.iter().filter(|e| truth.contains(&e.reading.node)).count();
+
+        // Adaptive reliability: when too little of the network is heard
+        // from, first spend more on retries; once the budget is maxed,
+        // force a re-plan so a fallback chain can route around the loss
+        // (edge costs in `plan_context` already price the current ARQ).
+        if self.config.min_delivered > 0.0 && report.delivered_fraction < self.config.min_delivered
+        {
+            if self.arq.max_retries < self.config.max_retry_budget {
+                self.arq.max_retries += 1;
+            } else {
+                self.plan = None;
+                self.last_replan = None;
+            }
+        }
+
         Ok(EpochReport {
             epoch,
             sampled: false,
@@ -316,6 +409,12 @@ impl<'a> ExperimentRunner<'a> {
             deaths,
             repaired,
             fallback_used: self.fallback_used(),
+            lost_edges: report.lost_edges.len(),
+            retransmissions: report.retransmissions,
+            delivered_fraction: report.delivered_fraction,
+            backfilled,
+            retry_budget,
+            install_undelivered,
         })
     }
 
@@ -408,6 +507,9 @@ mod tests {
             failures: None,
             faults: FaultSchedule::new(),
             install_retries: 2,
+            arq: ArqPolicy::default(),
+            min_delivered: 0.0,
+            max_retry_budget: 8,
             seed: 42,
         }
     }
@@ -495,7 +597,7 @@ mod tests {
         let mut cfg = config(30.0);
         cfg.failures = Some(prospector_net::FailureModel::uniform(t.len(), 0.0, 2.0));
         // Degrade every edge to coin-flip loss: over 20 epochs some used
-        // edge is all but certain to fail and charge a reroute.
+        // edge is all but certain to fail and charge a retransmission.
         let mut faults = FaultSchedule::new();
         for e in t.edges() {
             faults = faults.with_degradation(0, e, 0.5);
@@ -503,9 +605,59 @@ mod tests {
         cfg.faults = faults;
         let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 13);
         let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
-        runner.run(&mut source, 20).unwrap();
-        // With the degraded edge failing every time, rerouting was charged.
-        assert!(runner.meter().phase_total(Phase::Rerouting) > 0.0);
+        let reports = runner.run(&mut source, 20).unwrap();
+        // With the degraded edges failing half the time, the ARQ layer was
+        // exercised and charged.
+        assert!(runner.meter().phase_total(Phase::Retransmit) > 0.0);
+        assert!(reports.iter().any(|r| r.retransmissions > 0));
+    }
+
+    #[test]
+    fn loss_escalates_retry_budget_then_forces_replan() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut cfg = config(30.0);
+        // Heavy uniform loss so delivered_fraction stays below threshold.
+        cfg.failures = Some(prospector_net::FailureModel::uniform(t.len(), 0.8, 0.0));
+        cfg.arq = ArqPolicy { max_retries: 0, backoff: prospector_net::Backoff::none() };
+        cfg.min_delivered = 0.95;
+        cfg.max_retry_budget = 3;
+        cfg.replan_every = 1000; // escalation, not cadence, drives replans
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 17);
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+        let reports = runner.run(&mut source, 30).unwrap();
+        assert_eq!(runner.arq().max_retries, 3, "budget climbed to its cap");
+        let budgets: Vec<u32> =
+            reports.iter().filter(|r| !r.sampled).map(|r| r.retry_budget).collect();
+        assert!(budgets.windows(2).all(|w| w[1] >= w[0]), "budget never shrinks: {budgets:?}");
+        assert!(budgets.contains(&0) && budgets.contains(&3));
+        // Once maxed out, continued bad delivery forces fresh plans.
+        let late_replans =
+            reports.iter().filter(|r| !r.sampled && r.retry_budget == 3 && r.replanned).count();
+        assert!(late_replans > 0, "maxed budget must trigger re-planning");
+        // Partial answers were backfilled from the window.
+        assert!(reports.iter().any(|r| r.backfilled > 0));
+    }
+
+    #[test]
+    fn lossy_epochs_report_delivery_metrics() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut cfg = config(30.0);
+        cfg.failures = Some(prospector_net::FailureModel::uniform(t.len(), 0.4, 0.0));
+        cfg.arq = ArqPolicy { max_retries: 1, backoff: prospector_net::Backoff::none() };
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 19);
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+        let reports = runner.run(&mut source, 25).unwrap();
+        let queries: Vec<&EpochReport> = reports.iter().filter(|r| !r.sampled).collect();
+        assert!(queries.iter().any(|r| r.lost_edges > 0), "40% loss with 1 retry loses edges");
+        assert!(queries.iter().all(|r| (0.0..=1.0).contains(&r.delivered_fraction)));
+        assert!(queries.iter().any(|r| r.delivered_fraction < 1.0));
+        // Backfilled predictions only ever appear alongside lost edges.
+        assert!(queries.iter().all(|r| r.lost_edges > 0 || r.backfilled == 0));
+        assert!(queries.iter().any(|r| r.backfilled > 0), "some loss is backfilled");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use prospector::core::ProspectorLpNoLf;
 use prospector::data::intel::IntelConfig;
 use prospector::data::{IntelLabLike, SamplePolicy};
-use prospector::net::{EnergyModel, FailureModel, FaultSchedule, NetworkBuilder, Phase};
+use prospector::net::{ArqPolicy, EnergyModel, FailureModel, FaultSchedule, NetworkBuilder, Phase};
 use prospector::sim::{ExperimentConfig, ExperimentRunner};
 
 fn main() {
@@ -41,6 +41,11 @@ fn main() {
         failures: Some(failures),
         faults: FaultSchedule::new(),
         install_retries: 2,
+        // Per-hop ARQ with the default backoff; escalate the retry budget
+        // whenever fewer than 90% of plan edges deliver in an epoch.
+        arq: ArqPolicy::default(),
+        min_delivered: 0.9,
+        max_retry_budget: 6,
         seed: 5,
     };
 
@@ -66,6 +71,7 @@ fn main() {
         ("plan installs", Phase::PlanInstall),
         ("trigger broadcasts", Phase::Trigger),
         ("collection", Phase::Collection),
+        ("ARQ retransmits", Phase::Retransmit),
         ("failure rerouting", Phase::Rerouting),
     ] {
         println!("  {label:<20} {:>10.1}", meter.phase_total(phase));

@@ -5,7 +5,7 @@
 
 use prospector::core::FallbackPlanner;
 use prospector::data::{IndependentGaussian, SamplePolicy};
-use prospector::net::{EnergyModel, FaultSchedule, NetworkBuilder, NodeId, Phase};
+use prospector::net::{ArqPolicy, EnergyModel, FaultSchedule, NetworkBuilder, NodeId, Phase};
 use prospector::sim::{EpochReport, ExperimentConfig, ExperimentRunner};
 
 fn network(n: usize, seed: u64) -> prospector::net::Network {
@@ -30,6 +30,9 @@ fn config(faults: FaultSchedule) -> ExperimentConfig {
         failures: None,
         faults,
         install_retries: 2,
+        arq: ArqPolicy::default(),
+        min_delivered: 0.0,
+        max_retry_budget: 8,
         seed: 9,
     }
 }

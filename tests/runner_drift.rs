@@ -5,7 +5,7 @@
 
 use prospector::core::{ProspectorGreedy, ProspectorLpNoLf};
 use prospector::data::{RandomWalk, SamplePolicy};
-use prospector::net::{EnergyModel, FaultSchedule, NetworkBuilder, Phase};
+use prospector::net::{ArqPolicy, EnergyModel, FaultSchedule, NetworkBuilder, Phase};
 use prospector::sim::{run_adaptive, AdaptiveConfig, ExperimentConfig, ExperimentRunner};
 
 fn network(n: usize, seed: u64) -> prospector::net::Network {
@@ -34,6 +34,9 @@ fn replanning_tracks_drift() {
         failures: None,
         faults: FaultSchedule::new(),
         install_retries: 2,
+        arq: ArqPolicy::default(),
+        min_delivered: 0.0,
+        max_retry_budget: 8,
         seed: 3,
     };
 
@@ -104,6 +107,9 @@ fn runner_energy_breakdown_is_complete() {
         failures: None,
         faults: FaultSchedule::new(),
         install_retries: 2,
+        arq: ArqPolicy::default(),
+        min_delivered: 0.0,
+        max_retry_budget: 8,
         seed: 1,
     };
     let mut src = RandomWalk::new(20, 10.0, 2.0, 0.5, 0.1, 2);
