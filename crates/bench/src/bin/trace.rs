@@ -1,0 +1,46 @@
+//! Replays one golden observability scenario and streams its JSONL
+//! trace to stdout.
+//!
+//! ```text
+//! trace [--metrics] [clean|loss_arq|death_repair]
+//! ```
+//!
+//! Stdout carries exactly the bytes the golden-trace harness diffs
+//! (`tests/golden/<name>.jsonl`), so
+//!
+//! ```text
+//! cargo run -p prospector-bench --bin trace -- clean | diff tests/golden/clean.jsonl -
+//! ```
+//!
+//! is a cross-process determinism check. `--metrics` additionally prints
+//! the scenario's cumulative metrics snapshot as one JSON object on
+//! stderr, keeping stdout byte-diffable.
+
+use prospector_obs::event;
+use prospector_testutil::golden;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let names: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let name = match names.as_slice() {
+        [] => "clean",
+        [one] if golden::SCENARIOS.contains(one) => one,
+        other => {
+            eprintln!(
+                "usage: trace [--metrics] [scenario]; valid scenarios: {} (got {other:?})",
+                golden::SCENARIOS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    };
+    let (events, snapshot) = golden::golden_run(name);
+    std::io::stdout()
+        .write_all(event::to_jsonl(&events).as_bytes())
+        .expect("write trace to stdout");
+    if metrics {
+        eprintln!("{}", snapshot.to_json());
+    }
+}

@@ -953,6 +953,69 @@ pub fn e_subset(fast: bool) -> FigureResult {
     }
 }
 
+/// Extension: the observability breakdown behind `BENCH_obs.json` —
+/// per-phase energy by epoch for each golden scenario, reconstructed
+/// purely from the trace stream (DESIGN.md §11). Full (non-fast) runs
+/// additionally dump each scenario's cumulative metrics snapshot to
+/// `BENCH_obs.json` at the repository root.
+pub fn e_obs(fast: bool) -> FigureResult {
+    use prospector_obs::TraceEvent;
+    use prospector_testutil::golden;
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+
+    let mut points = Vec::new();
+    let mut dump = String::from("{\n  \"bench\": \"obs\",\n  \"scenarios\": {");
+    for (si, &name) in golden::SCENARIOS.iter().enumerate() {
+        let t0 = Instant::now();
+        let (events, snapshot) = golden::golden_run(name);
+        let wall = t0.elapsed().as_secs_f64();
+
+        // Attribute every energy charge to the epoch bracketed by
+        // EpochStart; BTreeMaps keep series and x in stable order.
+        let mut epoch = 0u64;
+        let mut by_phase: BTreeMap<&'static str, BTreeMap<u64, f64>> = BTreeMap::new();
+        for ev in &events {
+            match ev {
+                TraceEvent::EpochStart { epoch: e } => epoch = *e,
+                TraceEvent::Energy { phase, mj, .. } => {
+                    *by_phase.entry(phase).or_default().entry(epoch).or_insert(0.0) += mj;
+                }
+                _ => {}
+            }
+        }
+        for (phase, epochs) in &by_phase {
+            for (&e, &mj) in epochs {
+                points.push(CurvePoint::new(format!("{name}:{phase}"), e as f64, mj));
+            }
+        }
+
+        let _ = write!(
+            dump,
+            "{}\n    \"{name}\": {{\n      \"wall_s\": {wall:.6},\n      \
+             \"events\": {},\n      \"metrics\": {}\n    }}",
+            if si > 0 { "," } else { "" },
+            events.len(),
+            snapshot.to_json()
+        );
+    }
+    dump.push_str("\n  }\n}\n");
+    if !fast {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+        match std::fs::write(path, dump) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => eprintln!("[failed to write {path}: {e}]"),
+        }
+    }
+    FigureResult {
+        id: "obs",
+        title: "Observability: per-phase energy by epoch (golden scenarios)",
+        x_label: "epoch",
+        y_label: "energy (mJ)",
+        points,
+    }
+}
+
 /// A figure runner: `fast` shrinks sizes for smoke tests.
 pub type FigureFn = fn(bool) -> FigureResult;
 
@@ -980,6 +1043,7 @@ pub const REGISTRY: &[(&str, FigureFn)] = &[
     ("eloss", e_loss),
     ("esensitivity", e_sensitivity),
     ("esubset", e_subset),
+    ("obs", e_obs),
 ];
 
 /// Looks up one figure runner by its CLI name.
@@ -1106,6 +1170,26 @@ mod tests {
             let s = format!("accuracy-r{r}");
             assert!(at(&s, 0.2) < at(&s, 0.0) + 1e-9, "loss should not raise accuracy ({s})");
         }
+    }
+
+    #[test]
+    fn obs_fast_covers_all_scenarios_and_phases() {
+        use prospector_testutil::golden;
+        let f = e_obs(true);
+        for &name in golden::SCENARIOS {
+            // Every scenario meters collection work in some epoch.
+            let collection = format!("{name}:collection");
+            assert!(
+                f.points.iter().any(|p| p.series == collection && p.y > 0.0),
+                "no collection energy for {name}"
+            );
+        }
+        // Only the lossy scenario pays retransmission energy.
+        assert!(f.points.iter().any(|p| p.series == "loss_arq:retransmit" && p.y > 0.0));
+        assert!(!f.points.iter().any(|p| p.series == "clean:retransmit"));
+        // The death scenario pays repair energy; the clean one never does.
+        assert!(f.points.iter().any(|p| p.series == "death_repair:repair" && p.y > 0.0));
+        assert!(!f.points.iter().any(|p| p.series == "clean:repair"));
     }
 
     #[test]

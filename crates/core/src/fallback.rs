@@ -14,7 +14,7 @@ use crate::greedy::ProspectorGreedy;
 use crate::lp_lf::ProspectorLpLf;
 use crate::naive::NaiveK;
 use crate::plan::Plan;
-use crate::planner::{PlanContext, PlannedWith, Planner};
+use crate::planner::{PlanAttempt, PlanContext, PlannedWith, Planner};
 
 /// Tries a chain of planners in order, returning the first success.
 ///
@@ -69,16 +69,24 @@ impl Planner for FallbackPlanner {
     fn plan_traced(&self, ctx: &PlanContext<'_>) -> Result<PlannedWith, PlanError> {
         debug_assert!(!self.chain.is_empty(), "fallback chain cannot be empty");
         let mut last_err = None;
+        let mut attempts = Vec::new();
         for (fallback_depth, planner) in self.chain.iter().enumerate() {
             match planner.plan_traced(ctx) {
                 Ok(traced) => {
+                    attempts.extend(traced.attempts);
                     return Ok(PlannedWith {
                         plan: traced.plan,
                         planner: traced.planner,
                         fallback_depth,
-                    })
+                        lp: traced.lp,
+                        attempts,
+                    });
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => {
+                    attempts
+                        .push(PlanAttempt { planner: planner.name(), error: Some(e.to_string()) });
+                    last_err = Some(e);
+                }
             }
         }
         Err(last_err.expect("chain has at least one planner"))

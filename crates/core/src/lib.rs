@@ -61,6 +61,6 @@ pub use lp_lf::{budget_shadow_price, ProspectorLpLf};
 pub use lp_no_lf::ProspectorLpNoLf;
 pub use naive::NaiveK;
 pub use plan::Plan;
-pub use planner::{PlanContext, PlannedWith, Planner};
+pub use planner::{LpStats, PlanAttempt, PlanContext, PlannedWith, Planner};
 pub use proof_lp::ProspectorProof;
 pub use subset::{deliver_chosen, plan_subset_query, subset_accuracy};

@@ -13,21 +13,19 @@
 use crate::error::PlanError;
 use crate::evaluate::{expected_misses, expected_misses_with};
 use crate::plan::Plan;
-use crate::planner::{PlanContext, Planner};
+use crate::planner::{LpStats, PlanAttempt, PlanContext, PlannedWith, Planner};
 use prospector_lp::{Cmp, Problem, Sense, Status, VarId};
 use prospector_net::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The LP+LF planner.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProspectorLpLf;
 
-impl Planner for ProspectorLpLf {
-    fn name(&self) -> &'static str {
-        "lp+lf"
-    }
-
-    fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+impl ProspectorLpLf {
+    /// The full construction, also reporting solver statistics for
+    /// observability (surfaced through [`Planner::plan_traced`]).
+    fn plan_with_stats(&self, ctx: &PlanContext<'_>) -> Result<(Plan, LpStats), PlanError> {
         if ctx.samples.is_empty() {
             return Err(PlanError::NoSamples);
         }
@@ -44,6 +42,7 @@ impl Planner for ProspectorLpLf {
                 _ => "iteration limit",
             }));
         }
+        let stats = LpStats { iterations: sol.iterations, objective: sol.objective };
 
         // Round bandwidths to the nearest integer and restore plan
         // structure.
@@ -57,7 +56,28 @@ impl Planner for ProspectorLpLf {
         }
         plan.repair_connectivity(topo);
         repair_budget(&mut plan, ctx);
-        Ok(plan)
+        Ok((plan, stats))
+    }
+}
+
+impl Planner for ProspectorLpLf {
+    fn name(&self) -> &'static str {
+        "lp+lf"
+    }
+
+    fn plan(&self, ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+        self.plan_with_stats(ctx).map(|(plan, _)| plan)
+    }
+
+    fn plan_traced(&self, ctx: &PlanContext<'_>) -> Result<PlannedWith, PlanError> {
+        let (plan, stats) = self.plan_with_stats(ctx)?;
+        Ok(PlannedWith {
+            plan,
+            planner: self.name(),
+            fallback_depth: 0,
+            lp: Some(stats),
+            attempts: vec![PlanAttempt { planner: self.name(), error: None }],
+        })
     }
 }
 
@@ -113,9 +133,12 @@ fn build_lp(ctx: &PlanContext<'_>) -> (Problem, Vec<Option<VarId>>) {
         }
 
         // x_{j,i} variables and the per-(sample, edge) groupings for the
-        // bandwidth rows.
-        let mut x: HashMap<(usize, u32), VarId> = HashMap::new();
-        let mut through: HashMap<(usize, u32), Vec<VarId>> = HashMap::new();
+        // bandwidth rows. Ordered maps: their iteration order below fixes
+        // the constraint order, and with it the simplex pivot sequence —
+        // a hash map would make iteration counts (and the trace) vary
+        // from run to run.
+        let mut x: BTreeMap<(usize, u32), VarId> = BTreeMap::new();
+        let mut through: BTreeMap<(usize, u32), Vec<VarId>> = BTreeMap::new();
         for j in 0..num_samples {
             for &i in ctx.samples.ones(j) {
                 if i == topo.root() {

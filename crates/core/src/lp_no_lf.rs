@@ -14,7 +14,7 @@
 use crate::error::PlanError;
 use crate::greedy::{greedy_extend, ChosenSet};
 use crate::plan::Plan;
-use crate::planner::{PlanContext, Planner};
+use crate::planner::{LpStats, PlanAttempt, PlanContext, PlannedWith, Planner};
 use prospector_lp::{Cmp, Problem, Sense, Status, VarId};
 use prospector_net::NodeId;
 
@@ -33,6 +33,20 @@ impl Planner for ProspectorLpNoLf {
         }
         plan_with_counts(ctx, ctx.samples.column_counts())
     }
+
+    fn plan_traced(&self, ctx: &PlanContext<'_>) -> Result<PlannedWith, PlanError> {
+        if ctx.samples.is_empty() {
+            return Err(PlanError::NoSamples);
+        }
+        let (plan, lp) = plan_with_counts_stats(ctx, ctx.samples.column_counts())?;
+        Ok(PlannedWith {
+            plan,
+            planner: self.name(),
+            fallback_depth: 0,
+            lp,
+            attempts: vec![PlanAttempt { planner: self.name(), error: None }],
+        })
+    }
 }
 
 /// The LP−LF construction over arbitrary per-node answer counts — shared
@@ -40,6 +54,15 @@ impl Planner for ProspectorLpNoLf {
 /// Section 3 notes the framework only needs "the total number of 1's in
 /// the matrix missed by the plan", whatever query defines the 1's).
 pub(crate) fn plan_with_counts(ctx: &PlanContext<'_>, counts: &[u32]) -> Result<Plan, PlanError> {
+    plan_with_counts_stats(ctx, counts).map(|(plan, _)| plan)
+}
+
+/// Like [`plan_with_counts`], also reporting LP solver statistics (`None`
+/// when the LP was skipped because no candidates exist).
+pub(crate) fn plan_with_counts_stats(
+    ctx: &PlanContext<'_>,
+    counts: &[u32],
+) -> Result<(Plan, Option<LpStats>), PlanError> {
     {
         let topo = ctx.topology;
         let n = topo.len();
@@ -51,7 +74,7 @@ pub(crate) fn plan_with_counts(ctx: &PlanContext<'_>, counts: &[u32]) -> Result<
             .filter(|&i| i != topo.root() && counts[i.index()] > 0)
             .collect();
         if candidates.is_empty() {
-            return Ok(Plan::empty(n));
+            return Ok((Plan::empty(n), None));
         }
 
         // Relevant edges: subtree contains at least one candidate.
@@ -115,6 +138,7 @@ pub(crate) fn plan_with_counts(ctx: &PlanContext<'_>, counts: &[u32]) -> Result<
                 _ => "iteration limit",
             }));
         }
+        let stats = LpStats { iterations: sol.iterations, objective: sol.objective };
 
         // Round at 1/2, then repair to the budget, then fill leftovers.
         let mut set = ChosenSet::new(n);
@@ -132,7 +156,7 @@ pub(crate) fn plan_with_counts(ctx: &PlanContext<'_>, counts: &[u32]) -> Result<
             }
         }
         greedy_extend(&mut set, ctx, counts, ctx.budget_mj);
-        Ok(Plan::from_chosen(ctx.topology, &set.chosen))
+        Ok((Plan::from_chosen(ctx.topology, &set.chosen), Some(stats)))
     }
 }
 

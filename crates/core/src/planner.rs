@@ -122,6 +122,28 @@ impl<'a> PlanContext<'a> {
     }
 }
 
+/// Solver statistics of an LP-backed plan, for observability: how hard
+/// the simplex worked and what objective the relaxation reached before
+/// rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpStats {
+    /// Simplex pivots of the solve.
+    pub iterations: usize,
+    /// Objective value of the LP relaxation (expected sample hits, before
+    /// rounding and budget repair).
+    pub objective: f64,
+}
+
+/// One link of a planning attempt chain: which planner was tried and, if
+/// it failed, why (the [`PlanError`] rendered through `Display`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAttempt {
+    /// [`Planner::name`] of the link.
+    pub planner: &'static str,
+    /// `None` for the link that produced the plan.
+    pub error: Option<String>,
+}
+
 /// A plan together with provenance: which algorithm actually produced it.
 ///
 /// Produced by [`Planner::plan_traced`]; combinators like
@@ -135,6 +157,11 @@ pub struct PlannedWith {
     /// How many planners failed before this one succeeded (0 = the
     /// primary planner worked).
     pub fallback_depth: usize,
+    /// Solver statistics when the producing planner solved an LP.
+    pub lp: Option<LpStats>,
+    /// Every link tried, in order, ending with the one that succeeded.
+    /// Plain planners report the single successful attempt.
+    pub attempts: Vec<PlanAttempt>,
 }
 
 /// A query-plan construction algorithm.
@@ -150,7 +177,13 @@ pub trait Planner {
     /// combinators override this to attribute the plan to the chain link
     /// that actually succeeded.
     fn plan_traced(&self, ctx: &PlanContext<'_>) -> Result<PlannedWith, PlanError> {
-        Ok(PlannedWith { plan: self.plan(ctx)?, planner: self.name(), fallback_depth: 0 })
+        Ok(PlannedWith {
+            plan: self.plan(ctx)?,
+            planner: self.name(),
+            fallback_depth: 0,
+            lp: None,
+            attempts: vec![PlanAttempt { planner: self.name(), error: None }],
+        })
     }
 }
 

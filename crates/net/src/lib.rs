@@ -33,7 +33,7 @@ pub use arq::{epoch_seed, link_rng, ArqPolicy, Backoff, LinkAttempts};
 pub use energy::EnergyModel;
 pub use failure::{FailureModel, FailureModelError};
 pub use fault::{FaultEvent, FaultSchedule};
-pub use meter::{EnergyMeter, Phase};
+pub use meter::{EnergyMeter, MeterMergeError, Phase};
 pub use node::NodeId;
 pub use placement::{Network, NetworkBuilder, Position, ZoneLayout};
 pub use topology::{RepairError, Topology, TopologyError};

@@ -26,6 +26,35 @@ pub enum Phase {
     Retransmit,
 }
 
+impl Phase {
+    /// All phases, in charge-index order.
+    pub const ALL: [Phase; NUM_PHASES] = [
+        Phase::PlanInstall,
+        Phase::Trigger,
+        Phase::Collection,
+        Phase::MopUp,
+        Phase::Sampling,
+        Phase::Rerouting,
+        Phase::Repair,
+        Phase::Retransmit,
+    ];
+
+    /// Stable lowercase name, used as the `phase` field of trace events
+    /// and as a JSON key in metrics snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::PlanInstall => "plan_install",
+            Phase::Trigger => "trigger",
+            Phase::Collection => "collection",
+            Phase::MopUp => "mop_up",
+            Phase::Sampling => "sampling",
+            Phase::Rerouting => "rerouting",
+            Phase::Repair => "repair",
+            Phase::Retransmit => "retransmit",
+        }
+    }
+}
+
 const NUM_PHASES: usize = 8;
 
 fn phase_index(p: Phase) -> usize {
@@ -40,6 +69,26 @@ fn phase_index(p: Phase) -> usize {
         Phase::Retransmit => 7,
     }
 }
+
+/// Two meters could not be merged because they describe networks of
+/// different sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeterMergeError {
+    pub self_nodes: usize,
+    pub other_nodes: usize,
+}
+
+impl std::fmt::Display for MeterMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot merge meters of different sizes: {} vs {} nodes",
+            self.self_nodes, self.other_nodes
+        )
+    }
+}
+
+impl std::error::Error for MeterMergeError {}
 
 /// Accumulates energy charges attributed to nodes and phases.
 ///
@@ -92,9 +141,22 @@ impl EnergyMeter {
             .map(|(i, &e)| (NodeId::from_index(i), e))
     }
 
-    /// Adds all of `other`'s charges into `self`.
-    pub fn merge(&mut self, other: &EnergyMeter) {
-        assert_eq!(self.per_node.len(), other.per_node.len());
+    /// Per-node totals (mJ), indexed by node index. Exposed for skew
+    /// statistics (Gini) without cloning the meter.
+    pub fn node_totals(&self) -> &[f64] {
+        &self.per_node
+    }
+
+    /// Adds all of `other`'s charges into `self`, failing without
+    /// mutating `self` if the two meters describe networks of different
+    /// sizes.
+    pub fn try_merge(&mut self, other: &EnergyMeter) -> Result<(), MeterMergeError> {
+        if self.per_node.len() != other.per_node.len() {
+            return Err(MeterMergeError {
+                self_nodes: self.per_node.len(),
+                other_nodes: other.per_node.len(),
+            });
+        }
         for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
             *a += b;
         }
@@ -102,6 +164,30 @@ impl EnergyMeter {
             *a += b;
         }
         self.total += other.total;
+        Ok(())
+    }
+
+    /// Adds all of `other`'s charges into `self`.
+    ///
+    /// Merging meters of different sizes is a bug in the caller: it is a
+    /// `debug_assert` in debug builds, while release builds stay
+    /// panic-free by growing `self` to the larger size so no charge is
+    /// silently dropped. Callers that want to handle the mismatch use
+    /// [`EnergyMeter::try_merge`].
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        if let Err(e) = self.try_merge(other) {
+            debug_assert!(false, "{e}");
+            if self.per_node.len() < other.per_node.len() {
+                self.per_node.resize(other.per_node.len(), 0.0);
+            }
+            for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
+                *a += b;
+            }
+            for (a, b) in self.per_phase.iter_mut().zip(&other.per_phase) {
+                *a += b;
+            }
+            self.total += other.total;
+        }
     }
 
     /// Resets all counters to zero.
@@ -143,10 +229,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn merge_requires_same_size() {
+    fn try_merge_rejects_size_mismatch_without_mutation() {
         let mut a = EnergyMeter::new(2);
-        let b = EnergyMeter::new(3);
+        a.charge(NodeId(0), Phase::Collection, 1.0);
+        let mut b = EnergyMeter::new(3);
+        b.charge(NodeId(2), Phase::Collection, 5.0);
+        let err = a.try_merge(&b).unwrap_err();
+        assert_eq!(err, MeterMergeError { self_nodes: 2, other_nodes: 3 });
+        assert_eq!(a.total(), 1.0);
+        assert_eq!(a.node_totals().len(), 2);
+        // Same-size merge still succeeds.
+        assert!(a.try_merge(&EnergyMeter::new(2)).is_ok());
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "cannot merge meters"))]
+    fn merge_size_mismatch_is_loud_but_lossless() {
+        let mut a = EnergyMeter::new(2);
+        a.charge(NodeId(1), Phase::Collection, 1.0);
+        let mut b = EnergyMeter::new(4);
+        b.charge(NodeId(3), Phase::Sampling, 2.0);
+        // Debug builds panic here (debug_assert); release builds grow the
+        // meter so no energy is lost.
         a.merge(&b);
+        assert_eq!(a.node_totals().len(), 4);
+        assert!((a.total() - 3.0).abs() < 1e-12);
+        assert!((a.node_total(NodeId(3)) - 2.0).abs() < 1e-12);
+        assert!((a.phase_total(Phase::Sampling) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_ordered() {
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), Phase::ALL.len());
+        assert_eq!(names[0], "plan_install");
+        assert_eq!(names[7], "retransmit");
     }
 }

@@ -1,0 +1,339 @@
+//! The trace-event taxonomy.
+//!
+//! One epoch's trace is a flat event stream bracketed by
+//! [`TraceEvent::EpochStart`] / [`TraceEvent::EpochEnd`]; events between
+//! the brackets (energy charges, link deliveries, backfills) belong to
+//! that epoch and therefore do not repeat the epoch number. Every field is
+//! a pure function of seeded simulation state — see the crate docs for the
+//! determinism contract.
+
+use crate::json;
+
+/// One failed (or succeeded) link of a planner fallback chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAttemptInfo {
+    /// Planner name as used in the paper's figures.
+    pub planner: &'static str,
+    /// Why the attempt failed; `None` for the succeeding link.
+    pub error: Option<String>,
+}
+
+/// A structured observation of the pipeline. See the module docs for the
+/// stream layout and the crate docs for the determinism contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An epoch began.
+    EpochStart { epoch: u64 },
+    /// A planner (or a fallback-chain link) was asked for a plan. One
+    /// event per failed link plus one for the link that succeeded.
+    PlanAttempt { planner: &'static str, error: Option<String> },
+    /// A plan was chosen for this epoch (it may or may not be installed,
+    /// see `installed`). `fallback_depth` counts the chain links that
+    /// failed first; `lp_iterations`/`lp_objective` are present when the
+    /// producing planner solved a linear program.
+    PlanChosen {
+        planner: &'static str,
+        fallback_depth: u32,
+        lp_iterations: Option<u64>,
+        lp_objective: Option<f64>,
+        cost_mj: f64,
+        total_bandwidth: u64,
+        installed: bool,
+    },
+    /// A plan-installation pass finished (lossy or reliable).
+    PlanInstalled { edges: u32, undelivered: u32, attempts: u32 },
+    /// One used edge's delivery record during ARQ collection: how many
+    /// values were batched, how many transmissions it took, whether the
+    /// batch arrived, whether a retried delivery was acked, and the
+    /// backoff idle-listening paid. `delivered == false` means the edge
+    /// exhausted its budget and lost its subtree's batch.
+    LinkDelivery {
+        child: u32,
+        sent_values: u32,
+        attempts: u32,
+        delivered: bool,
+        acked: bool,
+        backoff_mj: f64,
+    },
+    /// One energy charge, mirroring `EnergyMeter::charge` in call order:
+    /// summing `mj` over a merge-free execution's events reproduces its
+    /// meter total bit-for-bit.
+    Energy { node: u32, phase: &'static str, mj: f64 },
+    /// A scheduled permanent node death fired.
+    NodeDeath { node: u32 },
+    /// A scheduled link degradation fired (loss probability raised).
+    LinkDegraded { child: u32, added: f64 },
+    /// The spanning tree was rebuilt around this epoch's deaths.
+    TreeRepaired { deaths: u32 },
+    /// Adaptive reliability raised the collection retry budget.
+    RetryEscalated { max_retries: u32 },
+    /// Adaptive reliability exhausted the retry budget and forced a
+    /// replan to route around the loss.
+    ReplanForced { delivered_fraction: f64 },
+    /// A lost subtree's answer entry was backfilled from the sample
+    /// window (an estimate, not an observation).
+    Backfill { node: u32, predicted: f64 },
+    /// An adaptive-loop epoch finished (`run_adaptive`).
+    AdaptiveEpoch { epoch: u64, action: &'static str, period: u64, accuracy: f64, energy_mj: f64 },
+    /// An epoch finished; scalar summary mirroring `EpochReport`.
+    EpochEnd {
+        epoch: u64,
+        sampled: bool,
+        replanned: bool,
+        accuracy: f64,
+        energy_mj: f64,
+        lost_edges: u32,
+        retransmissions: u32,
+        delivered_fraction: f64,
+        backfilled: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind tag used as the JSONL `ev` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::EpochStart { .. } => "epoch_start",
+            TraceEvent::PlanAttempt { .. } => "plan_attempt",
+            TraceEvent::PlanChosen { .. } => "plan_chosen",
+            TraceEvent::PlanInstalled { .. } => "plan_installed",
+            TraceEvent::LinkDelivery { .. } => "link_delivery",
+            TraceEvent::Energy { .. } => "energy",
+            TraceEvent::NodeDeath { .. } => "node_death",
+            TraceEvent::LinkDegraded { .. } => "link_degraded",
+            TraceEvent::TreeRepaired { .. } => "tree_repaired",
+            TraceEvent::RetryEscalated { .. } => "retry_escalated",
+            TraceEvent::ReplanForced { .. } => "replan_forced",
+            TraceEvent::Backfill { .. } => "backfill",
+            TraceEvent::AdaptiveEpoch { .. } => "adaptive_epoch",
+            TraceEvent::EpochEnd { .. } => "epoch_end",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    /// Field order is fixed by this function, making the output
+    /// byte-stable for identical events.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(96);
+        o.push_str("{\"ev\":");
+        json::push_str(&mut o, self.kind());
+        match self {
+            TraceEvent::EpochStart { epoch } => {
+                push_u64(&mut o, "epoch", *epoch);
+            }
+            TraceEvent::PlanAttempt { planner, error } => {
+                push_static(&mut o, "planner", planner);
+                o.push(',');
+                json::push_key(&mut o, "error");
+                match error {
+                    Some(e) => json::push_str(&mut o, e),
+                    None => o.push_str("null"),
+                }
+            }
+            TraceEvent::PlanChosen {
+                planner,
+                fallback_depth,
+                lp_iterations,
+                lp_objective,
+                cost_mj,
+                total_bandwidth,
+                installed,
+            } => {
+                push_static(&mut o, "planner", planner);
+                push_u64(&mut o, "fallback_depth", u64::from(*fallback_depth));
+                o.push(',');
+                json::push_key(&mut o, "lp_iterations");
+                match lp_iterations {
+                    Some(i) => o.push_str(&format!("{i}")),
+                    None => o.push_str("null"),
+                }
+                o.push(',');
+                json::push_key(&mut o, "lp_objective");
+                match lp_objective {
+                    Some(v) => json::push_f64(&mut o, *v),
+                    None => o.push_str("null"),
+                }
+                push_f64_field(&mut o, "cost_mj", *cost_mj);
+                push_u64(&mut o, "total_bandwidth", *total_bandwidth);
+                push_bool(&mut o, "installed", *installed);
+            }
+            TraceEvent::PlanInstalled { edges, undelivered, attempts } => {
+                push_u64(&mut o, "edges", u64::from(*edges));
+                push_u64(&mut o, "undelivered", u64::from(*undelivered));
+                push_u64(&mut o, "attempts", u64::from(*attempts));
+            }
+            TraceEvent::LinkDelivery {
+                child,
+                sent_values,
+                attempts,
+                delivered,
+                acked,
+                backoff_mj,
+            } => {
+                push_u64(&mut o, "child", u64::from(*child));
+                push_u64(&mut o, "sent_values", u64::from(*sent_values));
+                push_u64(&mut o, "attempts", u64::from(*attempts));
+                push_bool(&mut o, "delivered", *delivered);
+                push_bool(&mut o, "acked", *acked);
+                push_f64_field(&mut o, "backoff_mj", *backoff_mj);
+            }
+            TraceEvent::Energy { node, phase, mj } => {
+                push_u64(&mut o, "node", u64::from(*node));
+                push_static(&mut o, "phase", phase);
+                push_f64_field(&mut o, "mj", *mj);
+            }
+            TraceEvent::NodeDeath { node } => {
+                push_u64(&mut o, "node", u64::from(*node));
+            }
+            TraceEvent::LinkDegraded { child, added } => {
+                push_u64(&mut o, "child", u64::from(*child));
+                push_f64_field(&mut o, "added", *added);
+            }
+            TraceEvent::TreeRepaired { deaths } => {
+                push_u64(&mut o, "deaths", u64::from(*deaths));
+            }
+            TraceEvent::RetryEscalated { max_retries } => {
+                push_u64(&mut o, "max_retries", u64::from(*max_retries));
+            }
+            TraceEvent::ReplanForced { delivered_fraction } => {
+                push_f64_field(&mut o, "delivered_fraction", *delivered_fraction);
+            }
+            TraceEvent::Backfill { node, predicted } => {
+                push_u64(&mut o, "node", u64::from(*node));
+                push_f64_field(&mut o, "predicted", *predicted);
+            }
+            TraceEvent::AdaptiveEpoch { epoch, action, period, accuracy, energy_mj } => {
+                push_u64(&mut o, "epoch", *epoch);
+                push_static(&mut o, "action", action);
+                push_u64(&mut o, "period", *period);
+                push_f64_field(&mut o, "accuracy", *accuracy);
+                push_f64_field(&mut o, "energy_mj", *energy_mj);
+            }
+            TraceEvent::EpochEnd {
+                epoch,
+                sampled,
+                replanned,
+                accuracy,
+                energy_mj,
+                lost_edges,
+                retransmissions,
+                delivered_fraction,
+                backfilled,
+            } => {
+                push_u64(&mut o, "epoch", *epoch);
+                push_bool(&mut o, "sampled", *sampled);
+                push_bool(&mut o, "replanned", *replanned);
+                push_f64_field(&mut o, "accuracy", *accuracy);
+                push_f64_field(&mut o, "energy_mj", *energy_mj);
+                push_u64(&mut o, "lost_edges", u64::from(*lost_edges));
+                push_u64(&mut o, "retransmissions", u64::from(*retransmissions));
+                push_f64_field(&mut o, "delivered_fraction", *delivered_fraction);
+                push_u64(&mut o, "backfilled", u64::from(*backfilled));
+            }
+        }
+        o.push('}');
+        o
+    }
+}
+
+/// Serializes events as JSON lines (one event per line, trailing newline).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn push_u64(o: &mut String, key: &str, v: u64) {
+    o.push(',');
+    json::push_key(o, key);
+    o.push_str(&format!("{v}"));
+}
+
+fn push_bool(o: &mut String, key: &str, v: bool) {
+    o.push(',');
+    json::push_key(o, key);
+    o.push_str(if v { "true" } else { "false" });
+}
+
+fn push_f64_field(o: &mut String, key: &str, v: f64) {
+    o.push(',');
+    json::push_key(o, key);
+    json::push_f64(o, v);
+}
+
+fn push_static(o: &mut String, key: &str, v: &str) {
+    o.push(',');
+    json::push_key(o, key);
+    json::push_str(o, v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_event_serializes_compactly() {
+        let ev = TraceEvent::Energy { node: 3, phase: "collection", mj: 1.5 };
+        assert_eq!(ev.to_json(), r#"{"ev":"energy","node":3,"phase":"collection","mj":1.5}"#);
+    }
+
+    #[test]
+    fn optional_fields_serialize_as_null() {
+        let ev = TraceEvent::PlanChosen {
+            planner: "greedy",
+            fallback_depth: 1,
+            lp_iterations: None,
+            lp_objective: None,
+            cost_mj: 2.0,
+            total_bandwidth: 7,
+            installed: true,
+        };
+        let j = ev.to_json();
+        assert!(j.contains("\"lp_iterations\":null"));
+        assert!(j.contains("\"fallback_depth\":1"));
+        assert!(j.contains("\"installed\":true"));
+    }
+
+    #[test]
+    fn backfill_minus_infinity_is_representable() {
+        let ev = TraceEvent::Backfill { node: 2, predicted: f64::NEG_INFINITY };
+        assert_eq!(ev.to_json(), r#"{"ev":"backfill","node":2,"predicted":"-inf"}"#);
+    }
+
+    #[test]
+    fn identical_events_serialize_identically() {
+        let a = TraceEvent::LinkDelivery {
+            child: 9,
+            sent_values: 4,
+            attempts: 3,
+            delivered: true,
+            acked: true,
+            backoff_mj: 0.1 + 0.2,
+        };
+        assert_eq!(a.to_json(), a.clone().to_json());
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let evs = vec![
+            TraceEvent::EpochStart { epoch: 0 },
+            TraceEvent::EpochEnd {
+                epoch: 0,
+                sampled: true,
+                replanned: false,
+                accuracy: 1.0,
+                energy_mj: 0.5,
+                lost_edges: 0,
+                retransmissions: 0,
+                delivered_fraction: 1.0,
+                backfilled: 0,
+            },
+        ];
+        let text = to_jsonl(&evs);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

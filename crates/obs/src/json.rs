@@ -1,0 +1,87 @@
+//! Minimal deterministic JSON encoding.
+//!
+//! The offline build has no `serde`, and the golden-trace harness needs
+//! byte-stable output anyway, so events and metrics serialize themselves
+//! through these few helpers. Numbers use Rust's shortest-round-trip
+//! `Display` for `f64`, which is a pure function of the bit pattern —
+//! identical bits in, identical text out, on every platform.
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` to `out`. Finite values use the shortest
+/// round-trippable decimal form; non-finite values (which JSON cannot
+/// express as numbers) become the strings `"inf"`, `"-inf"` and `"nan"`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// Appends a `key:` prefix (quoted key, colon) to `out`.
+pub fn push_key(out: &mut String, key: &str) {
+    push_str(out, key);
+    out.push(':');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn str_of(s: &str) -> String {
+        let mut out = String::new();
+        push_str(&mut out, s);
+        out
+    }
+
+    fn f64_of(v: f64) -> String {
+        let mut out = String::new();
+        push_f64(&mut out, v);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(str_of("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(str_of("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        assert_eq!(f64_of(1.5), "1.5");
+        assert_eq!(f64_of(0.1 + 0.2), format!("{}", 0.1f64 + 0.2f64));
+        assert_eq!(f64_of(f64::INFINITY), "\"inf\"");
+        assert_eq!(f64_of(f64::NEG_INFINITY), "\"-inf\"");
+        assert_eq!(f64_of(f64::NAN), "\"nan\"");
+    }
+
+    #[test]
+    fn shortest_form_is_bit_stable() {
+        // Two f64s with the same bits always print the same text.
+        let a = 1.0f64 / 3.0;
+        let b = f64::from_bits(a.to_bits());
+        assert_eq!(f64_of(a), f64_of(b));
+    }
+}

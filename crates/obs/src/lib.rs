@@ -1,0 +1,37 @@
+//! Structured observability for the Prospector pipeline.
+//!
+//! The paper's whole argument is an accounting argument: Prospector wins
+//! because every message, byte and retransmission is charged against a
+//! fixed energy budget. This crate records *why* a plan spent what it
+//! spent, at event granularity, without perturbing the system it watches:
+//!
+//! * [`TraceEvent`] — the event taxonomy: plan provenance (which planner,
+//!   which fallback link, LP statistics), per-edge delivery during ARQ
+//!   collection, repair actions, backfill substitutions, and one event
+//!   mirroring every `EnergyMeter::charge` call;
+//! * [`Tracer`] — the sink abstraction, with [`NullTracer`] (disabled,
+//!   zero-cost), [`RingTracer`] (bounded in-memory buffer) and
+//!   [`JsonlTracer`] (streaming JSON-lines sink);
+//! * [`MetricsRegistry`] — counters / gauges / histograms snapshotted into
+//!   per-epoch reports and dumped by the bench CLI as `BENCH_obs.json`.
+//!
+//! **Determinism contract.** Everything an event carries is a pure
+//! function of the (seeded) simulation state: no timestamps, no pointers,
+//! no map-iteration order. With a fixed seed the serialized JSONL trace is
+//! byte-identical across runs and across `PROSPECTOR_THREADS` settings —
+//! which is what makes golden-trace snapshot testing possible
+//! (`tests/golden_trace.rs`). Wall-clock measurements (plan latency, LP
+//! solve time) live only in the [`MetricsRegistry`], never in the trace.
+//!
+//! This crate is std-only and sits below `prospector-net`/`-core`/`-sim`
+//! in the dependency graph, so events name nodes by raw index (`u32`) and
+//! phases by their stable [`str`] name.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{PlanAttemptInfo, TraceEvent};
+pub use metrics::{gini, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use tracer::{JsonlTracer, NullTracer, RingTracer, Tracer};

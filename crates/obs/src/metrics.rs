@@ -1,0 +1,253 @@
+//! Aggregate metrics: counters, gauges, histograms.
+//!
+//! Where the trace answers "what happened, in order", the registry
+//! answers "how much, in total". Keys are `&'static str` and stored in
+//! `BTreeMap`s so a snapshot serializes in a stable order. Unlike trace
+//! events, metrics MAY carry wall-clock measurements (plan latency, LP
+//! solve time) — snapshots are for humans and dashboards, never byte-
+//! diffed by the golden-trace harness.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+
+/// Running summary of an observed distribution (no buckets — min/max/
+/// mean are what the bench reports need, and they merge trivially).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Mean of the observed values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&mut self, name: &'static str, v: f64) {
+        self.histograms.entry(name).or_insert_with(Histogram::new).observe(v);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Copies the current state into an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: self.histograms.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    /// Clears all metrics.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+/// An immutable copy of a [`MetricsRegistry`], suitable for embedding in
+/// epoch reports and serializing to `BENCH_obs.json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as one JSON object. Keys appear in sorted
+    /// (BTreeMap) order, so identical snapshots serialize identically.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(256);
+        o.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            json::push_key(&mut o, k);
+            o.push_str(&format!("{v}"));
+        }
+        o.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            json::push_key(&mut o, k);
+            json::push_f64(&mut o, *v);
+        }
+        o.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            json::push_key(&mut o, k);
+            o.push_str("{\"count\":");
+            o.push_str(&format!("{}", h.count));
+            o.push_str(",\"sum\":");
+            json::push_f64(&mut o, h.sum);
+            o.push_str(",\"min\":");
+            json::push_f64(&mut o, h.min);
+            o.push_str(",\"max\":");
+            json::push_f64(&mut o, h.max);
+            o.push_str(",\"mean\":");
+            json::push_f64(&mut o, h.mean());
+            o.push('}');
+        }
+        o.push_str("}}");
+        o
+    }
+}
+
+/// Gini coefficient of a non-negative sample (0 = perfectly even,
+/// → 1 = one node carries everything). Used to quantify per-node energy
+/// skew: Buragohain et al. argue skew, not totals, determines sensor-
+/// network lifetime.
+pub fn gini(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let total: f64 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // G = (2 * Σ i*x_i) / (n * Σ x_i) - (n + 1) / n, with 1-based ranks
+    // over the ascending sort.
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, x)| (i + 1) as f64 * x).sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.count("messages", 3);
+        m.count("messages", 4);
+        assert_eq!(m.counter("messages"), 7);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.gauge("delivered_fraction", 0.5);
+        m.gauge("delivered_fraction", 0.75);
+        assert_eq!(m.gauge_value("delivered_fraction"), Some(0.75));
+    }
+
+    #[test]
+    fn histograms_track_bounds_and_mean() {
+        let mut m = MetricsRegistry::new();
+        m.observe("latency_ms", 2.0);
+        m.observe("latency_ms", 6.0);
+        let h = m.histogram("latency_ms").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_in_sorted_order() {
+        let mut m = MetricsRegistry::new();
+        m.count("b", 1);
+        m.count("a", 2);
+        m.gauge("g", 1.5);
+        m.observe("h", 3.0);
+        let s = m.snapshot();
+        let j = s.to_json();
+        assert!(j.find("\"a\":2").unwrap() < j.find("\"b\":1").unwrap());
+        assert!(j.contains("\"g\":1.5"));
+        assert!(j.contains("\"mean\":3"));
+        // Identical registries serialize identically.
+        assert_eq!(j, m.snapshot().to_json());
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+        // One node carries everything: G = (n-1)/n.
+        let g = gini(&[0.0, 0.0, 0.0, 10.0]);
+        assert!((g - 0.75).abs() < 1e-12, "{g}");
+        // Skewed is more unequal than even.
+        assert!(gini(&[1.0, 2.0, 3.0, 10.0]) > gini(&[3.0, 4.0, 4.0, 5.0]));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = MetricsRegistry::new();
+        m.count("c", 1);
+        m.gauge("g", 1.0);
+        m.observe("h", 1.0);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

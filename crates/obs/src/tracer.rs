@@ -1,0 +1,205 @@
+//! Trace sinks.
+//!
+//! Instrumented code paths take `&mut dyn Tracer` and guard event
+//! construction behind [`Tracer::enabled`], so a [`NullTracer`] costs one
+//! predictable branch per potential event and no allocation — the fig3
+//! fast path stays fast. [`RingTracer`] keeps the last `cap` events in
+//! memory for post-hoc inspection (figures, the `trace` CLI);
+//! [`JsonlTracer`] streams each event as one JSON line to any
+//! [`std::io::Write`] sink.
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use crate::event::TraceEvent;
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Implementations must not reorder or drop events silently other than as
+/// documented ([`RingTracer`] drops the *oldest* and counts them), because
+/// golden-trace tests byte-diff the serialized stream.
+pub trait Tracer {
+    /// Whether events should be constructed at all. Call sites use this
+    /// to skip building events (and their `String` payloads) when tracing
+    /// is off. Defaults to `true`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The disabled tracer: reports `enabled() == false` and discards
+/// everything. Instrumented paths run with effectively zero overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded in-memory tracer. When full, the oldest event is dropped and
+/// counted in [`RingTracer::dropped`].
+#[derive(Debug)]
+pub struct RingTracer {
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingTracer {
+    /// Creates a tracer holding at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingTracer { cap: cap.max(1), events: VecDeque::new(), dropped: 0 }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the buffer into a `Vec`, oldest first.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl Tracer for RingTracer {
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// Streams each event as one JSON line into a [`Write`] sink.
+///
+/// Writes are line-buffered by the caller's sink choice; wrap the sink in
+/// a `BufWriter` for file output. I/O errors are counted (the simulation
+/// must not panic mid-epoch over a full disk) and can be checked after the
+/// run via [`JsonlTracer::io_errors`].
+#[derive(Debug)]
+pub struct JsonlTracer<W: Write> {
+    sink: W,
+    written: u64,
+    io_errors: u64,
+}
+
+impl<W: Write> JsonlTracer<W> {
+    /// Wraps `sink`.
+    pub fn new(sink: W) -> Self {
+        JsonlTracer { sink, written: 0, io_errors: 0 }
+    }
+
+    /// Number of events written successfully.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Number of events lost to I/O errors.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.sink.flush();
+        self.sink
+    }
+}
+
+impl<W: Write> Tracer for JsonlTracer<W> {
+    fn record(&mut self, event: TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        if self.sink.write_all(line.as_bytes()).is_ok() {
+            self.written += 1;
+        } else {
+            self.io_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        let mut t = NullTracer;
+        assert!(!t.enabled());
+        t.record(TraceEvent::EpochStart { epoch: 0 });
+    }
+
+    #[test]
+    fn ring_tracer_keeps_newest() {
+        let mut t = RingTracer::new(2);
+        assert!(t.enabled());
+        for epoch in 0..5 {
+            t.record(TraceEvent::EpochStart { epoch });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let evs = t.take();
+        assert_eq!(
+            evs,
+            vec![TraceEvent::EpochStart { epoch: 3 }, TraceEvent::EpochStart { epoch: 4 }]
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn jsonl_tracer_writes_lines() {
+        let mut t = JsonlTracer::new(Vec::new());
+        t.record(TraceEvent::EpochStart { epoch: 7 });
+        t.record(TraceEvent::NodeDeath { node: 2 });
+        assert_eq!(t.written(), 2);
+        assert_eq!(t.io_errors(), 0);
+        let bytes = t.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            "{\"ev\":\"epoch_start\",\"epoch\":7}\n{\"ev\":\"node_death\",\"node\":2}\n"
+        );
+    }
+
+    struct FailingSink;
+    impl Write for FailingSink {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_tracer_counts_io_errors() {
+        let mut t = JsonlTracer::new(FailingSink);
+        t.record(TraceEvent::EpochStart { epoch: 0 });
+        assert_eq!(t.written(), 0);
+        assert_eq!(t.io_errors(), 1);
+    }
+}

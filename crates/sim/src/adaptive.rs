@@ -14,11 +14,13 @@
 //! when accuracy is below the floor, lengthen it when comfortably above.
 
 use crate::exact_exec::run_exact;
-use crate::exec::execute_plan;
+use crate::exec::{execute_plan, execute_plan_traced};
 use crate::runner::{charge_repair, mask_dead_edges, mask_dead_values};
+use crate::trace::charge;
 use prospector_core::{exact::ExactConfig, Plan, PlanContext, PlanError, Planner};
 use prospector_data::{SampleSet, ValueSource};
 use prospector_net::{EnergyMeter, EnergyModel, FaultSchedule, NodeId, Phase, Topology};
+use prospector_obs::{NullTracer, TraceEvent, Tracer};
 
 /// Configuration of the adaptive loop.
 pub struct AdaptiveConfig {
@@ -88,6 +90,17 @@ pub enum AdaptiveAction {
     Query,
 }
 
+impl AdaptiveAction {
+    /// Stable lowercase tag used in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdaptiveAction::Sample => "sample",
+            AdaptiveAction::Audit => "audit",
+            AdaptiveAction::Query => "query",
+        }
+    }
+}
+
 /// Runs the adaptive loop for `epochs` epochs.
 pub fn run_adaptive<S: ValueSource>(
     topology: &Topology,
@@ -96,6 +109,22 @@ pub fn run_adaptive<S: ValueSource>(
     source: &mut S,
     config: &AdaptiveConfig,
     epochs: u64,
+) -> Result<(Vec<AdaptiveEpoch>, EnergyMeter), PlanError> {
+    run_adaptive_traced(topology, energy, planner, source, config, epochs, &mut NullTracer)
+}
+
+/// [`run_adaptive`] with tracing: fault handling emits
+/// `NodeDeath`/`TreeRepaired` events, energy charges that land in the
+/// returned meter are mirrored as `Energy` events in charge order, and
+/// every epoch closes with one `AdaptiveEpoch` summary event.
+pub fn run_adaptive_traced<S: ValueSource>(
+    topology: &Topology,
+    energy: &EnergyModel,
+    planner: &dyn Planner,
+    source: &mut S,
+    config: &AdaptiveConfig,
+    epochs: u64,
+    tracer: &mut dyn Tracer,
 ) -> Result<(Vec<AdaptiveEpoch>, EnergyMeter), PlanError> {
     let n = topology.len();
     let mut topology = topology.clone();
@@ -122,12 +151,18 @@ pub fn run_adaptive<S: ValueSource>(
                 if d != topology.root() {
                     alive[d.index()] = false;
                 }
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::NodeDeath { node: d.0 });
+                }
             }
             let mut repair_meter = EnergyMeter::new(n);
-            charge_repair(&topology, &alive, &deaths, energy, &mut repair_meter);
+            charge_repair(&topology, &alive, &deaths, energy, &mut repair_meter, tracer);
             repair_mj = repair_meter.total();
             meter.merge(&repair_meter);
             topology = topology.repair(&deaths)?;
+            if tracer.enabled() {
+                tracer.record(TraceEvent::TreeRepaired { deaths: deaths.len() as u32 });
+            }
             samples.mask_nodes(&deaths);
             plan = None;
         }
@@ -141,17 +176,19 @@ pub fn run_adaptive<S: ValueSource>(
             let mut sweep = Plan::full_sweep(&topology);
             mask_dead_edges(&mut sweep, &topology, &alive);
             let r = execute_plan(&sweep, &topology, energy, &values, config.k, None);
-            charge_as(&mut meter, &r.meter, &topology, Phase::Sampling);
+            charge_as(&mut meter, &r.meter, &topology, Phase::Sampling, tracer);
             samples.push(values);
             since_sample = 0;
             plan = None; // stale: replan on next query epoch
-            reports.push(AdaptiveEpoch {
+            let report = AdaptiveEpoch {
                 epoch,
                 period,
                 kind: AdaptiveAction::Sample,
                 accuracy: 1.0,
                 energy_mj: r.total_mj() + repair_mj,
-            });
+            };
+            record_adaptive(tracer, &report);
+            reports.push(report);
             continue;
         }
         since_sample += 1;
@@ -161,7 +198,7 @@ pub fn run_adaptive<S: ValueSource>(
             let ctx = PlanContext::new(&topology, energy, &samples, config.budget_mj);
             let mut p = planner.plan(&ctx)?;
             mask_dead_edges(&mut p, &topology, &alive);
-            meter.merge(&crate::dissemination::install_plan(&p, &topology, energy));
+            meter.merge(&crate::dissemination::install_plan_traced(&p, &topology, energy, tracer));
             plan = Some(p);
         }
         let current = plan.as_ref().expect("planned above");
@@ -180,8 +217,8 @@ pub fn run_adaptive<S: ValueSource>(
             let ctx = PlanContext::new(&topology, energy, &samples, cfg.phase1_budget_mj);
             let phase1 = cfg.plan_phase1(&ctx)?;
             let exact = run_exact(&phase1, &topology, energy, &values, config.k, None);
-            charge_as(&mut meter, &exact.meter, &topology, Phase::Sampling);
-            charge_as(&mut meter, &approx.meter, &topology, Phase::Collection);
+            charge_as(&mut meter, &exact.meter, &topology, Phase::Sampling, tracer);
+            charge_as(&mut meter, &approx.meter, &topology, Phase::Collection, tracer);
 
             // Adapt the sampling rate.
             period = if measured < config.accuracy_floor {
@@ -192,39 +229,63 @@ pub fn run_adaptive<S: ValueSource>(
             // The exact answer also makes a (partial) sample: a full value
             // vector is only known for sweep epochs, so audits only reset
             // staleness pressure rather than pushing to the window.
-            reports.push(AdaptiveEpoch {
+            let report = AdaptiveEpoch {
                 epoch,
                 period,
                 kind: AdaptiveAction::Audit,
                 accuracy: measured,
                 energy_mj: exact.total_mj() + approx.total_mj() + repair_mj,
-            });
+            };
+            record_adaptive(tracer, &report);
+            reports.push(report);
             continue;
         }
 
         // Ordinary approximate query.
-        let r = execute_plan(current, &topology, energy, &values, config.k, None);
+        let r = execute_plan_traced(current, &topology, energy, &values, config.k, None, tracer);
         meter.merge(&r.meter);
         let hits = r.answer.iter().filter(|x| truth.contains(&x.node)).count();
-        reports.push(AdaptiveEpoch {
+        let report = AdaptiveEpoch {
             epoch,
             period,
             kind: AdaptiveAction::Query,
             accuracy: hits as f64 / config.k as f64,
             energy_mj: r.total_mj() + repair_mj,
-        });
+        };
+        record_adaptive(tracer, &report);
+        reports.push(report);
     }
 
     Ok((reports, meter))
 }
 
-/// Re-attributes all of `src`'s charges under one phase.
-fn charge_as(dst: &mut EnergyMeter, src: &EnergyMeter, topology: &Topology, phase: Phase) {
+/// Emits the per-epoch summary event for the adaptive loop.
+fn record_adaptive(tracer: &mut dyn Tracer, r: &AdaptiveEpoch) {
+    if tracer.enabled() {
+        tracer.record(TraceEvent::AdaptiveEpoch {
+            epoch: r.epoch,
+            action: r.kind.name(),
+            period: r.period,
+            accuracy: r.accuracy,
+            energy_mj: r.energy_mj,
+        });
+    }
+}
+
+/// Re-attributes all of `src`'s charges under one phase, mirroring each
+/// re-attributed charge as an `Energy` event.
+fn charge_as(
+    dst: &mut EnergyMeter,
+    src: &EnergyMeter,
+    topology: &Topology,
+    phase: Phase,
+    tracer: &mut dyn Tracer,
+) {
     for i in 0..topology.len() {
         let node = NodeId::from_index(i);
         let mj = src.node_total(node);
         if mj > 0.0 {
-            dst.charge(node, phase, mj);
+            charge(dst, tracer, node, phase, mj);
         }
     }
 }

@@ -5,17 +5,30 @@
 //! paper notes this cost is on the order of one collection phase but is
 //! amortized over many executions of the same plan.
 
+use crate::trace::charge;
 use prospector_core::Plan;
 use prospector_net::{EnergyMeter, EnergyModel, FailureModel, NodeId, Phase, Topology};
+use prospector_obs::{NullTracer, Tracer};
 use rand::rngs::StdRng;
 
 /// Charges the plan-installation unicasts (one per used edge) and returns
 /// the meter.
 pub fn install_plan(plan: &Plan, topology: &Topology, energy: &EnergyModel) -> EnergyMeter {
+    install_plan_traced(plan, topology, energy, &mut NullTracer)
+}
+
+/// [`install_plan`] with tracing: each installation charge is mirrored as
+/// an `Energy` event, in charge order.
+pub fn install_plan_traced(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    tracer: &mut dyn Tracer,
+) -> EnergyMeter {
     let mut meter = EnergyMeter::new(topology.len());
     for e in topology.edges() {
         if plan.is_used(e) {
-            meter.charge(e, Phase::PlanInstall, energy.subplan_install());
+            charge(&mut meter, tracer, e, Phase::PlanInstall, energy.subplan_install());
         }
     }
     meter
@@ -55,6 +68,20 @@ pub fn install_plan_lossy(
     rng: &mut StdRng,
     max_retries: u32,
 ) -> (EnergyMeter, DisseminationReport) {
+    install_plan_lossy_traced(plan, topology, energy, failures, rng, max_retries, &mut NullTracer)
+}
+
+/// [`install_plan_lossy`] with tracing: each attempt and ack charge is
+/// mirrored as an `Energy` event, in charge order.
+pub fn install_plan_lossy_traced(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    failures: &FailureModel,
+    rng: &mut StdRng,
+    max_retries: u32,
+    tracer: &mut dyn Tracer,
+) -> (EnergyMeter, DisseminationReport) {
     let mut meter = EnergyMeter::new(topology.len());
     let mut report =
         DisseminationReport { attempts: 0, delivered: Vec::new(), undelivered: Vec::new() };
@@ -65,7 +92,7 @@ pub fn install_plan_lossy(
         let mut delivered = false;
         for _attempt in 0..=max_retries {
             report.attempts += 1;
-            meter.charge(e, Phase::PlanInstall, energy.subplan_install());
+            charge(&mut meter, tracer, e, Phase::PlanInstall, energy.subplan_install());
             if !failures.sample_failure(e, rng) {
                 delivered = true;
                 break;
@@ -73,7 +100,7 @@ pub fn install_plan_lossy(
         }
         if delivered {
             // The child confirms its new subplan with a header-only ack.
-            meter.charge(e, Phase::PlanInstall, energy.per_message_mj);
+            charge(&mut meter, tracer, e, Phase::PlanInstall, energy.per_message_mj);
             report.delivered.push(e);
         } else {
             report.undelivered.push(e);

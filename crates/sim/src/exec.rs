@@ -1,8 +1,10 @@
 //! Energy-metered plan execution.
 
+use crate::trace::charge;
 use prospector_core::{run_plan, run_plan_lossy, run_proof_plan, Plan};
 use prospector_data::Reading;
 use prospector_net::{ArqPolicy, EnergyMeter, EnergyModel, FailureModel, NodeId, Phase, Topology};
+use prospector_obs::{NullTracer, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 
 /// One executed collection phase: the answer plus its energy bill.
@@ -39,13 +41,19 @@ impl ExecutionReport {
 
 /// Charges the subsequent-distribution trigger: a header-only broadcast at
 /// every participating node that has at least one participating child.
-fn charge_trigger(plan: &Plan, topology: &Topology, energy: &EnergyModel, meter: &mut EnergyMeter) {
+fn charge_trigger(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    meter: &mut EnergyMeter,
+    tracer: &mut dyn Tracer,
+) {
     for u in (0..topology.len()).map(NodeId::from_index) {
         if !plan.visits(topology, u) {
             continue;
         }
         if topology.children(u).iter().any(|&c| plan.is_used(c)) {
-            meter.charge(u, Phase::Trigger, energy.broadcast());
+            charge(meter, tracer, u, Phase::Trigger, energy.broadcast());
         }
     }
 }
@@ -58,16 +66,23 @@ fn charge_collection(
     topology: &Topology,
     energy: &EnergyModel,
     meter: &mut EnergyMeter,
+    tracer: &mut dyn Tracer,
     mut failures: Option<(&FailureModel, &mut StdRng)>,
 ) {
     for e in topology.edges() {
         if !plan.is_used(e) {
             continue;
         }
-        meter.charge(e, Phase::Collection, energy.unicast_values(sent[e.index()] as usize));
+        charge(
+            meter,
+            tracer,
+            e,
+            Phase::Collection,
+            energy.unicast_values(sent[e.index()] as usize),
+        );
         if let Some((fm, rng)) = failures.as_mut() {
             if fm.sample_failure(e, rng) {
-                meter.charge(e, Phase::Rerouting, fm.reroute_penalty());
+                charge(meter, tracer, e, Phase::Rerouting, fm.reroute_penalty());
             }
         }
     }
@@ -83,10 +98,24 @@ pub fn execute_plan(
     k: usize,
     failures: Option<(&FailureModel, &mut StdRng)>,
 ) -> ExecutionReport {
+    execute_plan_traced(plan, topology, energy, values, k, failures, &mut NullTracer)
+}
+
+/// [`execute_plan`] with tracing: every energy charge is mirrored as an
+/// `Energy` event, in charge order.
+pub fn execute_plan_traced(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    values: &[f64],
+    k: usize,
+    failures: Option<(&FailureModel, &mut StdRng)>,
+    tracer: &mut dyn Tracer,
+) -> ExecutionReport {
     let mut meter = EnergyMeter::new(topology.len());
-    charge_trigger(plan, topology, energy, &mut meter);
+    charge_trigger(plan, topology, energy, &mut meter, tracer);
     let out = run_plan(plan, topology, values, k);
-    charge_collection(&out.sent, plan, topology, energy, &mut meter, failures);
+    charge_collection(&out.sent, plan, topology, energy, &mut meter, tracer, failures);
     ExecutionReport {
         answer: out.answer,
         proven: 0,
@@ -128,8 +157,37 @@ pub fn execute_plan_arq(
     policy: &ArqPolicy,
     seed: u64,
 ) -> ExecutionReport {
+    execute_plan_arq_traced(
+        plan,
+        topology,
+        energy,
+        values,
+        k,
+        failures,
+        policy,
+        seed,
+        &mut NullTracer,
+    )
+}
+
+/// [`execute_plan_arq`] with tracing: every energy charge is mirrored as
+/// an `Energy` event in charge order, and each used edge additionally
+/// emits one `LinkDelivery` event (after its charges) recording the
+/// batch size, attempt count, delivery outcome, ack and backoff.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_arq_traced(
+    plan: &Plan,
+    topology: &Topology,
+    energy: &EnergyModel,
+    values: &[f64],
+    k: usize,
+    failures: &FailureModel,
+    policy: &ArqPolicy,
+    seed: u64,
+    tracer: &mut dyn Tracer,
+) -> ExecutionReport {
     let mut meter = EnergyMeter::new(topology.len());
-    charge_trigger(plan, topology, energy, &mut meter);
+    charge_trigger(plan, topology, energy, &mut meter, tracer);
     let out = run_plan_lossy(plan, topology, values, k, failures, policy, seed);
     let mut retransmissions = 0u32;
     for e in topology.edges() {
@@ -137,14 +195,31 @@ pub fn execute_plan_arq(
             continue;
         }
         let msg = energy.unicast_values(out.sent[e.index()] as usize);
-        meter.charge(e, Phase::Collection, msg);
+        charge(&mut meter, tracer, e, Phase::Collection, msg);
         let link = out.links[e.index()].expect("used edge has a delivery record");
+        let acked = link.attempts > 1 && link.delivered;
         if link.attempts > 1 {
             retransmissions += link.retries();
-            meter.charge(e, Phase::Retransmit, link.retries() as f64 * msg + link.backoff_mj);
+            charge(
+                &mut meter,
+                tracer,
+                e,
+                Phase::Retransmit,
+                link.retries() as f64 * msg + link.backoff_mj,
+            );
             if link.delivered {
-                meter.charge(e, Phase::Retransmit, energy.per_message_mj);
+                charge(&mut meter, tracer, e, Phase::Retransmit, energy.per_message_mj);
             }
+        }
+        if tracer.enabled() {
+            tracer.record(TraceEvent::LinkDelivery {
+                child: e.0,
+                sent_values: out.sent[e.index()],
+                attempts: link.attempts,
+                delivered: link.delivered,
+                acked,
+                backoff_mj: link.backoff_mj,
+            });
         }
     }
     ExecutionReport {
@@ -170,9 +245,9 @@ pub fn execute_proof_plan(
     failures: Option<(&FailureModel, &mut StdRng)>,
 ) -> (ExecutionReport, prospector_core::ProofOutcome) {
     let mut meter = EnergyMeter::new(topology.len());
-    charge_trigger(plan, topology, energy, &mut meter);
+    charge_trigger(plan, topology, energy, &mut meter, &mut NullTracer);
     let out = run_proof_plan(plan, topology, values, k);
-    charge_collection(&out.sent, plan, topology, energy, &mut meter, failures);
+    charge_collection(&out.sent, plan, topology, energy, &mut meter, &mut NullTracer, failures);
     for e in topology.edges() {
         if !topology.is_leaf(e)
             && plan.is_used(e)

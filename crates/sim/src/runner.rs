@@ -18,17 +18,20 @@
 //! unicasts retry a bounded number of times and nodes that never receive
 //! their new subplan keep executing the previous one.
 
-use crate::backfill::{backfill_answer, AnswerEntry};
-use crate::dissemination::{install_plan, install_plan_lossy};
-use crate::exec::{execute_plan, execute_plan_arq};
+use crate::backfill::{backfill_answer_traced, AnswerEntry};
+use crate::dissemination::{install_plan_lossy_traced, install_plan_traced};
+use crate::exec::{execute_plan, execute_plan_arq_traced, execute_plan_traced};
+use crate::trace::charge;
 use prospector_core::{evaluate, Plan, PlanContext, PlanError, Planner};
 use prospector_data::{top_k_nodes, SamplePolicy, SampleSet, ValueSource};
 use prospector_net::{
     epoch_seed, ArqPolicy, EnergyMeter, EnergyModel, FailureModel, FaultSchedule, NodeId, Phase,
     Topology,
 };
+use prospector_obs::{gini, MetricsRegistry, MetricsSnapshot, NullTracer, TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Configuration of a multi-epoch experiment.
 pub struct ExperimentConfig {
@@ -105,6 +108,11 @@ pub struct EpochReport {
     /// Subplan unicasts that exhausted dissemination retries this epoch
     /// (0 when no plan was installed).
     pub install_undelivered: usize,
+    /// Cumulative metrics snapshot at the end of this epoch; present only
+    /// after [`ExperimentRunner::enable_metrics`]. Snapshots may carry
+    /// wall-clock measurements (plan latency) and are never part of the
+    /// deterministic trace.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Drives a planner over a value source for many epochs.
@@ -129,6 +137,9 @@ pub struct ExperimentRunner<'a> {
     alive: Vec<bool>,
     meter: EnergyMeter,
     rng: StdRng,
+    /// Aggregate metrics; populated only after
+    /// [`ExperimentRunner::enable_metrics`].
+    metrics: Option<MetricsRegistry>,
 }
 
 impl<'a> ExperimentRunner<'a> {
@@ -155,8 +166,21 @@ impl<'a> ExperimentRunner<'a> {
             alive: vec![true; topology.len()],
             meter: EnergyMeter::new(topology.len()),
             rng,
+            metrics: None,
             config,
         }
+    }
+
+    /// Turns on aggregate metrics: every subsequent epoch updates the
+    /// registry and embeds a cumulative [`MetricsSnapshot`] in its report.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(MetricsRegistry::new());
+    }
+
+    /// The metrics registry, if [`ExperimentRunner::enable_metrics`] was
+    /// called.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
     }
 
     /// Collection ARQ policy currently in force (reflects escalations).
@@ -207,6 +231,7 @@ impl<'a> ExperimentRunner<'a> {
         &mut self,
         epoch: u64,
         epoch_meter: &mut EnergyMeter,
+        tracer: &mut dyn Tracer,
     ) -> Result<Vec<NodeId>, PlanError> {
         let deaths: Vec<NodeId> = self
             .config
@@ -220,9 +245,15 @@ impl<'a> ExperimentRunner<'a> {
                 if d != self.topology.root() {
                     self.alive[d.index()] = false;
                 }
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::NodeDeath { node: d.0 });
+                }
             }
-            charge_repair(&self.topology, &self.alive, &deaths, self.energy, epoch_meter);
+            charge_repair(&self.topology, &self.alive, &deaths, self.energy, epoch_meter, tracer);
             self.topology = self.topology.repair(&deaths)?;
+            if tracer.enabled() {
+                tracer.record(TraceEvent::TreeRepaired { deaths: deaths.len() as u32 });
+            }
             self.samples.mask_nodes(&deaths);
             // The old plan routes through the dead node; discard it and
             // re-plan on the repaired tree immediately.
@@ -234,6 +265,9 @@ impl<'a> ExperimentRunner<'a> {
             if let Some(f) = self.failures.as_mut() {
                 if child.index() < f.len() {
                     f.degrade(child, added).expect("fault schedule validates probabilities");
+                    if tracer.enabled() {
+                        tracer.record(TraceEvent::LinkDegraded { child: child.0, added });
+                    }
                 }
             }
         }
@@ -246,11 +280,28 @@ impl<'a> ExperimentRunner<'a> {
         source: &mut S,
         epoch: u64,
     ) -> Result<EpochReport, PlanError> {
+        self.step_traced(source, epoch, &mut NullTracer)
+    }
+
+    /// [`ExperimentRunner::step`] with tracing: the epoch's event stream
+    /// is recorded between `EpochStart` and `EpochEnd` brackets. Every
+    /// field of every event is a pure function of seeded state, so with a
+    /// fixed seed the stream is byte-identical across runs and thread
+    /// counts once serialized.
+    pub fn step_traced<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        epoch: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<EpochReport, PlanError> {
+        if tracer.enabled() {
+            tracer.record(TraceEvent::EpochStart { epoch });
+        }
         let mut values = source.values(epoch);
         let k = self.config.k;
         let mut epoch_meter = EnergyMeter::new(self.topology.len());
 
-        let deaths = self.apply_faults(epoch, &mut epoch_meter)?;
+        let deaths = self.apply_faults(epoch, &mut epoch_meter, tracer)?;
         let repaired = !deaths.is_empty();
         mask_dead_values(&mut values, &self.alive);
 
@@ -259,17 +310,19 @@ impl<'a> ExperimentRunner<'a> {
             let mut sweep = Plan::full_sweep(&self.topology);
             mask_dead_edges(&mut sweep, &self.topology, &self.alive);
             let report = execute_plan(&sweep, &self.topology, self.energy, &values, k, None);
-            // Re-attribute the sweep to the sampling phase.
+            // Re-attribute the sweep to the sampling phase. Events mirror
+            // the epoch meter's charges (the re-attributed ones), not the
+            // throwaway per-execution meter.
             for i in 0..self.topology.len() {
                 let node = NodeId::from_index(i);
                 let mj = report.meter.node_total(node);
                 if mj > 0.0 {
-                    epoch_meter.charge(node, Phase::Sampling, mj);
+                    charge(&mut epoch_meter, tracer, node, Phase::Sampling, mj);
                 }
             }
             self.meter.merge(&epoch_meter);
             self.samples.push(values);
-            return Ok(EpochReport {
+            let report = EpochReport {
                 epoch,
                 sampled: true,
                 replanned: false,
@@ -284,7 +337,9 @@ impl<'a> ExperimentRunner<'a> {
                 backfilled: 0,
                 retry_budget: self.arq.max_retries,
                 install_undelivered: 0,
-            });
+                metrics: None,
+            };
+            return Ok(self.finish_epoch(report, tracer));
         }
 
         if self.samples.is_empty() {
@@ -302,8 +357,19 @@ impl<'a> ExperimentRunner<'a> {
                 && self.last_replan.is_none_or(|lr| epoch - lr >= self.config.replan_every));
         if due {
             self.last_replan = Some(epoch);
-            let ctx = self.plan_context();
-            let traced = self.planner.plan_traced(&ctx)?;
+            // Plan latency is wall-clock and lives only in the metrics
+            // registry, never in the trace.
+            let plan_start = self.metrics.is_some().then(Instant::now);
+            let traced = {
+                let ctx = self.plan_context();
+                self.planner.plan_traced(&ctx)?
+            };
+            if let (Some(m), Some(t0)) = (self.metrics.as_mut(), plan_start) {
+                m.observe("plan_latency_ms", t0.elapsed().as_secs_f64() * 1e3);
+                if let Some(lp) = &traced.lp {
+                    m.observe("lp_iterations", lp.iterations as f64);
+                }
+            }
             let mut candidate = traced.plan;
             // A planner that ignores samples (e.g. NAIVE-k as the last
             // fallback) may still route dead parked leaves; strip them.
@@ -316,19 +382,46 @@ impl<'a> ExperimentRunner<'a> {
                     cur - new >= self.config.replan_threshold
                 }
             };
+            if tracer.enabled() {
+                for a in &traced.attempts {
+                    tracer.record(TraceEvent::PlanAttempt {
+                        planner: a.planner,
+                        error: a.error.clone(),
+                    });
+                }
+                tracer.record(TraceEvent::PlanChosen {
+                    planner: traced.planner,
+                    fallback_depth: traced.fallback_depth as u32,
+                    lp_iterations: traced.lp.as_ref().map(|s| s.iterations as u64),
+                    lp_objective: traced.lp.as_ref().map(|s| s.objective),
+                    cost_mj: self.plan_context().plan_cost(&candidate),
+                    total_bandwidth: candidate.total_bandwidth(),
+                    installed: install,
+                });
+            }
             if install {
+                let used_edges =
+                    self.topology.edges().filter(|&e| candidate.is_used(e)).count() as u32;
                 match &self.failures {
                     Some(f) if !f.is_trivial() => {
-                        let (install_meter, delivery) = install_plan_lossy(
+                        let (install_meter, delivery) = install_plan_lossy_traced(
                             &candidate,
                             &self.topology,
                             self.energy,
                             f,
                             &mut self.rng,
                             self.config.install_retries,
+                            tracer,
                         );
                         epoch_meter.merge(&install_meter);
                         install_undelivered = delivery.undelivered.len();
+                        if tracer.enabled() {
+                            tracer.record(TraceEvent::PlanInstalled {
+                                edges: used_edges,
+                                undelivered: install_undelivered as u32,
+                                attempts: delivery.attempts,
+                            });
+                        }
                         if !delivery.undelivered.is_empty() {
                             // Nodes that never heard the new subplan keep
                             // executing their old one.
@@ -340,7 +433,18 @@ impl<'a> ExperimentRunner<'a> {
                             mask_dead_edges(&mut candidate, &self.topology, &self.alive);
                         }
                     }
-                    _ => epoch_meter.merge(&install_plan(&candidate, &self.topology, self.energy)),
+                    _ => {
+                        let install_meter =
+                            install_plan_traced(&candidate, &self.topology, self.energy, tracer);
+                        epoch_meter.merge(&install_meter);
+                        if tracer.enabled() {
+                            tracer.record(TraceEvent::PlanInstalled {
+                                edges: used_edges,
+                                undelivered: 0,
+                                attempts: used_edges,
+                            });
+                        }
+                    }
                 }
                 self.plan = Some(candidate);
                 self.plan_via = Some((traced.planner, traced.fallback_depth));
@@ -356,7 +460,7 @@ impl<'a> ExperimentRunner<'a> {
         // keep the exact reliable path (and its energy accounting,
         // byte-for-byte).
         let report = match &self.failures {
-            Some(f) if !f.is_trivial() => execute_plan_arq(
+            Some(f) if !f.is_trivial() => execute_plan_arq_traced(
                 plan,
                 &self.topology,
                 self.energy,
@@ -365,8 +469,9 @@ impl<'a> ExperimentRunner<'a> {
                 f,
                 &self.arq,
                 epoch_seed(self.config.seed, epoch),
+                tracer,
             ),
-            _ => execute_plan(plan, &self.topology, self.energy, &values, k, None),
+            _ => execute_plan_traced(plan, &self.topology, self.energy, &values, k, None, tracer),
         };
         epoch_meter.merge(&report.meter);
         self.meter.merge(&epoch_meter);
@@ -374,13 +479,14 @@ impl<'a> ExperimentRunner<'a> {
         // Graceful degradation at the root: estimate lost subtrees from
         // the sample window and answer over delivered + backfilled
         // entries.
-        let entries: Vec<AnswerEntry> = backfill_answer(
+        let entries: Vec<AnswerEntry> = backfill_answer_traced(
             &report.answer,
             &report.lost_edges,
             plan,
             &self.topology,
             &self.samples,
             k,
+            tracer,
         );
         let backfilled = entries.iter().filter(|e| e.estimated).count();
         let truth = top_k_nodes(&values, k);
@@ -394,13 +500,27 @@ impl<'a> ExperimentRunner<'a> {
         {
             if self.arq.max_retries < self.config.max_retry_budget {
                 self.arq.max_retries += 1;
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::RetryEscalated { max_retries: self.arq.max_retries });
+                }
+                if let Some(m) = self.metrics.as_mut() {
+                    m.count("retry_escalations", 1);
+                }
             } else {
                 self.plan = None;
                 self.last_replan = None;
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::ReplanForced {
+                        delivered_fraction: report.delivered_fraction,
+                    });
+                }
+                if let Some(m) = self.metrics.as_mut() {
+                    m.count("forced_replans", 1);
+                }
             }
         }
 
-        Ok(EpochReport {
+        let report = EpochReport {
             epoch,
             sampled: false,
             replanned,
@@ -415,7 +535,53 @@ impl<'a> ExperimentRunner<'a> {
             backfilled,
             retry_budget,
             install_undelivered,
-        })
+            metrics: None,
+        };
+        Ok(self.finish_epoch(report, tracer))
+    }
+
+    /// Epoch epilogue shared by both branches: folds the report into the
+    /// metrics registry (attaching a cumulative snapshot) and emits the
+    /// closing `EpochEnd` event.
+    fn finish_epoch(&mut self, mut report: EpochReport, tracer: &mut dyn Tracer) -> EpochReport {
+        if let Some(m) = self.metrics.as_mut() {
+            m.count("epochs", 1);
+            if report.sampled {
+                m.count("sample_sweeps", 1);
+            }
+            if report.replanned {
+                m.count("replans", 1);
+            }
+            if report.repaired {
+                m.count("repairs", 1);
+            }
+            m.count("deaths", report.deaths.len() as u64);
+            m.count("retransmissions", u64::from(report.retransmissions));
+            m.count("lost_edges", report.lost_edges as u64);
+            m.count("backfilled_entries", report.backfilled as u64);
+            m.count("install_undelivered", report.install_undelivered as u64);
+            m.gauge("delivered_fraction", report.delivered_fraction);
+            m.gauge("retry_budget", f64::from(self.arq.max_retries));
+            m.gauge("energy_total_mj", self.meter.total());
+            m.gauge("energy_gini", gini(self.meter.node_totals()));
+            m.observe("epoch_energy_mj", report.energy_mj);
+            m.observe("accuracy", report.accuracy);
+            report.metrics = Some(m.snapshot());
+        }
+        if tracer.enabled() {
+            tracer.record(TraceEvent::EpochEnd {
+                epoch: report.epoch,
+                sampled: report.sampled,
+                replanned: report.replanned,
+                accuracy: report.accuracy,
+                energy_mj: report.energy_mj,
+                lost_edges: report.lost_edges as u32,
+                retransmissions: report.retransmissions,
+                delivered_fraction: report.delivered_fraction,
+                backfilled: report.backfilled as u32,
+            });
+        }
+        report
     }
 
     fn fallback_used(&self) -> Option<&'static str> {
@@ -431,7 +597,18 @@ impl<'a> ExperimentRunner<'a> {
         source: &mut S,
         epochs: u64,
     ) -> Result<Vec<EpochReport>, PlanError> {
-        (0..epochs).map(|e| self.step(source, e)).collect()
+        self.run_traced(source, epochs, &mut NullTracer)
+    }
+
+    /// [`ExperimentRunner::run`] with tracing: epochs record their event
+    /// streams back to back into `tracer`.
+    pub fn run_traced<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        epochs: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Vec<EpochReport>, PlanError> {
+        (0..epochs).map(|e| self.step_traced(source, e, tracer)).collect()
     }
 }
 
@@ -446,6 +623,7 @@ pub(crate) fn charge_repair(
     deaths: &[NodeId],
     energy: &EnergyModel,
     meter: &mut EnergyMeter,
+    tracer: &mut dyn Tracer,
 ) {
     for &d in deaths {
         // Walk up to the first surviving ancestor; it noticed the silence
@@ -458,11 +636,11 @@ pub(crate) fn charge_repair(
             probe = topology.parent(p);
         }
         let prober = probe.unwrap_or(topology.root());
-        meter.charge(prober, Phase::Repair, energy.broadcast());
+        charge(meter, tracer, prober, Phase::Repair, energy.broadcast());
         // Each surviving child of the dead node re-attaches somewhere new.
         for &c in topology.children(d) {
             if alive[c.index()] {
-                meter.charge(c, Phase::Repair, energy.repair_handshake());
+                charge(meter, tracer, c, Phase::Repair, energy.repair_handshake());
             }
         }
     }

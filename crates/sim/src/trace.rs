@@ -1,0 +1,26 @@
+//! Charge mirroring for the traced execution paths.
+//!
+//! Every energy charge on a traced path goes through [`charge`], which
+//! applies the charge and — only when the tracer is enabled — records a
+//! matching [`TraceEvent::Energy`]. Because events are emitted in charge
+//! order, summing a merge-free execution's energy events reproduces its
+//! meter bit-for-bit (f64 addition order included); `tests/obs_properties.rs`
+//! pins this.
+
+use prospector_net::{EnergyMeter, NodeId, Phase};
+use prospector_obs::{TraceEvent, Tracer};
+
+/// Charges `mj` to `node` under `phase` and mirrors the charge as an
+/// [`TraceEvent::Energy`] when tracing is enabled.
+pub(crate) fn charge(
+    meter: &mut EnergyMeter,
+    tracer: &mut dyn Tracer,
+    node: NodeId,
+    phase: Phase,
+    mj: f64,
+) {
+    meter.charge(node, phase, mj);
+    if tracer.enabled() {
+        tracer.record(TraceEvent::Energy { node: node.0, phase: phase.name(), mj });
+    }
+}

@@ -1,0 +1,129 @@
+//! The canonical golden-trace scenarios.
+//!
+//! Each scenario is a fully seeded multi-epoch experiment whose event
+//! stream is a pure function of its configuration: `tests/golden_trace.rs`
+//! byte-diffs the serialized JSONL against files blessed under
+//! `tests/golden/`, and the `trace` CLI replays the same scenarios for
+//! inspection. Anything nondeterministic (wall clock, map order, pointer
+//! values) is banned from events by construction — see the
+//! `prospector-obs` crate docs.
+
+use crate::{lossy_config, recovery_config, FailingPlanner};
+use prospector_core::{FallbackPlanner, NaiveK, ProspectorGreedy};
+use prospector_data::IndependentGaussian;
+use prospector_net::{topology, EnergyModel, FaultSchedule, Topology};
+use prospector_obs::{event, MetricsSnapshot, RingTracer, TraceEvent};
+use prospector_sim::ExperimentRunner;
+
+/// Names of the canonical scenarios, in blessing order.
+pub const SCENARIOS: &[&str] = &["clean", "loss_arq", "death_repair"];
+
+/// Epochs every scenario runs for.
+pub const EPOCHS: u64 = 16;
+
+/// Ring capacity used for scenario runs: far above any scenario's event
+/// count, so nothing is ever evicted.
+const RING_CAP: usize = 1 << 16;
+
+fn tree() -> Topology {
+    topology::balanced(3, 2) // 13 nodes
+}
+
+/// Runs one named scenario with metrics enabled and returns its full
+/// event stream plus the final cumulative metrics snapshot.
+///
+/// Panics on an unknown name; `SCENARIOS` lists the valid ones. The
+/// trace is identical with or without metrics — the registry only
+/// aggregates, it never feeds events — which the golden byte-diff pins.
+pub fn golden_run(name: &str) -> (Vec<TraceEvent>, MetricsSnapshot) {
+    let t = tree();
+    let em = EnergyModel::mica2();
+    let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..4.0, 13);
+    let mut tracer = RingTracer::new(RING_CAP);
+    let snapshot = match name {
+        // Loss-free links, no faults: sampling, planning, installation
+        // and reliable collection only.
+        "clean" => {
+            let planner = FallbackPlanner::standard();
+            let cfg = recovery_config(FaultSchedule::new());
+            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+            runner.enable_metrics();
+            runner.run_traced(&mut source, EPOCHS, &mut tracer).expect("clean scenario runs");
+            runner.metrics().expect("metrics enabled").snapshot()
+        }
+        // 8% uniform loss with a 2-retry ARQ budget: lossy dissemination,
+        // retransmissions, occasional lost edges and backfill.
+        "loss_arq" => {
+            let planner = FallbackPlanner::standard();
+            let cfg = lossy_config(t.len(), 0.08, 2, FaultSchedule::new());
+            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+            runner.enable_metrics();
+            runner.run_traced(&mut source, EPOCHS, &mut tracer).expect("loss_arq scenario runs");
+            runner.metrics().expect("metrics enabled").snapshot()
+        }
+        // A failing primary planner (every replan walks the fallback
+        // chain) plus a mid-run node death: repair, forced replanning and
+        // plan-attempt errors all appear in the stream.
+        "death_repair" => {
+            let planner = FallbackPlanner::new(Box::new(FailingPlanner))
+                .or(Box::new(ProspectorGreedy))
+                .or(Box::new(NaiveK));
+            let victim = t.children(t.root())[0];
+            let cfg = recovery_config(FaultSchedule::new().with_death(8, victim));
+            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+            runner.enable_metrics();
+            runner
+                .run_traced(&mut source, EPOCHS, &mut tracer)
+                .expect("death_repair scenario runs");
+            runner.metrics().expect("metrics enabled").snapshot()
+        }
+        other => panic!("unknown golden scenario {other:?}; valid: {SCENARIOS:?}"),
+    };
+    assert_eq!(tracer.dropped(), 0, "ring capacity must cover the whole scenario");
+    (tracer.take(), snapshot)
+}
+
+/// The event stream of one named scenario (metrics snapshot discarded).
+pub fn golden_events(name: &str) -> Vec<TraceEvent> {
+    golden_run(name).0
+}
+
+/// The serialized JSONL for one named scenario (what the golden files
+/// store byte-for-byte).
+pub fn golden_trace(name: &str) -> String {
+    event::to_jsonl(&golden_events(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_produce_bracketed_epochs() {
+        for &name in SCENARIOS {
+            let events = golden_events(name);
+            let starts =
+                events.iter().filter(|e| matches!(e, TraceEvent::EpochStart { .. })).count();
+            let ends = events.iter().filter(|e| matches!(e, TraceEvent::EpochEnd { .. })).count();
+            assert_eq!(starts, EPOCHS as usize, "{name}");
+            assert_eq!(ends, EPOCHS as usize, "{name}");
+            assert!(matches!(events.first(), Some(TraceEvent::EpochStart { epoch: 0 })), "{name}");
+            assert!(matches!(events.last(), Some(TraceEvent::EpochEnd { .. })), "{name}");
+        }
+    }
+
+    #[test]
+    fn scenarios_are_reproducible_in_process() {
+        for &name in SCENARIOS {
+            assert_eq!(golden_trace(name), golden_trace(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn death_repair_walks_the_fallback_chain() {
+        let events = golden_events("death_repair");
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::NodeDeath { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::TreeRepaired { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::PlanAttempt { error: Some(_), .. })));
+    }
+}

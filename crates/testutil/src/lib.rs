@@ -1,0 +1,140 @@
+//! Shared seeded fixtures for the Prospector test suites.
+//!
+//! The integration suites (`tests/chaos.rs`, `tests/fault_recovery.rs`,
+//! `crates/sim/tests/`) used to each carry their own copy of the seeded
+//! topology / experiment-config builders; this crate is the single home
+//! for those, plus the golden-trace scenarios byte-diffed by
+//! `tests/golden_trace.rs`.
+
+pub mod golden;
+
+use prospector_core::{Plan, PlanContext, PlanError, Planner};
+use prospector_data::SamplePolicy;
+use prospector_net::{
+    ArqPolicy, Backoff, EnergyMeter, FailureModel, FaultSchedule, Network, NetworkBuilder, NodeId,
+    Phase,
+};
+use prospector_sim::ExperimentConfig;
+
+/// A seeded random network of `n` nodes. Density is held constant as `n`
+/// grows by scaling the field with `sqrt(n)` (the same construction the
+/// chaos and fault-recovery suites used inline).
+pub fn network(n: usize, seed: u64) -> Network {
+    let side = 40.0 * (n as f64).sqrt();
+    NetworkBuilder::new(n, side, side, 70.0).seed(seed).build().expect("seeded placement connects")
+}
+
+/// The fault-recovery suite's experiment configuration: loss-free links,
+/// periodic sampling, seeded at 9.
+pub fn recovery_config(faults: FaultSchedule) -> ExperimentConfig {
+    ExperimentConfig {
+        k: 4,
+        window: 10,
+        policy: SamplePolicy::Periodic { warmup: 6, period: 10 },
+        budget_mj: 25.0,
+        replan_every: 8,
+        replan_threshold: 0.1,
+        failures: None,
+        faults,
+        install_retries: 2,
+        arq: ArqPolicy::default(),
+        min_delivered: 0.0,
+        max_retry_budget: 8,
+        seed: 9,
+    }
+}
+
+/// The chaos suite's experiment configuration: `p` uniform loss on every
+/// link, a `max_retries` ARQ budget with mica2 backoff, escalation
+/// enabled, seeded at 87.
+pub fn lossy_config(n: usize, p: f64, max_retries: u32, faults: FaultSchedule) -> ExperimentConfig {
+    ExperimentConfig {
+        k: 3,
+        window: 10,
+        policy: SamplePolicy::Periodic { warmup: 5, period: 12 },
+        budget_mj: 30.0,
+        replan_every: 6,
+        replan_threshold: 0.1,
+        failures: Some(FailureModel::uniform(n, p, 0.0)),
+        faults,
+        install_retries: 2,
+        arq: ArqPolicy { max_retries, backoff: Backoff::mica2() },
+        min_delivered: 0.8,
+        max_retry_budget: max_retries + 3,
+        seed: 87,
+    }
+}
+
+/// True when two meters agree bit-for-bit on total, per-node and
+/// per-phase sums over `n` nodes.
+pub fn meters_bit_identical(a: &EnergyMeter, b: &EnergyMeter, n: usize) -> bool {
+    if a.total().to_bits() != b.total().to_bits() {
+        return false;
+    }
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        if a.node_total(node).to_bits() != b.node_total(node).to_bits() {
+            return false;
+        }
+    }
+    Phase::ALL.iter().all(|&p| a.phase_total(p).to_bits() == b.phase_total(p).to_bits())
+}
+
+/// Asserts [`meters_bit_identical`], with a per-node diagnostic.
+pub fn assert_meters_bit_identical(a: &EnergyMeter, b: &EnergyMeter, n: usize) {
+    assert_eq!(a.total().to_bits(), b.total().to_bits(), "meter totals differ");
+    for node in 0..n {
+        let id = NodeId::from_index(node);
+        assert_eq!(
+            a.node_total(id).to_bits(),
+            b.node_total(id).to_bits(),
+            "node {node} totals differ"
+        );
+    }
+    for &p in Phase::ALL.iter() {
+        assert_eq!(a.phase_total(p).to_bits(), b.phase_total(p).to_bits(), "{} differs", p.name());
+    }
+}
+
+/// A planner that always fails, for driving fallback chains in tests: the
+/// error it returns is deterministic, so its stringified form is safe to
+/// pin in golden traces.
+pub struct FailingPlanner;
+
+impl Planner for FailingPlanner {
+    fn name(&self) -> &'static str {
+        "FAILING"
+    }
+
+    fn plan(&self, _ctx: &PlanContext<'_>) -> Result<Plan, PlanError> {
+        Err(PlanError::BudgetTooSmall { required_mj: 1.0, budget_mj: 0.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_is_deterministic() {
+        let a = network(30, 5);
+        let b = network(30, 5);
+        assert_eq!(a.topology.len(), 30);
+        for i in 0..30 {
+            let n = NodeId::from_index(i);
+            assert_eq!(a.topology.parent(n), b.topology.parent(n));
+        }
+    }
+
+    #[test]
+    fn failing_planner_always_fails() {
+        use prospector_data::SampleSet;
+        use prospector_net::{topology, EnergyModel};
+        let t = topology::star(4);
+        let em = EnergyModel::mica2();
+        let mut s = SampleSet::new(4, 2, 4);
+        s.push(vec![0.0, 1.0, 2.0, 3.0]);
+        let ctx = PlanContext::new(&t, &em, &s, 10.0);
+        assert!(FailingPlanner.plan(&ctx).is_err());
+    }
+}

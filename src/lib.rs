@@ -9,5 +9,6 @@ pub use prospector_core as core;
 pub use prospector_data as data;
 pub use prospector_lp as lp;
 pub use prospector_net as net;
+pub use prospector_obs as obs;
 pub use prospector_par as par;
 pub use prospector_sim as sim;

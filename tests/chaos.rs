@@ -31,45 +31,17 @@
 
 use prospector::core::evaluate::expected_accuracy_under_loss_with;
 use prospector::core::{run_plan_lossy, Plan};
-use prospector::data::{top_k_nodes, IndependentGaussian, SamplePolicy, SampleSet, ValueSource};
+use prospector::data::{top_k_nodes, IndependentGaussian, SampleSet, ValueSource};
 use prospector::net::{
     epoch_seed, topology, ArqPolicy, Backoff, EnergyMeter, EnergyModel, FailureModel,
     FaultSchedule, NodeId, Phase, Topology,
 };
-use prospector::sim::{
-    backfill_answer, execute_plan, execute_plan_arq, ExperimentConfig, ExperimentRunner,
-};
+use prospector::sim::{backfill_answer, execute_plan, execute_plan_arq, ExperimentRunner};
+use prospector_testutil::{lossy_config, meters_bit_identical};
 
 /// CI profile: a smaller sweep with the same invariants.
 fn fast() -> bool {
     std::env::var_os("CHAOS_FAST").is_some()
-}
-
-fn meters_bit_identical(a: &EnergyMeter, b: &EnergyMeter, n: usize) -> bool {
-    if a.total().to_bits() != b.total().to_bits() {
-        return false;
-    }
-    for i in 0..n {
-        let node = NodeId::from_index(i);
-        if a.node_total(node).to_bits() != b.node_total(node).to_bits() {
-            return false;
-        }
-    }
-    for phase in [
-        Phase::Sampling,
-        Phase::PlanInstall,
-        Phase::Trigger,
-        Phase::Collection,
-        Phase::MopUp,
-        Phase::Rerouting,
-        Phase::Repair,
-        Phase::Retransmit,
-    ] {
-        if a.phase_total(phase).to_bits() != b.phase_total(phase).to_bits() {
-            return false;
-        }
-    }
-    true
 }
 
 /// Invariant 1: with a failure model that can never fail, the ARQ path is
@@ -305,21 +277,7 @@ fn chaos_sweep_keeps_epoch_loop_invariants() {
     for &p in rates {
         for &max_retries in budgets {
             for (name, faults) in schedules(&t) {
-                let config = ExperimentConfig {
-                    k: 3,
-                    window: 10,
-                    policy: SamplePolicy::Periodic { warmup: 5, period: 12 },
-                    budget_mj: 30.0,
-                    replan_every: 6,
-                    replan_threshold: 0.1,
-                    failures: Some(FailureModel::uniform(n, p, 0.0)),
-                    faults,
-                    install_retries: 2,
-                    arq: ArqPolicy { max_retries, backoff: Backoff::mica2() },
-                    min_delivered: 0.8,
-                    max_retry_budget: max_retries + 3,
-                    seed: 87,
-                };
+                let config = lossy_config(n, p, max_retries, faults);
                 let mut source = IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 87);
                 let mut runner = ExperimentRunner::new(&t, &em, &planner, config);
                 let reports = runner

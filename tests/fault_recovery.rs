@@ -4,37 +4,15 @@
 //! survivors returns to near its pre-fault level.
 
 use prospector::core::FallbackPlanner;
-use prospector::data::{IndependentGaussian, SamplePolicy};
-use prospector::net::{ArqPolicy, EnergyModel, FaultSchedule, NetworkBuilder, NodeId, Phase};
-use prospector::sim::{EpochReport, ExperimentConfig, ExperimentRunner};
-
-fn network(n: usize, seed: u64) -> prospector::net::Network {
-    let side = 40.0 * (n as f64).sqrt();
-    NetworkBuilder::new(n, side, side, 70.0).seed(seed).build().unwrap()
-}
+use prospector::data::IndependentGaussian;
+use prospector::net::{EnergyModel, FaultSchedule, NodeId, Phase};
+use prospector::sim::{EpochReport, ExperimentRunner};
+use prospector_testutil::{network, recovery_config as config};
 
 fn avg_query_accuracy<'a>(reports: impl Iterator<Item = &'a EpochReport>) -> f64 {
     let q: Vec<f64> = reports.filter(|r| !r.sampled).map(|r| r.accuracy).collect();
     assert!(!q.is_empty(), "window contains query epochs");
     q.iter().sum::<f64>() / q.len() as f64
-}
-
-fn config(faults: FaultSchedule) -> ExperimentConfig {
-    ExperimentConfig {
-        k: 4,
-        window: 10,
-        policy: SamplePolicy::Periodic { warmup: 6, period: 10 },
-        budget_mj: 25.0,
-        replan_every: 8,
-        replan_threshold: 0.1,
-        failures: None,
-        faults,
-        install_retries: 2,
-        arq: ArqPolicy::default(),
-        min_delivered: 0.0,
-        max_retry_budget: 8,
-        seed: 9,
-    }
 }
 
 #[test]

@@ -1,0 +1,71 @@
+//! Golden-trace snapshot tests: the serialized event stream of each
+//! seeded scenario is byte-diffed against a blessed file under
+//! `tests/golden/`.
+//!
+//! Any intentional change to the event taxonomy, serialization, charging
+//! order or scenario configs shows up as a diff here; regenerate with
+//! `BLESS=1 cargo test --test golden_trace` and review the diff like any
+//! other code change.
+
+use prospector_testutil::golden;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(format!("{name}.jsonl"))
+}
+
+fn first_diff_line(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("first difference at line {}:\n  blessed: {e}\n  actual:  {a}", i + 1);
+        }
+    }
+    format!(
+        "streams agree on their common prefix but differ in length: \
+         blessed {} lines, actual {} lines",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn golden_traces_match_blessed_files() {
+    let bless = std::env::var("BLESS").is_ok_and(|v| v == "1");
+    for &name in golden::SCENARIOS {
+        let actual = golden::golden_trace(name);
+        assert!(!actual.is_empty(), "{name}: scenario produced no events");
+        let path = golden_path(name);
+        if bless {
+            fs::write(&path, &actual).unwrap_or_else(|e| panic!("blessing {path:?}: {e}"));
+            continue;
+        }
+        let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden file {path:?} ({e}); run `BLESS=1 cargo test --test golden_trace` to create it")
+        });
+        assert!(
+            expected == actual,
+            "{name}: trace drifted from {path:?}\n{}",
+            first_diff_line(&expected, &actual)
+        );
+    }
+}
+
+/// The blessed files themselves stay well-formed: every line is a JSON
+/// object starting with the `ev` tag.
+#[test]
+fn blessed_files_are_jsonl() {
+    for &name in golden::SCENARIOS {
+        let path = golden_path(name);
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue; // golden_traces_match_blessed_files reports the miss
+        };
+        for (i, line) in text.lines().enumerate() {
+            assert!(
+                line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+                "{name} line {}: not a trace object: {line}",
+                i + 1
+            );
+        }
+    }
+}

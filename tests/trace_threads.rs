@@ -1,0 +1,27 @@
+//! Trace determinism across evaluation-pool widths: the parallel
+//! evaluation engine reduces integer per-sample counts deterministically,
+//! so the *entire serialized trace* of every golden scenario must be
+//! byte-identical whether planning evaluates on 1 thread or 8.
+//!
+//! This file holds exactly one test: it mutates `PROSPECTOR_THREADS`,
+//! which is process-global, and must not race sibling tests.
+
+use prospector::par::THREADS_ENV;
+use prospector_testutil::golden;
+
+#[test]
+fn traces_are_byte_identical_across_thread_counts() {
+    let traces_with = |threads: &str| -> Vec<(String, String)> {
+        // Unsafe on paper (env mutation is not thread-safe); sound here
+        // because this binary runs no other test.
+        std::env::set_var(THREADS_ENV, threads);
+        golden::SCENARIOS.iter().map(|&n| (n.to_string(), golden::golden_trace(n))).collect()
+    };
+    let serial = traces_with("1");
+    let parallel = traces_with("8");
+    std::env::remove_var(THREADS_ENV);
+    for ((name, a), (_, b)) in serial.iter().zip(&parallel) {
+        assert!(!a.is_empty(), "{name}: empty trace");
+        assert_eq!(a, b, "{name}: trace differs between 1 and 8 threads");
+    }
+}
