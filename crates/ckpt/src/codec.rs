@@ -1,0 +1,352 @@
+//! Byte-deterministic binary primitives for checkpoint payloads.
+//!
+//! The codec mirrors the obs crate's hand-rolled JSON philosophy: no
+//! external dependencies, no ambient nondeterminism. Every multi-byte
+//! integer is little-endian, every float is its IEEE-754 bit pattern
+//! (`f64::to_bits`), every collection is length-prefixed, and decoding
+//! is total — malformed input yields a typed [`DecodeError`], never a
+//! panic. Encoding the same value twice yields the same bytes, which is
+//! what lets the checksum (FNV-1a 64) stand in for equality.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes`.
+///
+/// Each step is `h = (h ^ b) * PRIME` with an odd prime, so the map from
+/// pre-state to post-state is a bijection for every input byte: two
+/// payloads that first differ at byte `i` have different hash states from
+/// `i` on, and identical suffixes can never re-converge. Any single-byte
+/// substitution, and any truncation combined with the stored length, is
+/// therefore guaranteed to change the digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` travels as `u64` so 32- and 64-bit hosts agree on bytes.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Floats travel as IEEE-754 bit patterns: `to_bits` round-trips
+    /// every value including NaN payloads, infinities and signed zeros,
+    /// which decimal formatting would not.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Option tag: 0 = None, 1 = Some (followed by the payload).
+    pub fn put_opt<T>(&mut self, v: &Option<T>, mut put: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.put_u8(0),
+            Some(inner) => {
+                self.put_u8(1);
+                put(self, inner);
+            }
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed sequence.
+    pub fn put_seq<T>(&mut self, items: &[T], mut put: impl FnMut(&mut Self, &T)) {
+        self.put_usize(items.len());
+        for item in items {
+            put(self, item);
+        }
+    }
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the value being read was complete.
+    UnexpectedEof { offset: usize, needed: usize },
+    /// A tag byte (Option, enum discriminant) had no meaning.
+    BadTag { offset: usize, tag: u8 },
+    /// A length prefix was absurd (longer than the remaining payload),
+    /// caught before allocating.
+    BadLength { offset: usize, len: u64 },
+    /// A string's bytes were not UTF-8.
+    BadUtf8 { offset: usize },
+    /// Decoding finished with bytes left over — the payload and the
+    /// decoder disagree about the schema.
+    TrailingBytes { remaining: usize },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { offset, needed } => {
+                write!(f, "payload ended at byte {offset} ({needed} more needed)")
+            }
+            DecodeError::BadTag { offset, tag } => {
+                write!(f, "invalid tag byte {tag:#04x} at offset {offset}")
+            }
+            DecodeError::BadLength { offset, len } => {
+                write!(f, "length prefix {len} at offset {offset} exceeds the payload")
+            }
+            DecodeError::BadUtf8 { offset } => write!(f, "non-UTF-8 string at offset {offset}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} unconsumed bytes after the last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor-based decoder over an encoded payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails with [`DecodeError::TrailingBytes`] unless every byte was
+    /// consumed — a schema mismatch otherwise slips through silently.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes { remaining: self.remaining() })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof {
+                offset: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn get_usize(&mut self) -> Result<usize, DecodeError> {
+        let offset = self.pos;
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::BadLength { offset, len: v })
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, DecodeError> {
+        let offset = self.pos;
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag { offset, tag }),
+        }
+    }
+
+    pub fn get_opt<T>(
+        &mut self,
+        mut get: impl FnMut(&mut Self) -> Result<T, DecodeError>,
+    ) -> Result<Option<T>, DecodeError> {
+        let offset = self.pos;
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(get(self)?)),
+            tag => Err(DecodeError::BadTag { offset, tag }),
+        }
+    }
+
+    /// Length prefix for a sequence of items at least `min_item_bytes`
+    /// wide each; rejects prefixes the remaining payload cannot satisfy
+    /// so a corrupt length cannot trigger a huge allocation.
+    fn get_len(&mut self, min_item_bytes: usize) -> Result<usize, DecodeError> {
+        let offset = self.pos;
+        let len = self.get_u64()?;
+        let cap = (self.remaining() / min_item_bytes.max(1)) as u64;
+        if len > cap {
+            return Err(DecodeError::BadLength { offset, len });
+        }
+        Ok(len as usize)
+    }
+
+    pub fn get_str(&mut self) -> Result<String, DecodeError> {
+        let len = self.get_len(1)?;
+        let offset = self.pos;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8 { offset })
+    }
+
+    /// Length-prefixed sequence; `min_item_bytes` bounds the allocation
+    /// against corrupt prefixes.
+    pub fn get_seq<T>(
+        &mut self,
+        min_item_bytes: usize,
+        mut get: impl FnMut(&mut Self) -> Result<T, DecodeError>,
+    ) -> Result<Vec<T>, DecodeError> {
+        let len = self.get_len(min_item_bytes)?;
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(get(self)?);
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_str("epoch");
+        w.put_opt(&Some(7u64), |w, v| w.put_u64(*v));
+        w.put_opt(&None::<u64>, |w, v| w.put_u64(*v));
+        w.put_seq(&[1.5f64, -2.5], |w, v| w.put_f64(*v));
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 0xAB);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "epoch");
+        assert_eq!(r.get_opt(|r| r.get_u64()).unwrap(), Some(7));
+        assert_eq!(r.get_opt(|r| r.get_u64()).unwrap(), None);
+        assert_eq!(r.get_seq(8, |r| r.get_f64()).unwrap(), vec![1.5, -2.5]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let encode = || {
+            let mut w = Writer::new();
+            w.put_f64(std::f64::consts::PI);
+            w.put_seq(&[3u64, 1, 4], |w, v| w.put_u64(*v));
+            w.put_str("same bytes every time");
+            w.into_bytes()
+        };
+        assert_eq!(encode(), encode());
+        assert_eq!(fnv1a64(&encode()), fnv1a64(&encode()));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(matches!(r.get_u64(), Err(DecodeError::UnexpectedEof { .. })), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claimed sequence length
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_seq(8, |r| r.get_u64()), Err(DecodeError::BadLength { .. })));
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(DecodeError::BadLength { .. })));
+    }
+
+    #[test]
+    fn bad_tags_and_trailing_bytes_are_errors() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.get_bool(), Err(DecodeError::BadTag { offset: 0, tag: 2 })));
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(r.get_opt(|r| r.get_u8()), Err(DecodeError::BadTag { .. })));
+        let r = Reader::new(&[0, 0]);
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes { remaining: 2 }));
+    }
+
+    #[test]
+    fn fnv_detects_every_single_byte_substitution() {
+        let mut w = Writer::new();
+        w.put_str("checksum coverage");
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        let bytes = w.into_bytes();
+        let clean = fnv1a64(&bytes);
+        for i in 0..bytes.len() {
+            for flip in 1..=255u8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= flip;
+                assert_ne!(fnv1a64(&corrupt), clean, "byte {i} xor {flip:#04x} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Crash-consistent checkpoint/resume for long-running experiments.
+//!
+//! The paper's protocol is explicitly multi-epoch: sample windows,
+//! adaptive retry budgets and repaired topologies all accumulate state
+//! across epochs. This crate makes that state durable — a [`Checkpoint`]
+//! is a versioned, checksummed, byte-deterministic image of everything
+//! an `ExperimentRunner` needs to continue from an epoch boundary, and a
+//! [`CheckpointStore`] manages a directory of them with atomic writes
+//! and corrupt-file fallback.
+//!
+//! The contract (enforced by `tests/crash_resume.rs` at the workspace
+//! root): killing a run at any epoch boundary and resuming from the
+//! latest checkpoint yields epoch reports, meters and traces
+//! byte-identical to the uninterrupted run. Three properties make that
+//! possible:
+//!
+//! 1. **Per-epoch randomness is re-derived.** Collection draws come from
+//!    `epoch_seed(seed, epoch)`, so they need no capture. The only RNG
+//!    stream that persists across epochs (the dissemination stream) is
+//!    captured as raw generator state.
+//! 2. **The format is byte-deterministic.** Floats travel as IEEE-754
+//!    bits, maps in sorted order; no wall clock or pointer identity is
+//!    ever serialized. Encoding the same state twice yields the same
+//!    bytes.
+//! 3. **Corruption cannot masquerade as state.** The payload is guarded
+//!    by an FNV-1a 64 checksum (every single-byte substitution changes
+//!    it) plus a declared length (every truncation is caught), and the
+//!    store falls back to the previous good file.
+//!
+//! Like the obs crate, this crate is std-only and hand-rolls its wire
+//! format — no serde, no external dependencies.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod store;
+
+pub use checkpoint::{Checkpoint, CheckpointError, HEADER_LEN, MAGIC, VERSION};
+pub use codec::{fnv1a64, DecodeError, Reader, Writer};
+pub use store::{CheckpointPolicy, CheckpointStore, StoreError};

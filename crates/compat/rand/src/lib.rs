@@ -60,6 +60,28 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state. Offline-shim extension
+        /// (the real `rand` crate has no such accessor): checkpointing a
+        /// simulation mid-stream needs the exact state so a resumed run
+        /// replays the same draws.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`]. The all-zero state is invalid for
+        /// xoshiro256** and is remapped to the same fallback state
+        /// `seed_from_u64` uses, so the generator can never get stuck.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                StdRng { s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3] }
+            } else {
+                StdRng { s }
+            }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut state = seed;

@@ -35,7 +35,7 @@ pub mod zones;
 pub use collector::{full_sweep_cost, SamplePolicy};
 pub use gaussian::IndependentGaussian;
 pub use intel::IntelLabLike;
-pub use samples::{top_k_nodes, Reading, SampleSet};
+pub use samples::{top_k_nodes, Reading, SamplePartsError, SampleSet};
 pub use source::ValueSource;
 pub use subset::{AnswerSpec, SubsetSampleSet};
 pub use walk::RandomWalk;

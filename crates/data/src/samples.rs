@@ -59,6 +59,43 @@ pub fn top_k_nodes(values: &[f64], k: usize) -> Vec<NodeId> {
     readings.into_iter().map(|r| r.node).collect()
 }
 
+/// Captured [`SampleSet`] parts that do not describe a valid window (see
+/// [`SampleSet::from_parts`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplePartsError {
+    /// `k`/`n`/`capacity` violate the constructor invariants.
+    BadShape { n: usize, k: usize, capacity: usize },
+    /// The window, ones and column-count collections disagree in length.
+    LengthMismatch { window: usize, ones: usize, counts: usize },
+    /// A sample row or its top-k set has an impossible size or node id.
+    BadSample { row: usize, ones: usize },
+    /// The stored column counts do not match the stored top-k sets.
+    InconsistentCounts,
+}
+
+impl std::fmt::Display for SamplePartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplePartsError::BadShape { n, k, capacity } => {
+                write!(f, "invalid window shape: n={n}, k={k}, capacity={capacity}")
+            }
+            SamplePartsError::LengthMismatch { window, ones, counts } => write!(
+                f,
+                "window parts disagree in length: {window} samples, {ones} top-k sets, \
+                 {counts} column counts"
+            ),
+            SamplePartsError::BadSample { row, ones } => {
+                write!(f, "sample with {row} readings / {ones} top-k entries is malformed")
+            }
+            SamplePartsError::InconsistentCounts => {
+                write!(f, "column counts do not match the stored top-k sets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SamplePartsError {}
+
 /// A sliding window of full-network samples plus the derived top-k sets.
 ///
 /// ```
@@ -99,6 +136,54 @@ impl SampleSet {
             ones: VecDeque::new(),
             column_counts: vec![0; n],
         }
+    }
+
+    /// Rebuilds a window from previously captured parts, for checkpoint
+    /// restore. The derived state (`ones`, `column_counts`) is restored
+    /// verbatim rather than recomputed: after [`SampleSet::mask_nodes`]
+    /// the stored top-k sets are retain-filtered in a way a replay of
+    /// plain pushes would not reproduce, so recomputation could diverge
+    /// from the live window. The parts are cross-checked for internal
+    /// consistency instead.
+    pub fn from_parts(
+        n: usize,
+        k: usize,
+        capacity: usize,
+        window: VecDeque<Vec<f64>>,
+        ones: VecDeque<Vec<NodeId>>,
+        column_counts: Vec<u32>,
+    ) -> Result<Self, SamplePartsError> {
+        if k < 1 || k > n || capacity < 1 {
+            return Err(SamplePartsError::BadShape { n, k, capacity });
+        }
+        if window.len() > capacity || window.len() != ones.len() || column_counts.len() != n {
+            return Err(SamplePartsError::LengthMismatch {
+                window: window.len(),
+                ones: ones.len(),
+                counts: column_counts.len(),
+            });
+        }
+        let mut recount = vec![0u32; n];
+        for (row, one) in window.iter().zip(&ones) {
+            if row.len() != n || one.len() > k {
+                return Err(SamplePartsError::BadSample { row: row.len(), ones: one.len() });
+            }
+            for node in one {
+                if node.index() >= n {
+                    return Err(SamplePartsError::BadSample { row: row.len(), ones: one.len() });
+                }
+                recount[node.index()] += 1;
+            }
+        }
+        if recount != column_counts {
+            return Err(SamplePartsError::InconsistentCounts);
+        }
+        Ok(SampleSet { n, k, capacity, window, ones, column_counts })
+    }
+
+    /// Window capacity (maximum retained samples).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Adds a sample, evicting the oldest one when at capacity.
@@ -379,5 +464,64 @@ mod tests {
     fn rejects_wrong_sample_size() {
         let mut s = SampleSet::new(3, 1, 2);
         s.push(vec![1.0]);
+    }
+
+    /// Capture a masked window's parts and rebuild it: every accessor
+    /// must agree with the original. A replay of plain pushes would not
+    /// (masking retain-filters the top-k sets), which is the whole reason
+    /// `from_parts` restores derived state verbatim.
+    #[test]
+    fn from_parts_roundtrips_a_masked_window() {
+        let mut s = SampleSet::new(4, 2, 3);
+        s.push(vec![1.0, 4.0, 3.0, 2.0]);
+        s.push(vec![9.0, 0.0, 8.0, 1.0]);
+        s.push(vec![2.0, 7.0, 1.0, 6.0]);
+        s.mask_nodes(&[NodeId(2)]);
+        let window: VecDeque<Vec<f64>> = (0..s.len()).map(|j| s.values(j).to_vec()).collect();
+        let ones: VecDeque<Vec<NodeId>> = (0..s.len()).map(|j| s.ones(j).to_vec()).collect();
+        let counts = s.column_counts().to_vec();
+        let r = SampleSet::from_parts(4, 2, 3, window, ones, counts).expect("parts are consistent");
+        assert_eq!(r.len(), s.len());
+        assert_eq!(r.capacity(), s.capacity());
+        assert_eq!(r.column_counts(), s.column_counts());
+        for j in 0..s.len() {
+            assert_eq!(r.values(j), s.values(j));
+            assert_eq!(r.ones(j), s.ones(j));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_captures() {
+        let window: VecDeque<Vec<f64>> = VecDeque::from(vec![vec![1.0, 2.0, 3.0]]);
+        let ones: VecDeque<Vec<NodeId>> = VecDeque::from(vec![vec![NodeId(2)]]);
+        // Bad shape: k > n.
+        assert!(matches!(
+            SampleSet::from_parts(3, 4, 2, window.clone(), ones.clone(), vec![0, 0, 1]),
+            Err(SamplePartsError::BadShape { .. })
+        ));
+        // Window longer than capacity.
+        let long: VecDeque<Vec<f64>> = VecDeque::from(vec![vec![1.0, 2.0, 3.0]; 3]);
+        let long_ones: VecDeque<Vec<NodeId>> = VecDeque::from(vec![vec![NodeId(2)]; 3]);
+        assert!(matches!(
+            SampleSet::from_parts(3, 1, 2, long, long_ones, vec![0, 0, 3]),
+            Err(SamplePartsError::LengthMismatch { .. })
+        ));
+        // A sample row of the wrong width.
+        let bad_row: VecDeque<Vec<f64>> = VecDeque::from(vec![vec![1.0, 2.0]]);
+        assert!(matches!(
+            SampleSet::from_parts(3, 1, 2, bad_row, ones.clone(), vec![0, 0, 1]),
+            Err(SamplePartsError::BadSample { .. })
+        ));
+        // A top-k set naming a node outside the network.
+        let oob: VecDeque<Vec<NodeId>> = VecDeque::from(vec![vec![NodeId(7)]]);
+        assert!(matches!(
+            SampleSet::from_parts(3, 1, 2, window.clone(), oob, vec![0, 0, 1]),
+            Err(SamplePartsError::BadSample { .. })
+        ));
+        // Counts that disagree with the stored top-k sets.
+        assert!(matches!(
+            SampleSet::from_parts(3, 1, 2, window, ones, vec![1, 0, 0]),
+            Err(SamplePartsError::InconsistentCounts)
+        ));
     }
 }

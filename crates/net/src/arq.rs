@@ -33,6 +33,39 @@ pub struct Backoff {
     pub jitter: f64,
 }
 
+/// A backoff schedule whose parameters cannot describe a physical
+/// idle-listen cost (see [`Backoff::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackoffError {
+    /// `base_mj` must be a finite, strictly positive cost; a free
+    /// schedule is spelled [`Backoff::none`] explicitly.
+    BadBase { base_mj: f64 },
+    /// `factor` must be finite and at least 1 (windows never shrink).
+    BadFactor { factor: f64 },
+    /// `jitter` must lie in `[0, 1)` so jittered costs stay positive.
+    BadJitter { jitter: f64 },
+}
+
+impl std::fmt::Display for BackoffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackoffError::BadBase { base_mj } => write!(
+                f,
+                "backoff base cost must be finite and positive, got {base_mj} \
+                 (use Backoff::none() for a free schedule)"
+            ),
+            BackoffError::BadFactor { factor } => {
+                write!(f, "backoff growth factor must be finite and >= 1, got {factor}")
+            }
+            BackoffError::BadJitter { jitter } => {
+                write!(f, "backoff jitter must lie in [0, 1), got {jitter}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackoffError {}
+
 impl Backoff {
     /// No backoff cost at all (retries are free to wait).
     pub fn none() -> Self {
@@ -46,24 +79,62 @@ impl Backoff {
         Backoff { base_mj: 0.3, factor: 2.0, jitter: 0.5 }
     }
 
-    /// Cost (mJ) of the backoff window preceding retry `retry` (1-based).
-    /// Draws one uniform jitter sample from `rng` iff the nominal cost is
-    /// positive and jitter is enabled.
-    pub fn cost(&self, retry: u32, rng: &mut StdRng) -> f64 {
+    /// Validated constructor: rejects zero/negative/non-finite base
+    /// costs (a free schedule is spelled [`Backoff::none`]), shrinking or
+    /// non-finite growth factors, and jitter outside `[0, 1)`. Schedules
+    /// whose windows *overflow* at deep retries are fine — the cost
+    /// saturates at `f64::MAX` (see [`Backoff::cost`]), mirroring how
+    /// [`FailureModel::degrade`] clamps instead of wrapping.
+    pub fn try_new(base_mj: f64, factor: f64, jitter: f64) -> Result<Self, BackoffError> {
+        if !base_mj.is_finite() || base_mj <= 0.0 {
+            return Err(BackoffError::BadBase { base_mj });
+        }
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(BackoffError::BadFactor { factor });
+        }
+        if !jitter.is_finite() || !(0.0..1.0).contains(&jitter) {
+            return Err(BackoffError::BadJitter { jitter });
+        }
+        Ok(Backoff { base_mj, factor, jitter })
+    }
+
+    /// The nominal (jitter-free) window cost of retry `retry`, saturated
+    /// at `f64::MAX`: `base · factor^(retry-1)` overflows to `inf` for
+    /// deep retries under aggressive growth factors, and an infinite
+    /// charge would poison every meter total it merges into.
+    fn nominal_cost(&self, retry: u32) -> f64 {
         debug_assert!(retry >= 1, "retry numbering is 1-based");
         let nominal = self.base_mj * self.factor.powi(retry as i32 - 1);
+        if nominal.is_finite() {
+            nominal
+        } else {
+            f64::MAX
+        }
+    }
+
+    /// Cost (mJ) of the backoff window preceding retry `retry` (1-based).
+    /// Draws one uniform jitter sample from `rng` iff the nominal cost is
+    /// positive and jitter is enabled. Saturates at `f64::MAX` instead of
+    /// overflowing to infinity.
+    pub fn cost(&self, retry: u32, rng: &mut StdRng) -> f64 {
+        let nominal = self.nominal_cost(retry);
         if self.jitter > 0.0 && nominal > 0.0 {
-            nominal * rng.random_range(1.0 - self.jitter..1.0 + self.jitter)
+            let jittered = nominal * rng.random_range(1.0 - self.jitter..1.0 + self.jitter);
+            if jittered.is_finite() {
+                jittered
+            } else {
+                f64::MAX
+            }
         } else {
             nominal
         }
     }
 
     /// Expected cost (mJ) of the backoff window preceding retry `retry`
-    /// (the jitter distribution is symmetric around 1).
+    /// (the jitter distribution is symmetric around 1). Saturates at
+    /// `f64::MAX` like [`Backoff::cost`].
     pub fn expected_cost(&self, retry: u32) -> f64 {
-        debug_assert!(retry >= 1, "retry numbering is 1-based");
-        self.base_mj * self.factor.powi(retry as i32 - 1)
+        self.nominal_cost(retry)
     }
 }
 
@@ -113,6 +184,15 @@ impl ArqPolicy {
     /// A policy that never retries (plain lossy unicast).
     pub fn no_retries() -> Self {
         ArqPolicy { max_retries: 0, backoff: Backoff::none() }
+    }
+
+    /// Validated constructor: the backoff schedule goes through
+    /// [`Backoff::try_new`], so zero-base or otherwise unphysical
+    /// schedules are rejected here instead of surfacing as silent
+    /// zero-cost retries mid-run.
+    pub fn try_new(max_retries: u32, backoff: Backoff) -> Result<Self, BackoffError> {
+        let backoff = Backoff::try_new(backoff.base_mj, backoff.factor, backoff.jitter)?;
+        Ok(ArqPolicy { max_retries, backoff })
     }
 
     /// Plays out the delivery of one upward message on the edge above
@@ -305,6 +385,47 @@ mod tests {
         let p: f64 = 0.3;
         assert!((policy.expected_backoff_mj(p) - (p + p * p * 2.0)).abs() < 1e-12);
         assert_eq!(policy.expected_backoff_mj(0.0), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_unphysical_schedules() {
+        for bad in [0.0, -0.3, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                Backoff::try_new(bad, 2.0, 0.0),
+                Err(BackoffError::BadBase { base_mj }) if base_mj.is_nan() == bad.is_nan()
+            ));
+        }
+        for bad in [0.5, 0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(Backoff::try_new(0.3, bad, 0.0), Err(BackoffError::BadFactor { .. })));
+        }
+        for bad in [-0.1, 1.0, 1.5, f64::NAN] {
+            assert!(matches!(Backoff::try_new(0.3, 2.0, bad), Err(BackoffError::BadJitter { .. })));
+        }
+        // The stock schedules pass their own validation.
+        let m = Backoff::mica2();
+        assert_eq!(Backoff::try_new(m.base_mj, m.factor, m.jitter), Ok(m));
+        assert_eq!(ArqPolicy::try_new(3, m), Ok(ArqPolicy { max_retries: 3, backoff: m }));
+        assert!(ArqPolicy::try_new(3, Backoff { base_mj: 0.0, factor: 1.0, jitter: 0.0 }).is_err());
+    }
+
+    #[test]
+    fn overflowing_backoff_saturates_at_f64_max() {
+        // factor^(retry-1) overflows f64 somewhere past retry 1024 at
+        // factor 2: pin the exact boundary where saturation kicks in.
+        // 2^1023 * base is the largest finite window for base = 1.
+        let b = Backoff::try_new(1.0, 2.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(b.expected_cost(1024), 2f64.powi(1023));
+        assert!(b.expected_cost(1024).is_finite());
+        assert_eq!(b.expected_cost(1025), f64::MAX, "first overflowing retry saturates");
+        assert_eq!(b.cost(1025, &mut rng), f64::MAX);
+        // Jittered overflow saturates too instead of producing inf.
+        let j = Backoff::try_new(1.0, 2.0, 0.5).unwrap();
+        assert_eq!(j.expected_cost(2000), f64::MAX);
+        assert!(j.cost(2000, &mut rng).is_finite());
+        // A saturated charge keeps downstream expectations finite.
+        let policy = ArqPolicy { max_retries: 2000, backoff: b };
+        assert!(policy.expected_backoff_mj(0.99).is_finite());
     }
 
     #[test]

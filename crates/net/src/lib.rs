@@ -29,11 +29,11 @@ pub mod node;
 pub mod placement;
 pub mod topology;
 
-pub use arq::{epoch_seed, link_rng, ArqPolicy, Backoff, LinkAttempts};
+pub use arq::{epoch_seed, link_rng, ArqPolicy, Backoff, BackoffError, LinkAttempts};
 pub use energy::EnergyModel;
 pub use failure::{FailureModel, FailureModelError};
 pub use fault::{FaultEvent, FaultSchedule};
-pub use meter::{EnergyMeter, MeterMergeError, Phase};
+pub use meter::{EnergyMeter, MeterMergeError, Phase, NUM_PHASES};
 pub use node::NodeId;
 pub use placement::{Network, NetworkBuilder, Position, ZoneLayout};
 pub use topology::{RepairError, Topology, TopologyError};

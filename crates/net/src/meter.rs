@@ -55,7 +55,9 @@ impl Phase {
     }
 }
 
-const NUM_PHASES: usize = 8;
+/// Number of charge phases ([`Phase::ALL`]'s length), public so
+/// checkpoint codecs can name the per-phase array type.
+pub const NUM_PHASES: usize = 8;
 
 fn phase_index(p: Phase) -> usize {
     match p {
@@ -106,6 +108,22 @@ impl EnergyMeter {
     /// Creates a meter for a network of `n` nodes.
     pub fn new(n: usize) -> Self {
         EnergyMeter { per_node: vec![0.0; n], per_phase: [0.0; NUM_PHASES], total: 0.0 }
+    }
+
+    /// Rebuilds a meter from previously captured totals (see
+    /// [`EnergyMeter::node_totals`], [`EnergyMeter::phase_total`] and
+    /// [`EnergyMeter::total`]), for checkpoint restore. The grand total is
+    /// stored, not recomputed: re-summing would accumulate in a different
+    /// order than the original charge sequence and so could differ in the
+    /// last ulp, breaking bit-identical resume.
+    pub fn from_parts(per_node: Vec<f64>, per_phase: [f64; NUM_PHASES], total: f64) -> Self {
+        EnergyMeter { per_node, per_phase, total }
+    }
+
+    /// Per-phase totals (mJ), indexed in [`Phase::ALL`] order. The
+    /// counterpart of [`EnergyMeter::node_totals`] for checkpointing.
+    pub fn phase_totals(&self) -> &[f64; NUM_PHASES] {
+        &self.per_phase
     }
 
     /// Charges `mj` millijoules to `node` under `phase`.

@@ -64,6 +64,47 @@ proptest! {
     }
 
     #[test]
+    fn repair_is_idempotent_over_seeded_death_patterns(
+        parents in proptest::collection::vec(0u32..40, 4..40),
+        raw_dead in proptest::collection::vec(1u32..40, 1..10),
+    ) {
+        let mut arr: Vec<Option<NodeId>> = vec![None];
+        for (i, &p) in parents.iter().enumerate() {
+            arr.push(Some(NodeId(p % (i as u32 + 1))));
+        }
+        let t = Topology::from_parents(NodeId(0), arr).unwrap();
+        let n = t.len();
+        // Seeded death pattern: non-root ids, clamped into range, deduped.
+        let mut dead: Vec<NodeId> = raw_dead
+            .iter()
+            .map(|&d| NodeId(1 + d % (n as u32 - 1)))
+            .collect();
+        dead.sort_unstable_by_key(|d| d.index());
+        dead.dedup();
+
+        let once = t.repair(&dead).expect("non-root deaths repair");
+        check_invariants(&once);
+        let twice = once.repair(&dead).expect("repair of repaired tree");
+        // Repair is a projection: a repaired tree is already a fixed
+        // point for the same death set. Structure must be bit-identical —
+        // parents, roots, and every derived cost (depth, subtree size).
+        prop_assert_eq!(once.root(), twice.root());
+        for i in 0..n {
+            let u = NodeId::from_index(i);
+            prop_assert_eq!(once.parent(u), twice.parent(u));
+            prop_assert_eq!(once.children(u), twice.children(u));
+            prop_assert_eq!(once.depth(u), twice.depth(u));
+            prop_assert_eq!(once.subtree_size(u), twice.subtree_size(u));
+        }
+        prop_assert_eq!(once.post_order(), twice.post_order());
+        // And the dead really are parked inert leaves under the root.
+        for &d in &dead {
+            prop_assert_eq!(once.parent(d), Some(once.root()));
+            prop_assert!(once.children(d).is_empty());
+        }
+    }
+
+    #[test]
     fn random_parent_arrays_yield_valid_topologies(
         parents in proptest::collection::vec(0u32..30, 1..30),
     ) {

@@ -1,11 +1,12 @@
 //! Aggregate metrics: counters, gauges, histograms.
 //!
 //! Where the trace answers "what happened, in order", the registry
-//! answers "how much, in total". Keys are `&'static str` and stored in
-//! `BTreeMap`s so a snapshot serializes in a stable order. Unlike trace
-//! events, metrics MAY carry wall-clock measurements (plan latency, LP
-//! solve time) — snapshots are for humans and dashboards, never byte-
-//! diffed by the golden-trace harness.
+//! answers "how much, in total". Keys are owned strings (so a registry
+//! can be rebuilt from a checkpointed snapshot) stored in `BTreeMap`s so
+//! a snapshot serializes in a stable order. Unlike trace events, metrics
+//! MAY carry wall-clock measurements (plan latency, LP solve time) —
+//! snapshots are for humans and dashboards, never byte-diffed by the
+//! golden-trace harness.
 
 use std::collections::BTreeMap;
 
@@ -50,9 +51,9 @@ impl Histogram {
 /// A registry of named counters, gauges and histograms.
 #[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricsRegistry {
@@ -60,19 +61,44 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Rebuilds a registry from a snapshot, for checkpoint restore: a
+    /// registry restored from `r.snapshot()` behaves identically to `r`
+    /// (same counts, gauges and histogram summaries) from that point on.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Self {
+        MetricsRegistry {
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+            histograms: snapshot.histograms.clone(),
+        }
+    }
+
     /// Adds `by` to the named counter (creating it at zero).
-    pub fn count(&mut self, name: &'static str, by: u64) {
-        *self.counters.entry(name).or_insert(0) += by;
+    pub fn count(&mut self, name: &str, by: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += by;
+        } else {
+            self.counters.insert(name.to_string(), by);
+        }
     }
 
     /// Sets the named gauge to `v`.
-    pub fn gauge(&mut self, name: &'static str, v: f64) {
-        self.gauges.insert(name, v);
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
     }
 
     /// Records one observation into the named histogram.
-    pub fn observe(&mut self, name: &'static str, v: f64) {
-        self.histograms.entry(name).or_insert_with(Histogram::new).observe(v);
+    pub fn observe(&mut self, name: &str, v: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
     }
 
     /// Current value of a counter (0 if never touched).
@@ -228,6 +254,24 @@ mod tests {
         assert!(j.contains("\"mean\":3"));
         // Identical registries serialize identically.
         assert_eq!(j, m.snapshot().to_json());
+    }
+
+    #[test]
+    fn registry_restored_from_snapshot_behaves_identically() {
+        let mut m = MetricsRegistry::new();
+        m.count("c", 3);
+        m.gauge("g", 0.5);
+        m.observe("h", 2.0);
+        let mut r = MetricsRegistry::from_snapshot(&m.snapshot());
+        assert_eq!(r.snapshot(), m.snapshot());
+        // Continued updates accumulate on the restored state.
+        r.count("c", 1);
+        m.count("c", 1);
+        r.observe("h", 6.0);
+        m.observe("h", 6.0);
+        assert_eq!(r.snapshot(), m.snapshot());
+        assert_eq!(r.counter("c"), 4);
+        assert_eq!(r.histogram("h").unwrap().max, 6.0);
     }
 
     #[test]

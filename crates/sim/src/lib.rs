@@ -46,4 +46,6 @@ pub use exec::{
     execute_proof_plan, ExecutionReport,
 };
 pub use naive1::run_naive1;
-pub use runner::{EpochReport, ExperimentConfig, ExperimentRunner};
+pub use runner::{
+    CheckpointedRunError, ConfigError, EpochReport, ExperimentConfig, ExperimentRunner, ResumeError,
+};

@@ -22,6 +22,7 @@ use crate::backfill::{backfill_answer_traced, AnswerEntry};
 use crate::dissemination::{install_plan_lossy_traced, install_plan_traced};
 use crate::exec::{execute_plan, execute_plan_arq_traced, execute_plan_traced};
 use crate::trace::charge;
+use prospector_ckpt::{Checkpoint, CheckpointPolicy, CheckpointStore, StoreError};
 use prospector_core::{evaluate, Plan, PlanContext, PlanError, Planner};
 use prospector_data::{top_k_nodes, SamplePolicy, SampleSet, ValueSource};
 use prospector_net::{
@@ -34,6 +35,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 /// Configuration of a multi-epoch experiment.
+#[derive(Debug, Clone)]
 pub struct ExperimentConfig {
     /// Top-k parameter.
     pub k: usize,
@@ -69,6 +71,121 @@ pub struct ExperimentConfig {
     pub max_retry_budget: u32,
     /// Seed for failure injection.
     pub seed: u64,
+}
+
+/// Why an [`ExperimentConfig`] cannot drive an experiment (see
+/// [`ExperimentConfig::validate`]). Catching these at construction turns
+/// what used to be downstream panics (a `SampleSet` assert, a division
+/// by a zero window) into typed errors at the API boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `k` must be at least 1: a top-0 query answers nothing.
+    KTooSmall { k: usize },
+    /// `k` cannot exceed the network size.
+    KExceedsNodes { k: usize, n: usize },
+    /// The sample window must hold at least one sample.
+    ZeroWindow,
+    /// The planning budget must be finite and non-negative; NaN or an
+    /// infinite budget would poison every expected-cost comparison.
+    BadBudget { budget_mj: f64 },
+    /// `min_delivered` is a fraction and must lie in `[0, 1]`.
+    BadMinDelivered { min_delivered: f64 },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::KTooSmall { k } => write!(f, "k must be at least 1, got {k}"),
+            ConfigError::KExceedsNodes { k, n } => {
+                write!(f, "k = {k} exceeds the network size n = {n}")
+            }
+            ConfigError::ZeroWindow => write!(f, "sample window capacity must be nonzero"),
+            ConfigError::BadBudget { budget_mj } => {
+                write!(f, "budget must be finite and non-negative, got {budget_mj}")
+            }
+            ConfigError::BadMinDelivered { min_delivered } => {
+                write!(f, "min_delivered must lie in [0, 1], got {min_delivered}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ExperimentConfig {
+    /// Checks the configuration against a network of `n` nodes.
+    pub fn validate(&self, n: usize) -> Result<(), ConfigError> {
+        if self.k < 1 {
+            return Err(ConfigError::KTooSmall { k: self.k });
+        }
+        if self.k > n {
+            return Err(ConfigError::KExceedsNodes { k: self.k, n });
+        }
+        if self.window == 0 {
+            return Err(ConfigError::ZeroWindow);
+        }
+        if !self.budget_mj.is_finite() || self.budget_mj < 0.0 {
+            return Err(ConfigError::BadBudget { budget_mj: self.budget_mj });
+        }
+        if !self.min_delivered.is_finite() || !(0.0..=1.0).contains(&self.min_delivered) {
+            return Err(ConfigError::BadMinDelivered { min_delivered: self.min_delivered });
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`Checkpoint`] could not be resumed into a runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResumeError {
+    /// The checkpointed configuration fails validation.
+    Config(ConfigError),
+    /// The checkpoint's pieces disagree with each other (e.g. a sample
+    /// window sized for a different network than the topology).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Config(e) => write!(f, "checkpointed config is invalid: {e}"),
+            ResumeError::Inconsistent(why) => write!(f, "checkpoint is inconsistent: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// A checkpointed run can fail in the epoch loop or at the store.
+#[derive(Debug)]
+pub enum CheckpointedRunError {
+    Plan(PlanError),
+    Store(StoreError),
+}
+
+impl std::fmt::Display for CheckpointedRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointedRunError::Plan(e) => write!(f, "epoch failed: {e}"),
+            CheckpointedRunError::Store(e) => write!(f, "checkpoint write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointedRunError {}
+
+/// Planner names a resumed checkpoint may carry. `plan_via` holds a
+/// `&'static str` (planner names are compile-time constants); a name
+/// deserialized from disk is matched back to the known set, or leaked
+/// once for an out-of-tree planner — a bounded leak, since checkpoints
+/// are loaded a handful of times per process.
+fn intern_planner_name(name: &str) -> &'static str {
+    const KNOWN: &[&str] =
+        &["greedy", "lp+lf", "lp-lf(-)", "naive-k", "prospector-proof", "fallback", "FAILING"];
+    KNOWN
+        .iter()
+        .find(|&&k| k == name)
+        .copied()
+        .unwrap_or_else(|| Box::leak(name.to_string().into_boxed_str()))
 }
 
 /// What happened during one epoch.
@@ -140,20 +257,37 @@ pub struct ExperimentRunner<'a> {
     /// Aggregate metrics; populated only after
     /// [`ExperimentRunner::enable_metrics`].
     metrics: Option<MetricsRegistry>,
+    /// The epoch the next [`ExperimentRunner::run_to`] call starts at:
+    /// one past the last completed epoch (0 for a fresh runner).
+    next_epoch: u64,
 }
 
 impl<'a> ExperimentRunner<'a> {
+    /// Builds a runner, panicking on an invalid configuration. Callers
+    /// that want the error instead use [`ExperimentRunner::try_new`].
     pub fn new(
         topology: &Topology,
         energy: &'a EnergyModel,
         planner: &'a dyn Planner,
         config: ExperimentConfig,
     ) -> Self {
+        Self::try_new(topology, energy, planner, config)
+            .unwrap_or_else(|e| panic!("invalid experiment config: {e}"))
+    }
+
+    /// Builds a runner after validating `config` against the topology.
+    pub fn try_new(
+        topology: &Topology,
+        energy: &'a EnergyModel,
+        planner: &'a dyn Planner,
+        config: ExperimentConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate(topology.len())?;
         let samples = SampleSet::new(topology.len(), config.k, config.window);
         let rng = StdRng::seed_from_u64(config.seed);
         let failures = config.failures.clone();
         let arq = config.arq;
-        ExperimentRunner {
+        Ok(ExperimentRunner {
             topology: topology.clone(),
             energy,
             planner,
@@ -168,7 +302,130 @@ impl<'a> ExperimentRunner<'a> {
             rng,
             metrics: None,
             config,
+            next_epoch: 0,
+        })
+    }
+
+    /// Captures the full resumable state at the current epoch boundary.
+    ///
+    /// The capture is pure observation — it consumes no randomness and
+    /// mutates nothing — so a run that checkpoints every epoch produces
+    /// traces byte-identical to one that never checkpoints.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            next_epoch: self.next_epoch,
+            k: self.config.k,
+            window: self.config.window,
+            policy: self.config.policy.clone(),
+            budget_mj: self.config.budget_mj,
+            replan_every: self.config.replan_every,
+            replan_threshold: self.config.replan_threshold,
+            config_failures: self.config.failures.clone(),
+            faults: self.config.faults.clone(),
+            install_retries: self.config.install_retries,
+            config_arq: self.config.arq,
+            min_delivered: self.config.min_delivered,
+            max_retry_budget: self.config.max_retry_budget,
+            seed: self.config.seed,
+            topology: self.topology.clone(),
+            alive: self.alive.clone(),
+            samples: self.samples.clone(),
+            meter: self.meter.clone(),
+            plan: self.plan.clone(),
+            plan_via: self.plan_via.map(|(name, depth)| (name.to_string(), depth as u64)),
+            last_replan: self.last_replan,
+            failures: self.failures.clone(),
+            arq: self.arq,
+            rng_state: self.rng.state(),
+            metrics: self.metrics.as_ref().map(|m| m.snapshot()),
         }
+    }
+
+    /// Rebuilds a runner from a checkpoint. The energy model and planner
+    /// are borrowed anew (they are stateless, so they need not be — and
+    /// cannot be — serialized); everything else comes from the image.
+    /// The resumed runner's next [`ExperimentRunner::run_to`] continues
+    /// at `ckpt.next_epoch` and replays the uninterrupted run exactly,
+    /// provided the value source is epoch-deterministic (stateless per
+    /// epoch, like `IndependentGaussian` — a stateful source such as
+    /// `RandomWalk` must be fast-forwarded by the caller).
+    pub fn resume(
+        ckpt: Checkpoint,
+        energy: &'a EnergyModel,
+        planner: &'a dyn Planner,
+    ) -> Result<Self, ResumeError> {
+        let config = ExperimentConfig {
+            k: ckpt.k,
+            window: ckpt.window,
+            policy: ckpt.policy,
+            budget_mj: ckpt.budget_mj,
+            replan_every: ckpt.replan_every,
+            replan_threshold: ckpt.replan_threshold,
+            failures: ckpt.config_failures,
+            faults: ckpt.faults,
+            install_retries: ckpt.install_retries,
+            arq: ckpt.config_arq,
+            min_delivered: ckpt.min_delivered,
+            max_retry_budget: ckpt.max_retry_budget,
+            seed: ckpt.seed,
+        };
+        let n = ckpt.topology.len();
+        config.validate(n).map_err(ResumeError::Config)?;
+        let inconsistent = |why: String| Err(ResumeError::Inconsistent(why));
+        if ckpt.samples.num_nodes() != n {
+            return inconsistent(format!(
+                "sample window covers {} nodes, topology has {n}",
+                ckpt.samples.num_nodes()
+            ));
+        }
+        if ckpt.samples.k() != config.k || ckpt.samples.capacity() != config.window {
+            return inconsistent(format!(
+                "sample window is (k={}, capacity={}), config says (k={}, window={})",
+                ckpt.samples.k(),
+                ckpt.samples.capacity(),
+                config.k,
+                config.window
+            ));
+        }
+        if ckpt.alive.len() != n {
+            return inconsistent(format!(
+                "alive mask covers {} nodes, topology has {n}",
+                ckpt.alive.len()
+            ));
+        }
+        if ckpt.meter.node_totals().len() != n {
+            return inconsistent(format!(
+                "meter covers {} nodes, topology has {n}",
+                ckpt.meter.node_totals().len()
+            ));
+        }
+        if let Some(f) = &ckpt.failures {
+            if f.len() != n {
+                return inconsistent(format!(
+                    "failure model covers {} nodes, topology has {n}",
+                    f.len()
+                ));
+            }
+        }
+        Ok(ExperimentRunner {
+            topology: ckpt.topology,
+            energy,
+            planner,
+            samples: ckpt.samples,
+            plan: ckpt.plan,
+            plan_via: ckpt
+                .plan_via
+                .map(|(name, depth)| (intern_planner_name(&name), depth as usize)),
+            last_replan: ckpt.last_replan,
+            failures: ckpt.failures,
+            arq: ckpt.arq,
+            alive: ckpt.alive,
+            meter: ckpt.meter,
+            rng: StdRng::from_state(ckpt.rng_state),
+            metrics: ckpt.metrics.as_ref().map(MetricsRegistry::from_snapshot),
+            config,
+            next_epoch: ckpt.next_epoch,
+        })
     }
 
     /// Turns on aggregate metrics: every subsequent epoch updates the
@@ -541,9 +798,10 @@ impl<'a> ExperimentRunner<'a> {
     }
 
     /// Epoch epilogue shared by both branches: folds the report into the
-    /// metrics registry (attaching a cumulative snapshot) and emits the
-    /// closing `EpochEnd` event.
+    /// metrics registry (attaching a cumulative snapshot), advances the
+    /// resume cursor, and emits the closing `EpochEnd` event.
     fn finish_epoch(&mut self, mut report: EpochReport, tracer: &mut dyn Tracer) -> EpochReport {
+        self.next_epoch = report.epoch + 1;
         if let Some(m) = self.metrics.as_mut() {
             m.count("epochs", 1);
             if report.sampled {
@@ -591,7 +849,15 @@ impl<'a> ExperimentRunner<'a> {
         }
     }
 
-    /// Runs epochs `0..epochs`, collecting per-epoch reports.
+    /// The epoch the next [`ExperimentRunner::run_to`] call starts at:
+    /// 0 for a fresh runner, `ckpt.next_epoch` for a resumed one.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Runs epochs up to (exclusive) `epochs`, collecting per-epoch
+    /// reports. A fresh runner starts at epoch 0; a resumed runner
+    /// continues where its checkpoint left off.
     pub fn run<S: ValueSource>(
         &mut self,
         source: &mut S,
@@ -608,7 +874,63 @@ impl<'a> ExperimentRunner<'a> {
         epochs: u64,
         tracer: &mut dyn Tracer,
     ) -> Result<Vec<EpochReport>, PlanError> {
-        (0..epochs).map(|e| self.step_traced(source, e, tracer)).collect()
+        self.run_to_traced(source, epochs, tracer)
+    }
+
+    /// Runs epochs `next_epoch..until` (the explicit-name twin of
+    /// [`ExperimentRunner::run`], for resumed runners).
+    pub fn run_to<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        until: u64,
+    ) -> Result<Vec<EpochReport>, PlanError> {
+        self.run_to_traced(source, until, &mut NullTracer)
+    }
+
+    /// [`ExperimentRunner::run_to`] with tracing.
+    pub fn run_to_traced<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        until: u64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Vec<EpochReport>, PlanError> {
+        (self.next_epoch..until).map(|e| self.step_traced(source, e, tracer)).collect()
+    }
+
+    /// [`ExperimentRunner::run_to`] with periodic checkpointing: after
+    /// each epoch boundary the policy deems due, the full state is
+    /// written atomically into `store` (keeping `policy.keep_last`
+    /// files). Checkpointing consumes no randomness, so the run's
+    /// reports and traces are byte-identical with or without it.
+    pub fn run_checkpointed<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        epochs: u64,
+        store: &CheckpointStore,
+        policy: CheckpointPolicy,
+    ) -> Result<Vec<EpochReport>, CheckpointedRunError> {
+        self.run_checkpointed_traced(source, epochs, store, policy, &mut NullTracer)
+    }
+
+    /// [`ExperimentRunner::run_checkpointed`] with tracing.
+    pub fn run_checkpointed_traced<S: ValueSource>(
+        &mut self,
+        source: &mut S,
+        epochs: u64,
+        store: &CheckpointStore,
+        policy: CheckpointPolicy,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Vec<EpochReport>, CheckpointedRunError> {
+        let mut reports = Vec::new();
+        for e in self.next_epoch..epochs {
+            reports.push(self.step_traced(source, e, tracer).map_err(CheckpointedRunError::Plan)?);
+            if policy.due(e) {
+                store
+                    .save(&self.checkpoint(), policy.keep_last)
+                    .map_err(CheckpointedRunError::Store)?;
+            }
+        }
+        Ok(reports)
     }
 }
 

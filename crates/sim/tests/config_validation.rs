@@ -1,0 +1,143 @@
+//! Regression tests for `ExperimentConfig` validation: each rejection is
+//! a typed `ConfigError` raised at construction, where it names the bad
+//! field — not a panic three layers down in `SampleSet` or the planner.
+
+use prospector_core::FallbackPlanner;
+use prospector_net::{topology, EnergyModel, FaultSchedule};
+use prospector_sim::{ConfigError, ExperimentConfig, ExperimentRunner, ResumeError};
+use prospector_testutil::recovery_config;
+
+fn base() -> ExperimentConfig {
+    recovery_config(FaultSchedule::new())
+}
+
+const N: usize = 13; // balanced(3, 2)
+
+#[test]
+fn the_base_config_is_valid() {
+    assert_eq!(base().validate(N), Ok(()));
+}
+
+#[test]
+fn zero_k_is_rejected() {
+    let mut cfg = base();
+    cfg.k = 0;
+    assert_eq!(cfg.validate(N), Err(ConfigError::KTooSmall { k: 0 }));
+}
+
+#[test]
+fn k_beyond_network_size_is_rejected() {
+    let mut cfg = base();
+    cfg.k = N + 1;
+    assert_eq!(cfg.validate(N), Err(ConfigError::KExceedsNodes { k: N + 1, n: N }));
+    // k == n is the boundary and is fine: top-n is a full dump.
+    cfg.k = N;
+    assert_eq!(cfg.validate(N), Ok(()));
+}
+
+#[test]
+fn zero_window_is_rejected() {
+    let mut cfg = base();
+    cfg.window = 0;
+    assert_eq!(cfg.validate(N), Err(ConfigError::ZeroWindow));
+}
+
+#[test]
+fn non_finite_or_negative_budget_is_rejected() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+        let mut cfg = base();
+        cfg.budget_mj = bad;
+        match cfg.validate(N) {
+            Err(ConfigError::BadBudget { budget_mj }) => {
+                assert_eq!(budget_mj.to_bits(), bad.to_bits())
+            }
+            other => panic!("budget {bad}: expected BadBudget, got {other:?}"),
+        }
+    }
+    // Zero budget is legal (the planner falls back to the cheapest plan).
+    let mut cfg = base();
+    cfg.budget_mj = 0.0;
+    assert_eq!(cfg.validate(N), Ok(()));
+}
+
+#[test]
+fn min_delivered_outside_unit_interval_is_rejected() {
+    for bad in [f64::NAN, -0.01, 1.01, f64::INFINITY] {
+        let mut cfg = base();
+        cfg.min_delivered = bad;
+        match cfg.validate(N) {
+            Err(ConfigError::BadMinDelivered { min_delivered }) => {
+                assert_eq!(min_delivered.to_bits(), bad.to_bits())
+            }
+            other => panic!("min_delivered {bad}: expected BadMinDelivered, got {other:?}"),
+        }
+    }
+    for ok in [0.0, 1.0] {
+        let mut cfg = base();
+        cfg.min_delivered = ok;
+        assert_eq!(cfg.validate(N), Ok(()), "min_delivered {ok} is a legal boundary");
+    }
+}
+
+#[test]
+fn try_new_surfaces_the_error_and_new_panics() {
+    let t = topology::balanced(3, 2);
+    let em = EnergyModel::mica2();
+    let planner = FallbackPlanner::standard();
+    let mut cfg = base();
+    cfg.k = 0;
+    match ExperimentRunner::try_new(&t, &em, &planner, cfg) {
+        Err(ConfigError::KTooSmall { k: 0 }) => {}
+        Err(e) => panic!("expected KTooSmall, got {e}"),
+        Ok(_) => panic!("k = 0 was accepted"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "invalid experiment config")]
+fn new_panics_on_an_invalid_config() {
+    let t = topology::balanced(3, 2);
+    let em = EnergyModel::mica2();
+    let planner = FallbackPlanner::standard();
+    let mut cfg = base();
+    cfg.window = 0;
+    let _ = ExperimentRunner::new(&t, &em, &planner, cfg);
+}
+
+/// Resume validates the checkpointed config the same way, and on top of
+/// that rejects internally inconsistent images.
+#[test]
+fn resume_rejects_invalid_and_inconsistent_checkpoints() {
+    let t = topology::balanced(3, 2);
+    let em = EnergyModel::mica2();
+    let planner = FallbackPlanner::standard();
+    let mut runner = ExperimentRunner::new(&t, &em, &planner, base());
+    let mut source =
+        prospector_data::IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..4.0, 13);
+    runner.run(&mut source, 3).expect("run");
+    let good = runner.checkpoint();
+
+    // A checkpoint whose config went bad fails config validation.
+    let mut bad = good.clone();
+    bad.window = 0;
+    // (The sample set still has the old capacity; config error wins.)
+    match ExperimentRunner::resume(bad, &em, &planner) {
+        Err(ResumeError::Config(ConfigError::ZeroWindow)) => {}
+        Err(e) => panic!("expected Config(ZeroWindow), got {e}"),
+        Ok(_) => panic!("zero-window checkpoint was accepted"),
+    }
+
+    // A checkpoint whose pieces disagree is rejected as inconsistent.
+    let mut bad = good.clone();
+    bad.alive.pop();
+    match ExperimentRunner::resume(bad, &em, &planner) {
+        Err(ResumeError::Inconsistent(why)) => {
+            assert!(why.contains("alive"), "unhelpful message: {why}")
+        }
+        Err(e) => panic!("expected Inconsistent, got {e}"),
+        Ok(_) => panic!("truncated alive mask was accepted"),
+    }
+
+    // The untampered image still resumes.
+    assert!(ExperimentRunner::resume(good, &em, &planner).is_ok());
+}

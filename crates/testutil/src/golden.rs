@@ -9,11 +9,12 @@
 //! `prospector-obs` crate docs.
 
 use crate::{lossy_config, recovery_config, FailingPlanner};
+use prospector_ckpt::Checkpoint;
 use prospector_core::{FallbackPlanner, NaiveK, ProspectorGreedy};
 use prospector_data::IndependentGaussian;
 use prospector_net::{topology, EnergyModel, FaultSchedule, Topology};
 use prospector_obs::{event, MetricsSnapshot, RingTracer, TraceEvent};
-use prospector_sim::ExperimentRunner;
+use prospector_sim::{ExperimentConfig, ExperimentRunner, ResumeError};
 
 /// Names of the canonical scenarios, in blessing order.
 pub const SCENARIOS: &[&str] = &["clean", "loss_arq", "death_repair"];
@@ -29,6 +30,83 @@ fn tree() -> Topology {
     topology::balanced(3, 2) // 13 nodes
 }
 
+/// One canonical scenario, decomposed into its ingredients so harnesses
+/// beyond `golden_run` (the kill-and-resume suite, the `trace` CLI) can
+/// build, checkpoint and resume runners against the exact same setup.
+pub struct Scenario {
+    pub name: &'static str,
+    pub topology: Topology,
+    pub energy: EnergyModel,
+    pub planner: FallbackPlanner,
+    pub config: ExperimentConfig,
+}
+
+impl Scenario {
+    /// A fresh metrics-enabled runner over this scenario.
+    pub fn runner(&self) -> ExperimentRunner<'_> {
+        let mut runner =
+            ExperimentRunner::new(&self.topology, &self.energy, &self.planner, self.config.clone());
+        runner.enable_metrics();
+        runner
+    }
+
+    /// A runner resumed from `ckpt`, borrowing this scenario's energy
+    /// model and planner.
+    pub fn resume(&self, ckpt: Checkpoint) -> Result<ExperimentRunner<'_>, ResumeError> {
+        ExperimentRunner::resume(ckpt, &self.energy, &self.planner)
+    }
+
+    /// The scenario's value source. Sources are epoch-deterministic
+    /// (stateless per epoch), which is what lets a resumed runner skip
+    /// straight to its next epoch without fast-forwarding.
+    pub fn source(&self) -> IndependentGaussian {
+        IndependentGaussian::random(self.topology.len(), 40.0..60.0, 1.0..4.0, 13)
+    }
+}
+
+/// Builds one named scenario. Panics on an unknown name; `SCENARIOS`
+/// lists the valid ones.
+pub fn scenario(name: &str) -> Scenario {
+    let t = tree();
+    let energy = EnergyModel::mica2();
+    match name {
+        // Loss-free links, no faults: sampling, planning, installation
+        // and reliable collection only.
+        "clean" => Scenario {
+            name: "clean",
+            config: recovery_config(FaultSchedule::new()),
+            planner: FallbackPlanner::standard(),
+            topology: t,
+            energy,
+        },
+        // 8% uniform loss with a 2-retry ARQ budget: lossy dissemination,
+        // retransmissions, occasional lost edges and backfill.
+        "loss_arq" => Scenario {
+            name: "loss_arq",
+            config: lossy_config(t.len(), 0.08, 2, FaultSchedule::new()),
+            planner: FallbackPlanner::standard(),
+            topology: t,
+            energy,
+        },
+        // A failing primary planner (every replan walks the fallback
+        // chain) plus a mid-run node death: repair, forced replanning and
+        // plan-attempt errors all appear in the stream.
+        "death_repair" => {
+            let victim = t.children(t.root())[0];
+            Scenario {
+                name: "death_repair",
+                config: recovery_config(FaultSchedule::new().with_death(8, victim)),
+                planner: FallbackPlanner::new(Box::new(FailingPlanner))
+                    .or(Box::new(ProspectorGreedy))
+                    .or(Box::new(NaiveK)),
+                topology: t,
+                energy,
+            }
+        }
+        other => panic!("unknown golden scenario {other:?}; valid: {SCENARIOS:?}"),
+    }
+}
+
 /// Runs one named scenario with metrics enabled and returns its full
 /// event stream plus the final cumulative metrics snapshot.
 ///
@@ -36,49 +114,14 @@ fn tree() -> Topology {
 /// trace is identical with or without metrics — the registry only
 /// aggregates, it never feeds events — which the golden byte-diff pins.
 pub fn golden_run(name: &str) -> (Vec<TraceEvent>, MetricsSnapshot) {
-    let t = tree();
-    let em = EnergyModel::mica2();
-    let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..4.0, 13);
+    let sc = scenario(name);
+    let mut source = sc.source();
     let mut tracer = RingTracer::new(RING_CAP);
-    let snapshot = match name {
-        // Loss-free links, no faults: sampling, planning, installation
-        // and reliable collection only.
-        "clean" => {
-            let planner = FallbackPlanner::standard();
-            let cfg = recovery_config(FaultSchedule::new());
-            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
-            runner.enable_metrics();
-            runner.run_traced(&mut source, EPOCHS, &mut tracer).expect("clean scenario runs");
-            runner.metrics().expect("metrics enabled").snapshot()
-        }
-        // 8% uniform loss with a 2-retry ARQ budget: lossy dissemination,
-        // retransmissions, occasional lost edges and backfill.
-        "loss_arq" => {
-            let planner = FallbackPlanner::standard();
-            let cfg = lossy_config(t.len(), 0.08, 2, FaultSchedule::new());
-            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
-            runner.enable_metrics();
-            runner.run_traced(&mut source, EPOCHS, &mut tracer).expect("loss_arq scenario runs");
-            runner.metrics().expect("metrics enabled").snapshot()
-        }
-        // A failing primary planner (every replan walks the fallback
-        // chain) plus a mid-run node death: repair, forced replanning and
-        // plan-attempt errors all appear in the stream.
-        "death_repair" => {
-            let planner = FallbackPlanner::new(Box::new(FailingPlanner))
-                .or(Box::new(ProspectorGreedy))
-                .or(Box::new(NaiveK));
-            let victim = t.children(t.root())[0];
-            let cfg = recovery_config(FaultSchedule::new().with_death(8, victim));
-            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
-            runner.enable_metrics();
-            runner
-                .run_traced(&mut source, EPOCHS, &mut tracer)
-                .expect("death_repair scenario runs");
-            runner.metrics().expect("metrics enabled").snapshot()
-        }
-        other => panic!("unknown golden scenario {other:?}; valid: {SCENARIOS:?}"),
-    };
+    let mut runner = sc.runner();
+    runner.run_traced(&mut source, EPOCHS, &mut tracer).unwrap_or_else(|e| {
+        panic!("{name} scenario runs: {e}");
+    });
+    let snapshot = runner.metrics().expect("metrics enabled").snapshot();
     assert_eq!(tracer.dropped(), 0, "ring capacity must cover the whole scenario");
     (tracer.take(), snapshot)
 }

@@ -14,7 +14,8 @@ use prospector_net::{
     ArqPolicy, Backoff, EnergyMeter, FailureModel, FaultSchedule, Network, NetworkBuilder, NodeId,
     Phase,
 };
-use prospector_sim::ExperimentConfig;
+use prospector_obs::MetricsSnapshot;
+use prospector_sim::{EpochReport, ExperimentConfig};
 
 /// A seeded random network of `n` nodes. Density is held constant as `n`
 /// grows by scaling the field with `sqrt(n)` (the same construction the
@@ -93,6 +94,55 @@ pub fn assert_meters_bit_identical(a: &EnergyMeter, b: &EnergyMeter, n: usize) {
     }
     for &p in Phase::ALL.iter() {
         assert_eq!(a.phase_total(p).to_bits(), b.phase_total(p).to_bits(), "{} differs", p.name());
+    }
+}
+
+/// A metrics snapshot with its wall-clock histogram removed. Every field
+/// of an epoch report is a pure function of config + seed *except* the
+/// `plan_latency_ms` histogram, which measures real elapsed time; this
+/// strips it so the rest of the snapshot can be compared exactly.
+pub fn scrub_wall_clock(snapshot: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut s = snapshot.clone();
+    s.histograms.remove("plan_latency_ms");
+    s
+}
+
+/// Asserts two epoch-report sequences are equivalent: every field equal,
+/// floats compared bit-for-bit, metrics snapshots compared after
+/// [`scrub_wall_clock`]. This is the resume-equivalence check used by
+/// `tests/crash_resume.rs` — a resumed run must produce the same reports
+/// as the uninterrupted one, modulo wall clock.
+pub fn assert_reports_equivalent(a: &[EpochReport], b: &[EpochReport]) {
+    assert_eq!(a.len(), b.len(), "report counts differ");
+    for (x, y) in a.iter().zip(b) {
+        let e = x.epoch;
+        assert_eq!(x.epoch, y.epoch, "epoch numbering diverged at {e}");
+        assert_eq!(x.sampled, y.sampled, "epoch {e}: sampled");
+        assert_eq!(x.replanned, y.replanned, "epoch {e}: replanned");
+        assert_eq!(x.accuracy.to_bits(), y.accuracy.to_bits(), "epoch {e}: accuracy");
+        assert_eq!(x.energy_mj.to_bits(), y.energy_mj.to_bits(), "epoch {e}: energy");
+        assert_eq!(x.deaths, y.deaths, "epoch {e}: deaths");
+        assert_eq!(x.repaired, y.repaired, "epoch {e}: repaired");
+        assert_eq!(x.fallback_used, y.fallback_used, "epoch {e}: fallback_used");
+        assert_eq!(x.lost_edges, y.lost_edges, "epoch {e}: lost_edges");
+        assert_eq!(x.retransmissions, y.retransmissions, "epoch {e}: retransmissions");
+        assert_eq!(
+            x.delivered_fraction.to_bits(),
+            y.delivered_fraction.to_bits(),
+            "epoch {e}: delivered_fraction"
+        );
+        assert_eq!(x.backfilled, y.backfilled, "epoch {e}: backfilled");
+        assert_eq!(x.retry_budget, y.retry_budget, "epoch {e}: retry_budget");
+        assert_eq!(x.install_undelivered, y.install_undelivered, "epoch {e}: install_undelivered");
+        match (&x.metrics, &y.metrics) {
+            (Some(m), Some(n)) => assert_eq!(
+                scrub_wall_clock(m).to_json(),
+                scrub_wall_clock(n).to_json(),
+                "epoch {e}: metrics"
+            ),
+            (None, None) => {}
+            _ => panic!("epoch {e}: metrics presence differs"),
+        }
     }
 }
 

@@ -5,6 +5,7 @@
 //! Yang — ICDE 2006). See the workspace README for an overview and
 //! `examples/quickstart.rs` for a first tour.
 
+pub use prospector_ckpt as ckpt;
 pub use prospector_core as core;
 pub use prospector_data as data;
 pub use prospector_lp as lp;
