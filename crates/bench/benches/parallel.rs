@@ -10,7 +10,9 @@
 
 use criterion::{criterion_group, Criterion};
 use prospector_bench::{figures, scenarios::GaussianScenario};
-use prospector_core::{evaluate, Plan};
+use prospector_core::{evaluate, Plan, PlanContext, Planner, ProspectorLpLf};
+use prospector_data::{IndependentGaussian, SampleSet, ValueSource};
+use prospector_net::{EnergyModel, NodeId, Topology};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -48,6 +50,38 @@ fn time_mean<R>(reps: u32, mut f: impl FnMut() -> R) -> (f64, R) {
     (start.elapsed().as_secs_f64() / reps as f64, last)
 }
 
+/// One large-n row: complete ternary tree + Gaussian window, timing the
+/// LP+LF planner and the claiming-kernel evaluator at 1 and 8 threads
+/// (bit-identity asserted). Mirrors the `scale` figure's setup.
+fn scale_row(n: usize) -> String {
+    let k = 10;
+    let num_samples = 10;
+    let mut parent: Vec<Option<NodeId>> = vec![None];
+    parent.extend((1..n).map(|i| Some(NodeId::from_index((i - 1) / 3))));
+    let topo = Topology::from_parents(NodeId::from_index(0), parent).expect("ternary tree");
+    let mut source = IndependentGaussian::random(n, 40.0..60.0, 2.0..8.0, 9000 + n as u64);
+    let mut samples = SampleSet::new(n, k, num_samples);
+    for epoch in 0..num_samples as u64 {
+        samples.push(source.values(epoch));
+    }
+    let em = EnergyModel::mica2();
+    let budget =
+        0.25 * PlanContext::new(&topo, &em, &samples, 0.0).plan_cost(&Plan::naive_k(&topo, k));
+    let ctx = PlanContext::new(&topo, &em, &samples, budget);
+    let (plan_s, plan) = time_mean(3, || ProspectorLpLf.plan(&ctx).expect("lp+lf at scale"));
+    let (eval1_s, m1) = time_mean(5, || evaluate::expected_misses_with(&plan, &topo, &samples, 1));
+    let (eval8_s, m8) = time_mean(5, || evaluate::expected_misses_with(&plan, &topo, &samples, 8));
+    assert_eq!(m1.to_bits(), m8.to_bits(), "scale n={n}: 1 vs 8 threads diverged");
+    let dead: Vec<NodeId> = (1..n).filter(|i| i % 50 == 7).map(NodeId::from_index).collect();
+    let (repair_s, repaired) = time_mean(3, || topo.repair(&dead).expect("repair at scale"));
+    assert_eq!(repaired.len(), topo.len());
+    format!(
+        "    {{ \"n\": {n}, \"lp_lf_plan_s\": {plan_s:.6}, \"expected_misses_1t_s\": \
+         {eval1_s:.6}, \"expected_misses_8t_s\": {eval8_s:.6}, \"repair_s\": {repair_s:.6}, \
+         \"bit_identical\": true }}"
+    )
+}
+
 fn write_snapshot() {
     let scenario = GaussianScenario::fig3(false).build();
     let topo = &scenario.network.topology;
@@ -72,6 +106,8 @@ fn write_snapshot() {
         ));
     }
 
+    let scale_rows: Vec<String> = [1_000usize, 10_000, 50_000].map(scale_row).to_vec();
+
     let (fig3_s, _) = time_mean(2, || figures::fig3(true));
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
@@ -80,8 +116,10 @@ fn write_snapshot() {
          \"host_parallelism\": {host},\n  \
          \"note\": \"speedup is bounded by host_parallelism; on a 1-CPU host every thread \
          count degrades to serial throughput\",\n  \
-         \"expected_misses\": [\n{}\n  ],\n  \"fig3_fast_wall_s\": {fig3_s:.6}\n}}\n",
-        rows.join(",\n")
+         \"expected_misses\": [\n{}\n  ],\n  \
+         \"scale\": [\n{}\n  ],\n  \"fig3_fast_wall_s\": {fig3_s:.6}\n}}\n",
+        rows.join(",\n"),
+        scale_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     std::fs::write(path, json).expect("write BENCH_parallel.json");

@@ -11,8 +11,8 @@ use prospector_core::{
     evaluate, exact::ExactConfig, oracle, Plan, PlanContext, Planner, ProspectorGreedy,
     ProspectorLpLf, ProspectorLpNoLf,
 };
-use prospector_data::{SampleSet, ValueSource};
-use prospector_net::{EnergyModel, Topology};
+use prospector_data::{IndependentGaussian, SampleSet, ValueSource};
+use prospector_net::{EnergyModel, NodeId, Topology};
 use prospector_sim::{execute_plan, install_cost, run_exact, run_naive1};
 use std::time::Instant;
 
@@ -1016,6 +1016,58 @@ pub fn e_obs(fast: bool) -> FigureResult {
     }
 }
 
+/// Scale validation (beyond the paper, DESIGN.md §13): wall time of the
+/// LP+LF planner, the claiming-kernel window evaluator, and topology
+/// repair on 1k/10k/50k-node networks. The LP's relevant-edge count is
+/// governed by `k·depth·samples`, not `n`, so plan time should stay
+/// nearly flat while evaluation and repair grow linearly.
+pub fn scale(fast: bool) -> FigureResult {
+    let sizes: &[usize] = if fast { &[1_000, 10_000] } else { &[1_000, 10_000, 50_000] };
+    let k = 10;
+    let num_samples = 10;
+    let em = EnergyModel::mica2();
+    let mut points = Vec::new();
+    for &n in sizes {
+        // Deterministic complete ternary tree (depth ~log3 n). Placing a
+        // radio `Network` is O(n²) and irrelevant here — every layer
+        // under test consumes only the `Topology`.
+        let mut parent: Vec<Option<NodeId>> = vec![None];
+        parent.extend((1..n).map(|i| Some(NodeId::from_index((i - 1) / 3))));
+        let topo = Topology::from_parents(NodeId::from_index(0), parent).expect("ternary tree");
+        let mut source = IndependentGaussian::random(n, 40.0..60.0, 2.0..8.0, 9000 + n as u64);
+        let mut samples = SampleSet::new(n, k, num_samples);
+        for epoch in 0..num_samples as u64 {
+            samples.push(source.values(epoch));
+        }
+        let budget =
+            0.25 * PlanContext::new(&topo, &em, &samples, 0.0).plan_cost(&Plan::naive_k(&topo, k));
+        let ctx = PlanContext::new(&topo, &em, &samples, budget);
+
+        let t0 = Instant::now();
+        let plan = ProspectorLpLf.plan(&ctx).expect("lp+lf at scale");
+        points.push(CurvePoint::new("lp_lf_plan_s", n as f64, t0.elapsed().as_secs_f64()));
+
+        let t0 = Instant::now();
+        let misses = evaluate::expected_misses(&plan, &topo, &samples);
+        points.push(CurvePoint::new("expected_misses_s", n as f64, t0.elapsed().as_secs_f64()));
+        assert!((0.0..=k as f64).contains(&misses), "misses {misses} out of range");
+
+        // Repair after a deterministic 2% death wave.
+        let dead: Vec<NodeId> = (1..n).filter(|i| i % 50 == 7).map(NodeId::from_index).collect();
+        let t0 = Instant::now();
+        let repaired = topo.repair(&dead).expect("repair at scale");
+        points.push(CurvePoint::new("repair_s", n as f64, t0.elapsed().as_secs_f64()));
+        assert_eq!(repaired.len(), topo.len());
+    }
+    FigureResult {
+        id: "scale",
+        title: "Scale: plan/evaluate/repair wall time vs network size",
+        x_label: "nodes",
+        y_label: "wall time (s)",
+        points,
+    }
+}
+
 /// A figure runner: `fast` shrinks sizes for smoke tests.
 pub type FigureFn = fn(bool) -> FigureResult;
 
@@ -1044,6 +1096,7 @@ pub const REGISTRY: &[(&str, FigureFn)] = &[
     ("esensitivity", e_sensitivity),
     ("esubset", e_subset),
     ("obs", e_obs),
+    ("scale", scale),
 ];
 
 /// Looks up one figure runner by its CLI name.

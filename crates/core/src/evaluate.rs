@@ -5,21 +5,35 @@
 //! taken over the sample window. Accuracy in the figures is "the
 //! percentage of actual top-k values returned by the query".
 //!
-//! The `expected_*` functions fan the per-sample simulations out across
-//! the `prospector-par` worker pool (width: `PROSPECTOR_THREADS`, default
+//! The `expected_*` functions fan the per-sample work out across the
+//! `prospector-par` worker pool (width: `PROSPECTOR_THREADS`, default
 //! [`std::thread::available_parallelism`]). Each sample contributes an
 //! **integer** (hits or proven count), and integer addition is associative
 //! and commutative, so the parallel reduction is bit-identical to the
 //! serial one at any thread count — the determinism contract the planners,
 //! figures and CI gate rely on. The `_with` variants take an explicit
 //! thread count for benchmarks and equivalence tests.
+//!
+//! Inside the sample window, [`expected_misses`] no longer re-simulates
+//! the plan per sample: [`hits_on_sample`] claims bandwidth slots in rank
+//! order over the window's stored top-k sets (O(k·depth) per sample), and
+//! the lossy evaluator tests truth membership against the window's packed
+//! bit rows in O(1) per answer reading. Both are proven bit-identical to
+//! the scalar simulation path by `tests/proptest_bitset.rs` and the CI
+//! golden byte-diffs.
 
 use crate::exec::{proven_on_values, run_plan, run_plan_lossy};
 use crate::plan::Plan;
 use prospector_data::{top_k_nodes, SampleSet};
 use prospector_net::{epoch_seed, ArqPolicy, FailureModel, Topology};
+use std::collections::HashMap;
 
 /// Number of true top-k values a plan returns for one epoch's values.
+///
+/// This is the *fresh-values* path (figure accuracy over eval epochs,
+/// runner reports): truth is recomputed from the raw readings. Inside the
+/// sample window use [`hits_on_sample`], which serves truth from the
+/// window's stored top-k membership instead of rebuilding it per call.
 pub fn hits_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: usize) -> usize {
     // Membership by binary search over node ids: `truth` is tiny, but this
     // runs once per sample per candidate plan in the repair loops, so the
@@ -28,6 +42,74 @@ pub fn hits_on_values(plan: &Plan, topology: &Topology, values: &[f64], k: usize
     truth.sort_unstable();
     let out = run_plan(plan, topology, values, k);
     out.answer.iter().filter(|r| truth.binary_search(&r.node).is_ok()).count()
+}
+
+/// Number of window-truth values `plan` delivers for sample `j` — the hot
+/// kernel of [`expected_misses`] — computed **without simulating the
+/// plan**, by rank-order slot claiming over the stored top-k set:
+///
+/// Truth is the sample's global top k under the total rank order
+/// (descending value, ascending id), so every truth value outranks every
+/// non-truth value. At any edge the merged batch is rank-sorted before
+/// truncation to `w_e`, hence the truth values crossing an edge are
+/// exactly the best-ranked `min(w_e, arrivals)` truth values entering it
+/// — fillers never displace truth. Walking `ones(j)` in rank order and
+/// claiming one slot per edge up the root path therefore reproduces
+/// [`run_plan`]'s answer ∩ truth exactly: a value blocked at a full or
+/// unused edge dies there (its claims on the edges *below* stand — it was
+/// merged and forwarded that far), and everything that clears its whole
+/// path survives the root's truncation because at most k truth values
+/// exist.
+///
+/// O(k·depth) per sample against the old O(n log n) re-simulation — the
+/// change that lets the LP+LF / proof repair loops score thousands of
+/// candidate plans at n=50k. Truth here is the window's stored membership
+/// (dead nodes masked out by [`SampleSet::mask_nodes`] never count),
+/// matching the planners' objective.
+pub fn hits_on_sample(plan: &Plan, topology: &Topology, samples: &SampleSet, j: usize) -> usize {
+    let truth = samples.ones(j);
+    let root = topology.root();
+    // Loads of the edges touched by truth paths (≤ k·depth entries, vs an
+    // O(n) scratch row that would dominate the kernel at 50k nodes).
+    let mut load: HashMap<u32, u32> = HashMap::with_capacity(truth.len() * 4);
+    let mut hits = 0usize;
+    'truth: for &i in truth {
+        if i == root {
+            hits += 1; // the root's own reading is always in the answer
+            continue;
+        }
+        for e in topology.edges_to_root(i) {
+            let w = plan.bandwidth(e);
+            if w == 0 {
+                continue 'truth; // unused edge: the value dies here
+            }
+            let slot = load.entry(e.0).or_insert(0);
+            if *slot >= w {
+                continue 'truth; // truncated out by better truth values
+            }
+            *slot += 1;
+        }
+        hits += 1;
+    }
+    hits
+}
+
+/// Reference implementation of [`hits_on_sample`] by full plan simulation,
+/// counting via a popcount intersection against the window's packed top-k
+/// row. Used by the equivalence tests (and CI) that pin the claiming
+/// kernel bit-identical to the scalar path; not a hot path.
+pub fn hits_on_sample_via_simulation(
+    plan: &Plan,
+    topology: &Topology,
+    samples: &SampleSet,
+    j: usize,
+) -> usize {
+    let out = run_plan(plan, topology, samples.values(j), samples.k());
+    let mut answer_bits = vec![0u64; samples.words_per_row()];
+    for r in &out.answer {
+        answer_bits[r.node.index() >> 6] |= 1u64 << (r.node.index() & 63);
+    }
+    samples.intersect_count(j, &answer_bits)
 }
 
 /// Fraction of the true top k returned for one epoch's values (`∈ [0,1]`).
@@ -52,7 +134,7 @@ pub fn expected_misses_with(
     assert!(!samples.is_empty(), "no samples to evaluate against");
     let k = samples.k();
     let per_sample = prospector_par::par_map_range_in(threads, samples.len(), |j| {
-        k - hits_on_values(plan, topology, samples.values(j), k)
+        k - hits_on_sample(plan, topology, samples, j)
     });
     let total: usize = per_sample.into_iter().sum();
     total as f64 / samples.len() as f64
@@ -114,12 +196,14 @@ pub fn expected_accuracy_under_loss_with(
     assert!(!samples.is_empty(), "no samples to evaluate against");
     let k = samples.k();
     let per_sample = prospector_par::par_map_range_in(threads, samples.len(), |j| {
+        // Per-edge RNG loss means the plan genuinely has to run; the win
+        // here is truth membership: an O(1) bit test on the window's
+        // packed top-k row per answer reading, instead of rebuilding and
+        // sorting the truth set per (sample, candidate plan) call.
         let values = samples.values(j);
-        let mut truth = top_k_nodes(values, k);
-        truth.sort_unstable();
         let out =
             run_plan_lossy(plan, topology, values, k, failures, policy, epoch_seed(seed, j as u64));
-        out.answer.iter().filter(|r| truth.binary_search(&r.node).is_ok()).count()
+        out.answer.iter().filter(|r| samples.is_one(j, r.node)).count()
     });
     let total: usize = per_sample.into_iter().sum();
     total as f64 / (samples.len() * k) as f64
@@ -265,6 +349,66 @@ mod tests {
             let par = expected_accuracy_under_loss_with(&p, &t, &s, &fm, &policy, 3, threads);
             assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn claiming_kernel_matches_simulation_on_handcrafted_plans() {
+        // Star, chain and a lopsided tree, with plans that exercise every
+        // kernel branch: unused edges, full edges, deep truncation.
+        let t = chain(6);
+        let s = sample_set(
+            vec![vec![1.0, 5.0, 2.0, 8.0, 3.0, 9.0], vec![9.0, 1.0, 8.0, 2.0, 7.0, 3.0]],
+            3,
+        );
+        for raw in
+            [[0u32, 1, 1, 0, 2, 1], [3, 3, 3, 3, 3, 3], [0, 0, 0, 0, 0, 1], [1, 0, 2, 1, 1, 1]]
+        {
+            let mut p = Plan::empty(6);
+            for (i, &w) in raw.iter().enumerate().skip(1) {
+                p.set_bandwidth(NodeId::from_index(i), w);
+            }
+            for j in 0..s.len() {
+                assert_eq!(
+                    hits_on_sample(&p, &t, &s, j),
+                    hits_on_sample_via_simulation(&p, &t, &s, j),
+                    "plan {raw:?}, sample {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn claiming_kernel_counts_ties_like_the_recomputed_truth() {
+        // All-equal readings: truth is decided purely by the id tie-break.
+        // The cached window truth and a fresh recomputation must agree, and
+        // the kernel must count against exactly that set.
+        let t = star(5);
+        let s = sample_set(vec![vec![7.0; 5], vec![7.0; 5]], 2);
+        for j in 0..s.len() {
+            assert_eq!(s.ones(j), &top_k_nodes(s.values(j), 2)[..], "cached truth drifts on ties");
+        }
+        let mut p = Plan::empty(5);
+        p.set_bandwidth(NodeId(1), 1);
+        p.set_bandwidth(NodeId(2), 1);
+        for j in 0..s.len() {
+            assert_eq!(hits_on_sample(&p, &t, &s, j), hits_on_sample_via_simulation(&p, &t, &s, j));
+        }
+        // Truth = {0 (root), 1}; the plan delivers node 1 and the root is
+        // free, so both truth values arrive.
+        assert_eq!(hits_on_sample(&p, &t, &s, 0), 2);
+    }
+
+    #[test]
+    fn claiming_kernel_respects_masked_windows() {
+        // After masking, the stored truth excludes the dead node; the
+        // kernel must score against the survivors only.
+        let t = star(4);
+        let mut s = sample_set(vec![vec![0.0, 5.0, 6.0, 7.0]], 2);
+        s.mask_nodes(&[NodeId(3)]);
+        assert_eq!(s.ones(0), &[NodeId(2), NodeId(1)]);
+        let p = Plan::naive_k(&t, 2);
+        assert_eq!(hits_on_sample(&p, &t, &s, 0), 2);
+        assert_eq!(hits_on_sample(&p, &t, &s, 0), hits_on_sample_via_simulation(&p, &t, &s, 0));
     }
 
     #[test]

@@ -232,21 +232,21 @@ fn run_proof_plan_impl(
     let mut answer = Vec::new();
     let mut root_proven = 0usize;
 
-    // Membership test for "value v originated in subtree(c)": track the
-    // subtree owner of every node via a child-pointer array filled on the
-    // fly. A reading's origin child under u is found by walking up from
-    // the reading's node; precompute instead: for each node, its ancestor
-    // chain is short, so resolve lazily with parent pointers.
+    // Membership test for "value v originated in subtree(c)": the child of
+    // u on the path from v up to u, or None when v is not a proper
+    // descendant. Depths bound the walk — climb v to depth(u)+1 and check
+    // that one candidate — instead of walking non-descendants all the way
+    // to the root (O(depth) wasted per probe on deep trees).
     let origin_child = |u: NodeId, v: NodeId| -> Option<NodeId> {
-        // The child of u on the path from v up to u, or None when v == u.
-        let mut cur = v;
-        while let Some(p) = topology.parent(cur) {
-            if p == u {
-                return Some(cur);
-            }
-            cur = p;
+        let target = topology.depth(u) + 1;
+        if topology.depth(v) < target {
+            return None;
         }
-        None
+        let mut cur = v;
+        while topology.depth(cur) > target {
+            cur = topology.parent(cur).expect("depth > 0 implies a parent");
+        }
+        (topology.parent(cur) == Some(u)).then_some(cur)
     };
 
     for &u in topology.post_order() {

@@ -194,7 +194,11 @@ fn build_lp(ctx: &PlanContext<'_>) -> (Problem, Vec<Option<VarId>>) {
 /// its candidates serially (the outer fan-out already saturates the pool).
 /// Scores are reduced in edge order with the same strict comparison as the
 /// old serial loop, so the chosen drop — and therefore the final plan — is
-/// identical at any thread count.
+/// identical at any thread count. Each score is an `expected_misses` call,
+/// which `evaluate::hits_on_sample` serves from the window's stored top-k
+/// sets in O(k·depth) per sample — this loop visits every used edge per
+/// round, so the old per-candidate re-simulation was the piece that made
+/// LP+LF planning collapse beyond a few thousand nodes.
 fn repair_budget(plan: &mut Plan, ctx: &PlanContext<'_>) {
     let topo = ctx.topology;
     loop {

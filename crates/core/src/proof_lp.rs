@@ -301,7 +301,11 @@ fn fill_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>, strategy: FillStrat
 ///
 /// Candidate drops are scored on the worker pool (serial inner
 /// evaluation, edge-order reduction), so the chosen drop is identical to
-/// the serial loop at any thread count.
+/// the serial loop at any thread count. Unlike the LP+LF repair loop,
+/// proof scoring cannot use the rank-order claiming kernel (proofs need
+/// the raw values and witness sets), so `expected_proven` still simulates
+/// — over the CSR topology, which keeps the per-node merge loop free of
+/// pointer chasing.
 fn repair_proof_budget(plan: &mut Plan, ctx: &PlanContext<'_>) {
     let topo = ctx.topology;
     let overhead = ctx.proof_overhead();

@@ -1,0 +1,145 @@
+//! Packed-bitset / claiming-kernel ≡ scalar simulation: the fast window
+//! evaluators (`hits_on_sample` rank-order slot claiming, packed-row truth
+//! membership in the lossy evaluator) must be **bit-identical** to the
+//! plan-simulation path on arbitrary topologies, plans, k values and
+//! windows, at 1/2/8 threads. This is the bit-identity contract of
+//! DESIGN.md §13 that the CI golden byte-diffs rest on.
+
+use proptest::prelude::*;
+use prospector_core::{evaluate, Plan};
+use prospector_data::SampleSet;
+use prospector_net::{ArqPolicy, Backoff, FailureModel, NodeId, Topology};
+
+/// Random tree over n nodes: each node's parent is a random earlier node.
+fn arb_topology(max_n: usize) -> impl Strategy<Value = Topology> {
+    (2..=max_n)
+        .prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<u32>> = (1..n).map(|i| (0..i as u32).boxed()).collect();
+            (Just(n), parents)
+        })
+        .prop_map(|(n, parents)| {
+            let mut parent = vec![None];
+            parent.extend(parents.into_iter().map(|p| Some(NodeId(p))));
+            let _ = n;
+            Topology::from_parents(NodeId(0), parent).expect("random parents form a tree")
+        })
+}
+
+/// A random plan: bandwidths within subtree sizes, including unused edges
+/// (disconnected subtrees are part of the execution semantics the kernel
+/// must reproduce, so no connectivity repair here).
+fn make_plan(topology: &Topology, raw: &[u32]) -> Plan {
+    let mut plan = Plan::empty(topology.len());
+    for e in topology.edges() {
+        let cap = topology.subtree_size(e) as u32;
+        plan.set_bandwidth(e, raw[e.index()] % (cap + 1));
+    }
+    plan
+}
+
+/// Deterministic pseudo-random reading for node `i` of sample `j`. A
+/// coarse modulus forces plenty of exact ties, exercising the id
+/// tie-break on both paths.
+fn reading(seed: u64, j: u64, i: u64) -> f64 {
+    let h =
+        seed.wrapping_add(j.wrapping_mul(0x9E3779B9)).wrapping_mul(i + 1).wrapping_mul(2654435761);
+    (h % 97) as f64
+}
+
+fn sample_window(n: usize, k: usize, num_samples: usize, seed: u64) -> SampleSet {
+    let mut samples = SampleSet::new(n, k, num_samples);
+    for j in 0..num_samples as u64 {
+        samples.push((0..n as u64).map(|i| reading(seed, j, i)).collect());
+    }
+    samples
+}
+
+/// `expected_misses` as the scalar path computes it: simulate the plan
+/// per sample and count the answer against the stored window truth.
+fn expected_misses_scalar(plan: &Plan, topo: &Topology, samples: &SampleSet) -> f64 {
+    let k = samples.k();
+    let total: usize = (0..samples.len())
+        .map(|j| k - evaluate::hits_on_sample_via_simulation(plan, topo, samples, j))
+        .sum();
+    total as f64 / samples.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn claiming_kernel_is_bit_identical_to_simulation(
+        topo in arb_topology(24),
+        raw in proptest::collection::vec(0u32..7, 24),
+        seed in 0u64..1000,
+        num_samples in 1usize..10,
+        k in 1usize..7,
+        mask in proptest::collection::vec(1u32..24, 0..3),
+    ) {
+        let n = topo.len();
+        let k = k.min(n);
+        let mut samples = sample_window(n, k, num_samples, seed);
+        // Masked windows (post-death) are the state the repair loops
+        // actually score against; include them.
+        let dead: Vec<NodeId> = mask.iter().map(|&d| NodeId(d % n as u32)).filter(|&d| d != NodeId(0)).collect();
+        samples.mask_nodes(&dead);
+        let plan = make_plan(&topo, &raw);
+
+        for j in 0..samples.len() {
+            prop_assert_eq!(
+                evaluate::hits_on_sample(&plan, &topo, &samples, j),
+                evaluate::hits_on_sample_via_simulation(&plan, &topo, &samples, j),
+                "kernel vs simulation diverged on sample {}", j
+            );
+        }
+
+        let scalar = expected_misses_scalar(&plan, &topo, &samples);
+        for threads in [1usize, 2, 8] {
+            let fast = evaluate::expected_misses_with(&plan, &topo, &samples, threads);
+            prop_assert_eq!(fast.to_bits(), scalar.to_bits(),
+                "expected_misses diverged at {} threads: {} vs {}", threads, fast, scalar);
+            let acc = evaluate::expected_accuracy_with(&plan, &topo, &samples, threads);
+            let scalar_acc = 1.0 - scalar / samples.k() as f64;
+            prop_assert_eq!(acc.to_bits(), scalar_acc.to_bits());
+        }
+    }
+
+    #[test]
+    fn lossy_packed_truth_is_bit_identical_to_scalar(
+        topo in arb_topology(16),
+        raw in proptest::collection::vec(0u32..5, 16),
+        seed in 0u64..500,
+        num_samples in 1usize..8,
+        k in 1usize..5,
+        loss_pct in 0u32..60,
+        retries in 0u32..3,
+    ) {
+        let n = topo.len();
+        let k = k.min(n);
+        let samples = sample_window(n, k, num_samples, seed);
+        let plan = make_plan(&topo, &raw);
+        let fm = FailureModel::uniform(n, loss_pct as f64 / 100.0, 0.0);
+        let policy = ArqPolicy { max_retries: retries, backoff: Backoff::none() };
+
+        // Scalar reference: identical loss realization (same seeds), truth
+        // membership by sorted scan over the stored ones list.
+        let scalar: f64 = {
+            let total: usize = (0..samples.len()).map(|j| {
+                let mut truth: Vec<NodeId> = samples.ones(j).to_vec();
+                truth.sort_unstable();
+                let out = prospector_core::run_plan_lossy(
+                    &plan, &topo, samples.values(j), k, &fm, &policy,
+                    prospector_net::epoch_seed(seed, j as u64),
+                );
+                out.answer.iter().filter(|r| truth.binary_search(&r.node).is_ok()).count()
+            }).sum();
+            total as f64 / (samples.len() * k) as f64
+        };
+        for threads in [1usize, 2, 8] {
+            let fast = evaluate::expected_accuracy_under_loss_with(
+                &plan, &topo, &samples, &fm, &policy, seed, threads);
+            prop_assert_eq!(fast.to_bits(), scalar.to_bits(),
+                "lossy accuracy diverged at {} threads: {} vs {}", threads, fast, scalar);
+        }
+    }
+}

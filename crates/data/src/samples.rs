@@ -44,19 +44,32 @@ impl Ord for Reading {
 }
 
 /// Nodes holding the top `k` values of `values` (deterministic
-/// tie-breaking), in rank order.
+/// tie-breaking), in rank order. Empty input or `k == 0` yields an empty
+/// vector; `k > n` clamps to all nodes.
 pub fn top_k_nodes(values: &[f64], k: usize) -> Vec<NodeId> {
+    if values.is_empty() || k == 0 {
+        return Vec::new();
+    }
     let mut readings: Vec<Reading> = values
         .iter()
         .enumerate()
         .map(|(i, &v)| Reading { node: NodeId::from_index(i), value: v })
         .collect();
     let k = k.min(readings.len());
-    let nth = k.saturating_sub(1).min(readings.len() - 1);
-    readings.select_nth_unstable_by(nth, Reading::rank_cmp);
+    readings.select_nth_unstable_by(k - 1, Reading::rank_cmp);
     readings.truncate(k);
     readings.sort_unstable_by(Reading::rank_cmp);
     readings.into_iter().map(|r| r.node).collect()
+}
+
+/// Packs a top-k node set into `words` `u64` words (bit `i` of the row =
+/// node `i`'s membership).
+fn pack_row(ones: &[NodeId], words: usize) -> Vec<u64> {
+    let mut row = vec![0u64; words];
+    for node in ones {
+        row[node.index() >> 6] |= 1u64 << (node.index() & 63);
+    }
+    row
 }
 
 /// Captured [`SampleSet`] parts that do not describe a valid window (see
@@ -117,6 +130,12 @@ pub struct SampleSet {
     window: VecDeque<Vec<f64>>,
     /// `ones(j)`: the top-k node set per sample, in rank order.
     ones: VecDeque<Vec<NodeId>>,
+    /// Packed mirror of `ones`: one `⌈n/64⌉`-word row per sample, bit `i`
+    /// set iff node `i` is in the sample's top k. Derived state — always
+    /// rebuilt from `ones`, never restored independently — giving the
+    /// evaluators O(1) membership tests and word-wide popcount
+    /// intersections over cache-dense rows.
+    bits: VecDeque<Vec<u64>>,
     /// Number of samples in which each node appears in the top k.
     column_counts: Vec<u32>,
 }
@@ -134,6 +153,7 @@ impl SampleSet {
             capacity,
             window: VecDeque::new(),
             ones: VecDeque::new(),
+            bits: VecDeque::new(),
             column_counts: vec![0; n],
         }
     }
@@ -178,7 +198,11 @@ impl SampleSet {
         if recount != column_counts {
             return Err(SamplePartsError::InconsistentCounts);
         }
-        Ok(SampleSet { n, k, capacity, window, ones, column_counts })
+        // The packed rows are pure derived state, so checkpoints never
+        // carry them: rebuild from the restored top-k sets.
+        let words = n.div_ceil(64);
+        let bits = ones.iter().map(|one| pack_row(one, words)).collect();
+        Ok(SampleSet { n, k, capacity, window, ones, bits, column_counts })
     }
 
     /// Window capacity (maximum retained samples).
@@ -191,6 +215,7 @@ impl SampleSet {
         assert_eq!(values.len(), self.n, "sample size mismatch");
         if self.window.len() == self.capacity {
             self.window.pop_front();
+            self.bits.pop_front();
             let old = self.ones.pop_front().expect("ones tracks window");
             for node in old {
                 self.column_counts[node.index()] -= 1;
@@ -200,6 +225,7 @@ impl SampleSet {
         for &node in &top {
             self.column_counts[node.index()] += 1;
         }
+        self.bits.push_back(pack_row(&top, self.words_per_row()));
         self.window.push_back(values);
         self.ones.push_back(top);
     }
@@ -240,9 +266,32 @@ impl SampleSet {
         &self.ones[j]
     }
 
-    /// True iff the matrix entry `M[j][node]` is 1.
+    /// Words per packed top-k row (`⌈n/64⌉`).
+    pub fn words_per_row(&self) -> usize {
+        self.n.div_ceil(64)
+    }
+
+    /// Sample `j`'s top-k membership as a packed bit row: bit `i` (word
+    /// `i/64`, bit `i%64`) is set iff node `i` is in the top k. The same
+    /// sets as [`SampleSet::ones`], laid out for O(1) membership tests and
+    /// word-wide intersections.
+    pub fn topk_bits(&self, j: usize) -> &[u64] {
+        &self.bits[j]
+    }
+
+    /// True iff the matrix entry `M[j][node]` is 1 — an O(1) bit test on
+    /// the packed row (the old `contains` scan over `ones(j)` was O(k) per
+    /// probe, which the lossy evaluator pays per answer reading per sample
+    /// per candidate plan).
     pub fn is_one(&self, j: usize, node: NodeId) -> bool {
-        self.ones[j].contains(&node)
+        self.bits[j][node.index() >> 6] & (1u64 << (node.index() & 63)) != 0
+    }
+
+    /// Size of the intersection of sample `j`'s top-k set with another
+    /// packed row of the same width: a popcount loop over `⌈n/64⌉` words.
+    pub fn intersect_count(&self, j: usize, other: &[u64]) -> usize {
+        debug_assert_eq!(other.len(), self.words_per_row());
+        self.bits[j].iter().zip(other).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Column sums of the Boolean matrix: in how many window samples each
@@ -264,7 +313,10 @@ impl SampleSet {
             return;
         }
         self.column_counts.fill(0);
-        for (row, ones) in self.window.iter_mut().zip(self.ones.iter_mut()) {
+        let words = self.words_per_row();
+        for ((row, ones), bits) in
+            self.window.iter_mut().zip(self.ones.iter_mut()).zip(self.bits.iter_mut())
+        {
             for &node in nodes {
                 row[node.index()] = f64::NEG_INFINITY;
             }
@@ -272,6 +324,7 @@ impl SampleSet {
             // With fewer than k survivors the top-k would include masked
             // entries; a dead node must never count as a top-k holder.
             ones.retain(|n| row[n.index()] != f64::NEG_INFINITY);
+            *bits = pack_row(ones, words);
             for &node in ones.iter() {
                 self.column_counts[node.index()] += 1;
             }
@@ -348,6 +401,62 @@ mod tests {
     fn top_k_deterministic_under_ties() {
         let values = vec![5.0, 5.0, 5.0, 5.0];
         assert_eq!(top_k_nodes(&values, 2), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn top_k_empty_input_is_empty() {
+        // Regression: `k.saturating_sub(1).min(readings.len() - 1)` used
+        // to underflow (panic) on an empty slice.
+        assert_eq!(top_k_nodes(&[], 3), Vec::<NodeId>::new());
+        assert_eq!(top_k_nodes(&[], 0), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn top_k_zero_k_is_empty() {
+        // Regression: k == 0 used to select the single best node anyway.
+        assert_eq!(top_k_nodes(&[3.0, 1.0, 2.0], 0), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn top_k_above_n_clamps_to_all() {
+        let got = top_k_nodes(&[1.0, 3.0, 2.0], 7);
+        assert_eq!(got, vec![NodeId(1), NodeId(2), NodeId(0)]);
+    }
+
+    /// The packed rows must mirror `ones(j)` exactly through pushes,
+    /// evictions and masking — the invariant every popcount evaluator
+    /// rests on.
+    fn assert_bits_mirror_ones(s: &SampleSet) {
+        for j in 0..s.len() {
+            let expect = pack_row(s.ones(j), s.words_per_row());
+            assert_eq!(s.topk_bits(j), &expect[..], "sample {j} bits diverge from ones");
+            for i in 0..s.num_nodes() {
+                let node = NodeId::from_index(i);
+                assert_eq!(s.is_one(j, node), s.ones(j).contains(&node));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bits_track_push_evict_and_mask() {
+        let mut s = SampleSet::new(70, 3, 2); // >64 nodes: two words per row
+        for r in 0..3u64 {
+            s.push((0..70).map(|i| ((i as u64 * 37 + r * 11) % 71) as f64).collect());
+            assert_bits_mirror_ones(&s);
+        }
+        assert_eq!(s.words_per_row(), 2);
+        s.mask_nodes(&[NodeId(69), NodeId(3)]);
+        assert_bits_mirror_ones(&s);
+    }
+
+    #[test]
+    fn intersect_count_popcounts_common_members() {
+        let mut s = SampleSet::new(4, 2, 4);
+        s.push(vec![1.0, 9.0, 3.0, 7.0]); // top-2: n1, n3
+        let mut other = vec![0u64; s.words_per_row()];
+        other[0] |= (1 << 1) | (1 << 2); // {n1, n2}
+        assert_eq!(s.intersect_count(0, &other), 1);
+        assert_eq!(s.intersect_count(0, &[0]), 0);
     }
 
     #[test]
@@ -487,6 +596,7 @@ mod tests {
         for j in 0..s.len() {
             assert_eq!(r.values(j), s.values(j));
             assert_eq!(r.ones(j), s.ones(j));
+            assert_eq!(r.topk_bits(j), s.topk_bits(j), "packed rows rebuilt from ones");
         }
     }
 

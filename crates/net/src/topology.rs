@@ -79,7 +79,13 @@ impl std::error::Error for RepairError {}
 pub struct Topology {
     root: NodeId,
     parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    /// Children in CSR layout: node `i`'s children are
+    /// `child_arena[child_off[i]..child_off[i+1]]`, in ascending child id.
+    /// One arena allocation for the whole tree instead of a `Vec` per node
+    /// — at 50k nodes the per-node-vec layout cost one heap allocation and
+    /// one pointer chase per node on every traversal.
+    child_arena: Vec<NodeId>,
+    child_off: Vec<u32>,
     depth: Vec<u32>,
     /// Nodes in an order where every child precedes its parent.
     post_order: Vec<NodeId>,
@@ -97,7 +103,11 @@ impl Topology {
         if parent[root.index()].is_some() {
             return Err(TopologyError::RootHasParent(root));
         }
-        let mut children = vec![Vec::new(); n];
+        // Children in CSR form: count per parent, prefix-sum into offsets,
+        // fill in ascending child id (the same per-parent order the old
+        // per-node `Vec::push` loop produced, so traversal — and with it
+        // every merge order and trace — is unchanged).
+        let mut counts = vec![0u32; n];
         for (i, p) in parent.iter().enumerate() {
             let node = NodeId::from_index(i);
             match p {
@@ -107,8 +117,20 @@ impl Topology {
                     if p.index() >= n {
                         return Err(TopologyError::ParentOutOfRange { node, parent: *p });
                     }
-                    children[p.index()].push(node);
+                    counts[p.index()] += 1;
                 }
+            }
+        }
+        let mut child_off = vec![0u32; n + 1];
+        for i in 0..n {
+            child_off[i + 1] = child_off[i] + counts[i];
+        }
+        let mut cursor = child_off[..n].to_vec();
+        let mut child_arena = vec![NodeId(0); n - 1];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                child_arena[cursor[p.index()] as usize] = NodeId::from_index(i);
+                cursor[p.index()] += 1;
             }
         }
 
@@ -122,7 +144,8 @@ impl Topology {
         while head < order.len() {
             let u = order[head];
             head += 1;
-            for &c in &children[u.index()] {
+            let (lo, hi) = (child_off[u.index()] as usize, child_off[u.index() + 1] as usize);
+            for &c in &child_arena[lo..hi] {
                 depth[c.index()] = depth[u.index()] + 1;
                 order.push(c);
             }
@@ -139,7 +162,7 @@ impl Topology {
             }
         }
 
-        Ok(Topology { root, parent, children, depth, post_order, subtree_size })
+        Ok(Topology { root, parent, child_arena, child_off, depth, post_order, subtree_size })
     }
 
     /// Number of nodes.
@@ -168,9 +191,10 @@ impl Topology {
         self.parent.clone()
     }
 
-    /// Children of `n`.
+    /// Children of `n` (a slice of the CSR arena, in ascending child id).
     pub fn children(&self, n: NodeId) -> &[NodeId] {
-        &self.children[n.index()]
+        let i = n.index();
+        &self.child_arena[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
     /// Number of tree edges between `n` and the root; this also equals the
@@ -186,7 +210,7 @@ impl Topology {
 
     /// True when `n` has no children.
     pub fn is_leaf(&self, n: NodeId) -> bool {
-        self.children[n.index()].is_empty()
+        self.child_off[n.index()] == self.child_off[n.index() + 1]
     }
 
     /// Nodes in post order (every child precedes its parent); collection
@@ -222,7 +246,7 @@ impl Topology {
         let mut stack = vec![n];
         while let Some(u) = stack.pop() {
             out.push(u);
-            stack.extend_from_slice(&self.children[u.index()]);
+            stack.extend_from_slice(self.children(u));
         }
         out
     }
@@ -270,6 +294,22 @@ impl Topology {
             is_dead[d.index()] = true;
         }
 
+        // Memoized surviving-ancestor resolution: `resolved[i]` is the
+        // nearest surviving ancestor of `i` (itself when alive). Computed
+        // in level order so a node's parent is always resolved first —
+        // one O(1) step per node instead of the old per-node climb up
+        // `self.parent`, which was O(n·depth) (quadratic on a chain of
+        // deaths: every survivor re-walked the same dead prefix).
+        let mut resolved: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        for u in self.level_order() {
+            if is_dead[u.index()] {
+                // The root was rejected above, so `u` has a parent, and
+                // level order guarantees it is already resolved.
+                let p = self.parent[u.index()].expect("dead root was rejected above");
+                resolved[u.index()] = resolved[p.index()];
+            }
+        }
+
         let mut parent = self.parent.clone();
         for i in 0..n {
             let node = NodeId::from_index(i);
@@ -281,13 +321,8 @@ impl Topology {
                 parent[i] = Some(self.root);
                 continue;
             }
-            // Climb past any dead ancestors to the first surviving one;
-            // the root survives, so this always terminates with Some.
-            let mut p = self.parent[i].expect("non-root has a parent");
-            while is_dead[p.index()] {
-                p = self.parent[p.index()].expect("dead root was rejected above");
-            }
-            parent[i] = Some(p);
+            let p = self.parent[i].expect("non-root has a parent");
+            parent[i] = Some(resolved[p.index()]);
         }
 
         Ok(Topology::from_parents(self.root, parent)
@@ -523,6 +558,81 @@ mod tests {
         for e in t.edges() {
             assert_eq!(r.parent(e), t.parent(e));
         }
+    }
+
+    /// The old per-node ancestor climb, kept as the reference semantics
+    /// for [`Topology::repair`]'s memoized resolution.
+    fn repair_reference_climb(t: &Topology, dead: &[NodeId]) -> Vec<Option<NodeId>> {
+        let mut is_dead = vec![false; t.len()];
+        for &d in dead {
+            is_dead[d.index()] = true;
+        }
+        let mut parent = t.parent_vec();
+        for i in 0..t.len() {
+            let node = NodeId::from_index(i);
+            if node == t.root() {
+                continue;
+            }
+            if is_dead[i] {
+                parent[i] = Some(t.root());
+                continue;
+            }
+            let mut p = t.parent(node).expect("non-root has a parent");
+            while is_dead[p.index()] {
+                p = t.parent(p).expect("root is alive");
+            }
+            parent[i] = Some(p);
+        }
+        parent
+    }
+
+    #[test]
+    fn repair_chain_of_deaths_matches_reference_climb() {
+        // A chain with long dead runs is the memoization's worst case:
+        // every survivor's old parent sits deep inside a dead prefix. The
+        // memoized repair must re-parent identically to the old climb.
+        let n = 400;
+        let t = chain(n);
+        // Kill runs of 37 dead followed by 3 survivors, plus the whole
+        // stretch right below the root.
+        let dead: Vec<NodeId> =
+            (1..n).filter(|&i| i < 60 || i % 40 < 37).map(NodeId::from_index).collect();
+        let r = t.repair(&dead).unwrap();
+        let expect = repair_reference_climb(&t, &dead);
+        for (i, &want) in expect.iter().enumerate() {
+            assert_eq!(r.parent(NodeId::from_index(i)), want, "node {i}");
+        }
+        // Also on a branchier shape with scattered deaths.
+        let t = balanced(3, 5);
+        let dead: Vec<NodeId> =
+            (1..t.len()).filter(|&i| i % 3 == 1 || i % 7 == 0).map(NodeId::from_index).collect();
+        let r = t.repair(&dead).unwrap();
+        let expect = repair_reference_climb(&t, &dead);
+        for (i, &want) in expect.iter().enumerate() {
+            assert_eq!(r.parent(NodeId::from_index(i)), want, "balanced node {i}");
+        }
+    }
+
+    #[test]
+    fn repair_is_linear_on_a_chain_of_deaths() {
+        // Regression for the O(n·depth) climb: with every interior node of
+        // a 30k chain dead, the old code walked ~4.5e8 parent hops; the
+        // memoized repair does one hop per node and finishes in
+        // milliseconds. The generous ceiling only trips on the quadratic
+        // behaviour, not on a slow CI host.
+        let n = 30_000;
+        let t = chain(n);
+        let dead: Vec<NodeId> = (1..n - 1).map(NodeId::from_index).collect();
+        let start = std::time::Instant::now();
+        let r = t.repair(&dead).unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "repair took {:?} on a chain of deaths — quadratic climb is back",
+            start.elapsed()
+        );
+        assert_eq!(r.parent(NodeId::from_index(n - 1)), Some(NodeId(0)));
+        assert_eq!(r.children(NodeId(0)).len(), n - 1);
+        assert_eq!(r.depth(NodeId::from_index(n - 1)), 1);
     }
 
     #[test]

@@ -634,6 +634,9 @@ impl<'a> ExperimentRunner<'a> {
             let install = match &self.plan {
                 None => true,
                 Some(current) => {
+                    // Scored by the rank-order claiming kernel over the
+                    // window's stored top-k sets (O(k·depth) per sample),
+                    // so this comparison stays cheap at 50k nodes.
                     let cur = evaluate::expected_misses(current, &self.topology, &self.samples);
                     let new = evaluate::expected_misses(&candidate, &self.topology, &self.samples);
                     cur - new >= self.config.replan_threshold
