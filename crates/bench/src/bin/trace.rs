@@ -4,7 +4,7 @@
 //! ```text
 //! trace [--metrics] [--checkpoint-dir DIR] [--ckpt-every N] [--kill-at E]
 //!       [--resume] [--resume-epoch] [--epoch-delay-ms M]
-//!       [clean|loss_arq|death_repair]
+//!       [clean|loss_arq|death_repair|data_fault]
 //! ```
 //!
 //! Stdout carries exactly the bytes the golden-trace harness diffs

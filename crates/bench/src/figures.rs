@@ -786,6 +786,7 @@ pub fn fault_tolerance(fast: bool) -> FigureResult {
             arq: ArqPolicy::default(),
             min_delivered: 0.0,
             max_retry_budget: 8,
+            gate: None,
             seed: 87,
         };
         let mut source = prospector_data::IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 87);
@@ -815,6 +816,109 @@ pub fn fault_tolerance(fast: bool) -> FigureResult {
         title: "Fault tolerance: node-death rate vs accuracy (Section 4.4)",
         x_label: "fraction of non-root nodes killed",
         y_label: "accuracy (%) / epochs / energy (mJ)",
+        points,
+    }
+}
+
+/// Extension (DESIGN.md §14): the faulty-sensor grid behind
+/// `BENCH_dfault.json`. A growing fraction of non-root sensors is
+/// corrupted mid-run — stuck at a high level, drifting, spiking, or
+/// noisy — and every cell is run twice: with the sampling-based
+/// plausibility gate off and on. The headline is the accuracy column:
+/// ungated runs answer with the corrupted readings (and let them poison
+/// the sample window at sweep epochs), while gated runs flag
+/// out-of-band readings, substitute the window prediction, and
+/// quarantine repeat offenders — recovering most of the lost accuracy.
+pub fn dfault(fast: bool) -> FigureResult {
+    use prospector_core::{FallbackPlanner, GatePolicy};
+    use prospector_data::SamplePolicy;
+    use prospector_net::{ArqPolicy, DataFault, FaultSchedule, NetworkBuilder};
+    use prospector_sim::{ExperimentConfig, ExperimentRunner};
+    use std::fmt::Write as _;
+
+    let (n, k, epochs) = if fast { (30usize, 4usize, 48u64) } else { (60, 8, 120) };
+    let side = 40.0 * (n as f64).sqrt();
+    let network =
+        NetworkBuilder::new(n, side, side, 70.0).seed(55).build().expect("connected placement");
+    let topo = &network.topology;
+    let em = EnergyModel::mica2();
+
+    let mut probe = prospector_data::IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 55);
+    let probe_values = probe.values(0);
+    let naive_cost =
+        execute_plan(&Plan::naive_k(topo, k), topo, &em, &probe_values, k, None).total_mj();
+
+    // Sources sit in 40..60 with σ in 1..4, so each kind lands a
+    // different distance outside the z·σ band: stuck-at and spikes are
+    // flagrant, drift crosses the band only after several epochs, and
+    // uniform noise is out of band only on its larger draws.
+    let kinds: &[(&str, DataFault)] = &[
+        ("stuck_at", DataFault::StuckAt { level: 95.0 }),
+        ("drift", DataFault::Drift { rate: 2.0 }),
+        ("spike", DataFault::Spike { magnitude: 40.0 }),
+        ("noise", DataFault::Noise { amplitude: 30.0 }),
+    ];
+    let fractions: &[f64] = if fast { &[0.0, 0.1, 0.2] } else { &[0.0, 0.05, 0.1, 0.2, 0.3] };
+    let warmup = 8u64;
+    let onset = warmup + 2;
+    let mut points = Vec::new();
+    let mut dump = String::from("{\n  \"bench\": \"dfault\",\n  \"series\": {");
+    let mut first_series = true;
+    for &(kind_name, fault) in kinds {
+        for gated in [false, true] {
+            let series = format!("{kind_name}-{}", if gated { "gated" } else { "ungated" });
+            let _ = write!(dump, "{}\n    \"{series}\": [", if first_series { "" } else { "," });
+            first_series = false;
+            for (fi, &fraction) in fractions.iter().enumerate() {
+                let count = (fraction * (n - 1) as f64).round() as usize;
+                // Faults switch on after warmup and persist to the end.
+                let faults =
+                    FaultSchedule::random_data_faults(n, count, onset, epochs - onset, fault, 55);
+                let config = ExperimentConfig {
+                    k,
+                    window: 10,
+                    // Sweeps interleave with queries past warmup, so the
+                    // ungated window keeps ingesting corrupted readings.
+                    policy: SamplePolicy::Periodic { warmup, period: 6 },
+                    budget_mj: 0.4 * naive_cost,
+                    replan_every: 8,
+                    replan_threshold: 0.1,
+                    failures: None,
+                    faults,
+                    install_retries: 2,
+                    arq: ArqPolicy::default(),
+                    min_delivered: 0.0,
+                    max_retry_budget: 8,
+                    gate: gated.then(GatePolicy::default),
+                    seed: 55,
+                };
+                let planner = FallbackPlanner::standard();
+                let mut source =
+                    prospector_data::IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 55);
+                let mut runner = ExperimentRunner::new(topo, &em, &planner, config);
+                let reports = runner.run(&mut source, epochs).expect("dfault run completes");
+                let scored: Vec<f64> =
+                    reports.iter().filter(|r| r.epoch >= onset).map(|r| r.accuracy).collect();
+                let acc = 100.0 * scored.iter().sum::<f64>() / scored.len() as f64;
+                points.push(CurvePoint::new(series.clone(), fraction, acc));
+                let _ = write!(dump, "{}[{fraction}, {acc:.3}]", if fi > 0 { ", " } else { "" });
+            }
+            dump.push(']');
+        }
+    }
+    dump.push_str("\n  }\n}\n");
+    if !fast {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dfault.json");
+        match std::fs::write(path, dump) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => eprintln!("[failed to write {path}: {e}]"),
+        }
+    }
+    FigureResult {
+        id: "dfault",
+        title: "Faulty sensors: corrupted fraction vs accuracy, gated and ungated (DESIGN.md §14)",
+        x_label: "fraction of non-root sensors corrupted",
+        y_label: "query accuracy (%)",
         points,
     }
 }
@@ -1092,6 +1196,7 @@ pub const REGISTRY: &[(&str, FigureFn)] = &[
     ("ablation", ablation_fill),
     ("efailures", e_failures),
     ("fault_tolerance", fault_tolerance),
+    ("dfault", dfault),
     ("eloss", e_loss),
     ("esensitivity", e_sensitivity),
     ("esubset", e_subset),
@@ -1193,6 +1298,45 @@ mod tests {
             // The constant transient-loss floor keeps the per-hop ARQ
             // busy, so retransmissions are metered at every death rate.
             assert!(at("retransmit-energy", rate) > 0.0, "no ARQ work at rate {rate}");
+        }
+    }
+
+    #[test]
+    fn dfault_fast_shape() {
+        let f = dfault(true);
+        let at = |series: &str, x: f64| {
+            f.points
+                .iter()
+                .find(|p| p.series == series && p.x == x)
+                .unwrap_or_else(|| panic!("missing {series} at {x}"))
+                .y
+        };
+        // With no faulty sensors, the gate is observation-only: the gated
+        // and ungated runs are the same run, bit for bit.
+        for kind in ["stuck_at", "drift", "spike", "noise"] {
+            let gated = at(&format!("{kind}-gated"), 0.0);
+            let ungated = at(&format!("{kind}-ungated"), 0.0);
+            assert_eq!(gated.to_bits(), ungated.to_bits(), "{kind}: gate changed a clean run");
+        }
+        // The headline: at 10% stuck-at-max sensors, gating recovers a
+        // measured margin of the lost accuracy.
+        let gated = at("stuck_at-gated", 0.1);
+        let ungated = at("stuck_at-ungated", 0.1);
+        assert!(
+            gated > ungated + 5.0,
+            "gating must beat ungated at 10% stuck-at: gated {gated:.1}%, ungated {ungated:.1}%"
+        );
+        // Gating never hurts, at any fraction, for any fault kind.
+        for p in &f.points {
+            if let Some(kind) = p.series.strip_suffix("-gated") {
+                let ungated = at(&format!("{kind}-ungated"), p.x);
+                assert!(
+                    p.y >= ungated - 1e-9,
+                    "gating hurt {kind} at {}: gated {:.1}%, ungated {ungated:.1}%",
+                    p.x,
+                    p.y
+                );
+            }
         }
     }
 

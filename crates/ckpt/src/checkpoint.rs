@@ -14,7 +14,7 @@
 //!
 //! ```text
 //! magic    8 bytes   "PRSPCKPT"
-//! version  u32 LE    currently 1
+//! version  u32 LE    currently 2
 //! length   u64 LE    payload byte count
 //! checksum u64 LE    FNV-1a 64 of the payload
 //! payload  length bytes, fields in the fixed order of `encode`
@@ -27,11 +27,11 @@
 //! truncation — surfaces as a typed [`CheckpointError`].
 
 use crate::codec::{fnv1a64, DecodeError, Reader, Writer};
-use prospector_core::Plan;
+use prospector_core::{GatePolicy, Plan, TrustState};
 use prospector_data::{SamplePolicy, SampleSet};
 use prospector_net::{
-    ArqPolicy, Backoff, EnergyMeter, FailureModel, FaultEvent, FaultSchedule, NodeId, Topology,
-    NUM_PHASES,
+    ArqPolicy, Backoff, DataFault, EnergyMeter, FailureModel, FaultEvent, FaultSchedule, NodeId,
+    Topology, NUM_PHASES,
 };
 use prospector_obs::{Histogram, MetricsSnapshot};
 use std::collections::VecDeque;
@@ -39,8 +39,10 @@ use std::collections::VecDeque;
 /// File magic: identifies a Prospector checkpoint.
 pub const MAGIC: [u8; 8] = *b"PRSPCKPT";
 
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 added data faults (with the
+/// schedule's noise seed), the plausibility-gate policy, and per-node
+/// trust state.
+pub const VERSION: u32 = 2;
 
 /// Header bytes preceding the payload (magic + version + length +
 /// checksum).
@@ -51,7 +53,7 @@ pub const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 pub enum CheckpointError {
     /// The stream does not start with [`MAGIC`].
     BadMagic,
-    /// The stream's version is newer than this build understands.
+    /// The stream's version is not the one this build reads and writes.
     UnsupportedVersion { found: u32 },
     /// The stream is shorter than the header + declared payload length.
     Truncated { declared: u64, available: usize },
@@ -69,7 +71,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::BadMagic => write!(f, "not a Prospector checkpoint (bad magic)"),
             CheckpointError::UnsupportedVersion { found } => {
-                write!(f, "checkpoint version {found} is newer than supported version {VERSION}")
+                write!(f, "checkpoint version {found} does not match supported version {VERSION}")
             }
             CheckpointError::Truncated { declared, available } => {
                 write!(f, "checkpoint truncated: header declares {declared} payload bytes, {available} present")
@@ -118,6 +120,8 @@ pub struct Checkpoint {
     pub config_arq: ArqPolicy,
     pub min_delivered: f64,
     pub max_retry_budget: u32,
+    /// The plausibility-gate policy, if gating is enabled.
+    pub gate: Option<GatePolicy>,
     pub seed: u64,
 
     // -- dynamic state (accumulated across epochs) --
@@ -125,6 +129,9 @@ pub struct Checkpoint {
     pub topology: Topology,
     /// Per-node liveness.
     pub alive: Vec<bool>,
+    /// Per-node plausibility-gate trust state (strike counters,
+    /// quarantine, parole progress).
+    pub trust: Vec<TrustState>,
     /// The sample window with its derived top-k sets.
     pub samples: SampleSet,
     /// Cumulative energy accounting.
@@ -228,9 +235,23 @@ fn put_faults(w: &mut Writer, s: &FaultSchedule) {
                     put_node(w, *child);
                     w.put_f64(*added_prob);
                 }
+                FaultEvent::Data { node, fault, duration } => {
+                    w.put_u8(2);
+                    put_node(w, *node);
+                    let kind = match fault {
+                        DataFault::StuckAt { .. } => 0,
+                        DataFault::Drift { .. } => 1,
+                        DataFault::Spike { .. } => 2,
+                        DataFault::Noise { .. } => 3,
+                    };
+                    w.put_u8(kind);
+                    w.put_f64(fault.param());
+                    w.put_u64(*duration);
+                }
             }
         }
     });
+    w.put_u64(s.noise_seed());
 }
 
 impl Checkpoint {
@@ -262,12 +283,14 @@ impl Checkpoint {
         put_arq(&mut w, &self.config_arq);
         w.put_f64(self.min_delivered);
         w.put_u32(self.max_retry_budget);
+        w.put_opt(&self.gate, put_gate);
         w.put_u64(self.seed);
 
         put_node(&mut w, self.topology.root());
         let parents = self.topology.parent_vec();
         w.put_seq(&parents, |w, p| w.put_opt(p, |w, n| put_node(w, *n)));
         w.put_seq(&self.alive, |w, a| w.put_bool(*a));
+        w.put_seq(&self.trust, put_trust);
 
         w.put_usize(self.samples.num_nodes());
         w.put_usize(self.samples.k());
@@ -348,6 +371,10 @@ impl Checkpoint {
         let config_arq = get_arq(&mut r)?;
         let min_delivered = r.get_f64()?;
         let max_retry_budget = r.get_u32()?;
+        let gate = r.get_opt(get_gate)?;
+        if let Some(g) = &gate {
+            g.validate().map_err(|e| CheckpointError::Invalid(e.to_string()))?;
+        }
         let seed = r.get_u64()?;
 
         let root = get_node(&mut r)?;
@@ -359,6 +386,14 @@ impl Checkpoint {
             return Err(CheckpointError::Invalid(format!(
                 "alive mask covers {} nodes, topology has {}",
                 alive.len(),
+                topology.len()
+            )));
+        }
+        let trust = r.get_seq(9, get_trust)?;
+        if trust.len() != topology.len() {
+            return Err(CheckpointError::Invalid(format!(
+                "trust state covers {} nodes, topology has {}",
+                trust.len(),
                 topology.len()
             )));
         }
@@ -451,9 +486,11 @@ impl Checkpoint {
             config_arq,
             min_delivered,
             max_retry_budget,
+            gate,
             seed,
             topology,
             alive,
+            trust,
             samples,
             meter,
             plan,
@@ -497,23 +534,75 @@ fn read_faults(r: &mut Reader<'_>) -> Result<FaultSchedule, CheckpointError> {
             match r.get_u8()? {
                 0 => {
                     let node = get_node(r)?;
-                    sched = sched.with_death(epoch, node);
+                    sched = sched
+                        .try_with_death(epoch, node)
+                        .map_err(|e| CheckpointError::Invalid(e.to_string()))?;
                 }
                 1 => {
                     let child = get_node(r)?;
                     let prob = r.get_f64()?;
-                    if !prob.is_finite() || !(0.0..=1.0).contains(&prob) {
-                        return Err(CheckpointError::Invalid(format!(
-                            "degradation probability {prob} out of [0, 1]"
-                        )));
-                    }
-                    sched = sched.with_degradation(epoch, child, prob);
+                    sched = sched
+                        .try_with_degradation(epoch, child, prob)
+                        .map_err(|e| CheckpointError::Invalid(e.to_string()))?;
+                }
+                2 => {
+                    let node = get_node(r)?;
+                    let kind = r.get_u8()?;
+                    let param = r.get_f64()?;
+                    let duration = r.get_u64()?;
+                    let fault = match kind {
+                        0 => DataFault::StuckAt { level: param },
+                        1 => DataFault::Drift { rate: param },
+                        2 => DataFault::Spike { magnitude: param },
+                        3 => DataFault::Noise { amplitude: param },
+                        tag => {
+                            return Err(CheckpointError::Decode(DecodeError::BadTag {
+                                offset: 0,
+                                tag,
+                            }))
+                        }
+                    };
+                    sched = sched
+                        .try_with_data_fault(epoch, node, fault, duration)
+                        .map_err(|e| CheckpointError::Invalid(e.to_string()))?;
                 }
                 tag => return Err(CheckpointError::Decode(DecodeError::BadTag { offset: 0, tag })),
             }
         }
     }
-    Ok(sched)
+    Ok(sched.with_noise_seed(r.get_u64()?))
+}
+
+fn put_gate(w: &mut Writer, g: &GatePolicy) {
+    w.put_f64(g.z);
+    w.put_f64(g.min_sigma);
+    w.put_usize(g.min_window);
+    w.put_u32(g.quarantine_after);
+    w.put_u32(g.parole_after);
+}
+
+fn get_gate(r: &mut Reader<'_>) -> Result<GatePolicy, DecodeError> {
+    Ok(GatePolicy {
+        z: r.get_f64()?,
+        min_sigma: r.get_f64()?,
+        min_window: r.get_usize()?,
+        quarantine_after: r.get_u32()?,
+        parole_after: r.get_u32()?,
+    })
+}
+
+fn put_trust(w: &mut Writer, t: &TrustState) {
+    w.put_u32(t.strikes);
+    w.put_opt(&t.quarantined_since, |w, e| w.put_u64(*e));
+    w.put_u32(t.clean_epochs);
+}
+
+fn get_trust(r: &mut Reader<'_>) -> Result<TrustState, DecodeError> {
+    Ok(TrustState {
+        strikes: r.get_u32()?,
+        quarantined_since: r.get_opt(|r| r.get_u64())?,
+        clean_epochs: r.get_u32()?,
+    })
 }
 
 fn put_metrics(w: &mut Writer, m: &MetricsSnapshot) {

@@ -1,0 +1,250 @@
+//! Sampling-based plausibility gating: the root-side trust machinery that
+//! decides whether a delivered reading is believable.
+//!
+//! The paper's central asset — the sample window — already predicts every
+//! node's next reading; the same window yields a *plausibility band*
+//! (`SampleSet::prediction_band`: mean ± z·stddev). This module holds the
+//! policy knobs ([`GatePolicy`]) and the per-node trust state machine
+//! ([`TrustState`]): a reading outside its band is a **strike** and gets
+//! substituted with the window prediction (the backfill estimated-entry
+//! convention); `quarantine_after` consecutive strikes quarantine the node
+//! (its readings are substituted unconditionally until it earns parole);
+//! `parole_after` consecutive in-band deliveries readmit it.
+//!
+//! The machinery is observation-only by construction: when every reading
+//! stays in-band the state machine never leaves its default state, no
+//! substitution happens, and the simulation's output is bit-for-bit what
+//! it would be with gating disabled.
+
+use std::error::Error;
+use std::fmt;
+
+/// Knobs of the plausibility gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatePolicy {
+    /// Band half-width in (floored) standard deviations. The default of 8
+    /// keeps honest Gaussian readings in-band with overwhelming
+    /// probability over any realistic run length while still catching
+    /// stuck-at/spike corruptions tens of sigmas out.
+    pub z: f64,
+    /// Floor on the estimated stddev, so a constant history still
+    /// tolerates sensor quantization instead of producing a zero-width
+    /// band.
+    pub min_sigma: f64,
+    /// Minimum finite window readings before a band exists at all; with
+    /// fewer the gate abstains (no observation is recorded).
+    pub min_window: usize,
+    /// Consecutive out-of-band strikes before a node is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive in-band deliveries a quarantined node needs to be
+    /// readmitted.
+    pub parole_after: u32,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        GatePolicy { z: 8.0, min_sigma: 1e-3, min_window: 4, quarantine_after: 3, parole_after: 4 }
+    }
+}
+
+/// A rejected [`GatePolicy`], naming the bad knob.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GatePolicyError {
+    /// `z` must be finite and positive.
+    BadZ(f64),
+    /// `min_sigma` must be finite and non-negative.
+    BadMinSigma(f64),
+    /// `min_window` must be at least 2 (one reading has no variance).
+    BadMinWindow(usize),
+    /// `quarantine_after` must be at least 1.
+    ZeroQuarantineAfter,
+    /// `parole_after` must be at least 1.
+    ZeroParoleAfter,
+}
+
+impl fmt::Display for GatePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatePolicyError::BadZ(z) => write!(f, "gate z must be finite and positive, got {z}"),
+            GatePolicyError::BadMinSigma(s) => {
+                write!(f, "gate min_sigma must be finite and non-negative, got {s}")
+            }
+            GatePolicyError::BadMinWindow(w) => {
+                write!(f, "gate min_window must be at least 2, got {w}")
+            }
+            GatePolicyError::ZeroQuarantineAfter => {
+                write!(f, "gate quarantine_after must be at least 1")
+            }
+            GatePolicyError::ZeroParoleAfter => write!(f, "gate parole_after must be at least 1"),
+        }
+    }
+}
+
+impl Error for GatePolicyError {}
+
+impl GatePolicy {
+    /// Checks every knob, naming the first bad one.
+    pub fn validate(&self) -> Result<(), GatePolicyError> {
+        if !(self.z.is_finite() && self.z > 0.0) {
+            return Err(GatePolicyError::BadZ(self.z));
+        }
+        if !(self.min_sigma.is_finite() && self.min_sigma >= 0.0) {
+            return Err(GatePolicyError::BadMinSigma(self.min_sigma));
+        }
+        if self.min_window < 2 {
+            return Err(GatePolicyError::BadMinWindow(self.min_window));
+        }
+        if self.quarantine_after == 0 {
+            return Err(GatePolicyError::ZeroQuarantineAfter);
+        }
+        if self.parole_after == 0 {
+            return Err(GatePolicyError::ZeroParoleAfter);
+        }
+        Ok(())
+    }
+}
+
+/// What one [`TrustState::observe`] call did, for reports and traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrustTransition {
+    /// The reading fell outside its band.
+    pub flagged: bool,
+    /// This observation crossed the strike threshold into quarantine.
+    pub quarantined: bool,
+    /// This observation completed parole; the node is trusted again.
+    pub readmitted: bool,
+}
+
+/// Per-node trust state. The default (zero strikes, not quarantined) is a
+/// fully trusted node; the state only moves when a band violation is
+/// observed, which keeps gating observation-only on honest runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrustState {
+    /// Consecutive out-of-band observations (reset by any in-band one).
+    pub strikes: u32,
+    /// The epoch quarantine began, while it lasts.
+    pub quarantined_since: Option<u64>,
+    /// Consecutive in-band observations since entering quarantine.
+    pub clean_epochs: u32,
+}
+
+impl TrustState {
+    /// True while the node's readings are substituted unconditionally.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined_since.is_some()
+    }
+
+    /// Records one root-side observation of the node at `epoch`: the
+    /// reading was either inside its plausibility band (`in_band`) or not.
+    /// Callers must invoke this at most once per node per epoch, and only
+    /// when a band existed (the gate abstains otherwise).
+    pub fn observe(&mut self, in_band: bool, epoch: u64, policy: &GatePolicy) -> TrustTransition {
+        let mut t = TrustTransition::default();
+        if self.is_quarantined() {
+            if in_band {
+                self.clean_epochs += 1;
+                if self.clean_epochs >= policy.parole_after {
+                    *self = TrustState::default();
+                    t.readmitted = true;
+                }
+            } else {
+                self.clean_epochs = 0;
+                t.flagged = true;
+            }
+        } else if in_band {
+            self.strikes = 0;
+        } else {
+            self.strikes += 1;
+            t.flagged = true;
+            if self.strikes >= policy.quarantine_after {
+                self.quarantined_since = Some(epoch);
+                self.clean_epochs = 0;
+                t.quarantined = true;
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> GatePolicy {
+        GatePolicy { quarantine_after: 3, parole_after: 2, ..GatePolicy::default() }
+    }
+
+    #[test]
+    fn default_policy_is_valid() {
+        assert_eq!(GatePolicy::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_names_the_bad_knob() {
+        let cases = [
+            (GatePolicy { z: 0.0, ..policy() }, GatePolicyError::BadZ(0.0)),
+            (GatePolicy { z: f64::NAN, ..policy() }, GatePolicyError::BadZ(f64::NAN)),
+            (GatePolicy { min_sigma: -1.0, ..policy() }, GatePolicyError::BadMinSigma(-1.0)),
+            (GatePolicy { min_window: 1, ..policy() }, GatePolicyError::BadMinWindow(1)),
+            (GatePolicy { quarantine_after: 0, ..policy() }, GatePolicyError::ZeroQuarantineAfter),
+            (GatePolicy { parole_after: 0, ..policy() }, GatePolicyError::ZeroParoleAfter),
+        ];
+        for (p, want) in cases {
+            match (p.validate().unwrap_err(), want) {
+                // NaN != NaN, so compare the variant for the NaN case.
+                (GatePolicyError::BadZ(a), GatePolicyError::BadZ(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits())
+                }
+                (got, want) => assert_eq!(got, want),
+            }
+        }
+    }
+
+    #[test]
+    fn in_band_observations_leave_the_default_state_untouched() {
+        let p = policy();
+        let mut s = TrustState::default();
+        for epoch in 0..50 {
+            assert_eq!(s.observe(true, epoch, &p), TrustTransition::default());
+        }
+        assert_eq!(s, TrustState::default(), "observation-only on honest runs");
+    }
+
+    #[test]
+    fn consecutive_strikes_quarantine_but_interrupted_ones_reset() {
+        let p = policy();
+        let mut s = TrustState::default();
+        // Two strikes, then an in-band reading: counter resets, no quarantine.
+        assert!(s.observe(false, 0, &p).flagged);
+        assert!(s.observe(false, 1, &p).flagged);
+        assert_eq!(s.strikes, 2);
+        assert!(!s.observe(true, 2, &p).flagged);
+        assert_eq!(s.strikes, 0);
+        // Three in a row cross the threshold.
+        s.observe(false, 3, &p);
+        s.observe(false, 4, &p);
+        let t = s.observe(false, 5, &p);
+        assert!(t.flagged && t.quarantined);
+        assert_eq!(s.quarantined_since, Some(5));
+        assert!(s.is_quarantined());
+    }
+
+    #[test]
+    fn parole_requires_consecutive_clean_epochs() {
+        let p = policy();
+        let mut s =
+            TrustState { strikes: p.quarantine_after, quarantined_since: Some(5), clean_epochs: 0 };
+        // One clean epoch, then a violation: parole progress resets.
+        assert!(!s.observe(true, 6, &p).readmitted);
+        assert!(s.observe(false, 7, &p).flagged);
+        assert_eq!(s.clean_epochs, 0);
+        assert!(s.is_quarantined());
+        // Two consecutive clean epochs readmit and fully reset the state.
+        assert!(!s.observe(true, 8, &p).readmitted);
+        let t = s.observe(true, 9, &p);
+        assert!(t.readmitted && !t.flagged && !t.quarantined);
+        assert_eq!(s, TrustState::default());
+        // A readmitted node starts from zero strikes.
+        assert!(!s.observe(false, 10, &p).quarantined);
+    }
+}

@@ -28,8 +28,10 @@
 //! (Section 2 for plain plans, Section 4.3 steps 1–4 for proof-carrying
 //! plans); the `prospector-sim` crate layers energy metering, failures and
 //! protocols on top. [`evaluate`] scores plans against samples or ground
-//! truth, and [`theory`] demonstrates the Simple-Top-K ⊂
-//! Stochastic-Steiner-Tree reduction of Section 3.1 executably.
+//! truth, [`gate`] holds the root-side plausibility-gating trust machinery
+//! (prediction bands, strike counters, quarantine/parole), and [`theory`]
+//! demonstrates the Simple-Top-K ⊂ Stochastic-Steiner-Tree reduction of
+//! Section 3.1 executably.
 
 pub mod cluster;
 pub mod error;
@@ -37,6 +39,7 @@ pub mod evaluate;
 pub mod exact;
 pub mod exec;
 pub mod fallback;
+pub mod gate;
 pub mod greedy;
 pub mod lp_lf;
 pub mod lp_no_lf;
@@ -56,6 +59,7 @@ pub use exec::{
     LossyCollectionOutcome, ProofOutcome,
 };
 pub use fallback::FallbackPlanner;
+pub use gate::{GatePolicy, GatePolicyError, TrustState, TrustTransition};
 pub use greedy::ProspectorGreedy;
 pub use lp_lf::{budget_shadow_price, ProspectorLpLf};
 pub use lp_no_lf::ProspectorLpNoLf;

@@ -333,15 +333,16 @@ impl SampleSet {
 
     /// Prediction of `node`'s current reading from the sample window: the
     /// mean of its finite window values (masked `NEG_INFINITY` entries
-    /// from dead nodes are skipped). Returns `NEG_INFINITY` when the
-    /// window holds no usable reading for the node, so a prediction for
-    /// an unknown node can never displace a real observation in rank
-    /// order.
+    /// from dead nodes are skipped). Returns `None` when the window holds
+    /// no usable reading for the node — callers decide how an unknown
+    /// prediction competes (backfill maps it to `NEG_INFINITY` so it can
+    /// never displace a real observation in rank order; gating treats it
+    /// as "no evidence").
     ///
     /// This is what the root falls back to when a subtree's batch is lost
     /// in transit: estimate the missing readings from recent history
     /// rather than silently returning a short answer.
-    pub fn predicted_value(&self, node: NodeId) -> f64 {
+    pub fn predicted_value(&self, node: NodeId) -> Option<f64> {
         let mut sum = 0.0;
         let mut count = 0usize;
         for row in &self.window {
@@ -351,11 +352,44 @@ impl SampleSet {
                 count += 1;
             }
         }
-        if count == 0 {
-            f64::NEG_INFINITY
-        } else {
-            sum / count as f64
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Plausibility band for `node`'s next reading: window mean ±
+    /// `z × max(sample stddev, min_sigma)`. Returns `None` when fewer than
+    /// `max(min_window, 2)` finite readings are in the window — a short or
+    /// heavily masked history degenerates to "no band" rather than a
+    /// spuriously tight one. `min_sigma` floors the width so a constant
+    /// history (zero variance) still tolerates sensor quantization.
+    pub fn prediction_band(
+        &self,
+        node: NodeId,
+        z: f64,
+        min_sigma: f64,
+        min_window: usize,
+    ) -> Option<(f64, f64)> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for row in &self.window {
+            let v = row[node.index()];
+            if v.is_finite() {
+                sum += v;
+                count += 1;
+            }
         }
+        if count < min_window.max(2) {
+            return None;
+        }
+        let mean = sum / count as f64;
+        let mut sq = 0.0;
+        for row in &self.window {
+            let v = row[node.index()];
+            if v.is_finite() {
+                sq += (v - mean) * (v - mean);
+            }
+        }
+        let sigma = (sq / (count - 1) as f64).sqrt().max(min_sigma);
+        Some((mean - z * sigma, mean + z * sigma))
     }
 
     /// Nodes among `candidates` whose value in sample `j` is strictly
@@ -548,18 +582,52 @@ mod tests {
         let mut s = SampleSet::new(3, 1, 4);
         s.push(vec![1.0, 4.0, 2.0]);
         s.push(vec![3.0, 6.0, 2.0]);
-        assert!((s.predicted_value(NodeId(0)) - 2.0).abs() < 1e-12);
-        assert!((s.predicted_value(NodeId(1)) - 5.0).abs() < 1e-12);
-        // Masked (dead) nodes have no finite history left.
+        assert!((s.predicted_value(NodeId(0)).unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.predicted_value(NodeId(1)).unwrap() - 5.0).abs() < 1e-12);
+        // Masked (dead) nodes have no finite history left: the prediction
+        // is `None`, not a `-inf` sentinel that callers could band around.
         s.mask_nodes(&[NodeId(2)]);
-        assert_eq!(s.predicted_value(NodeId(2)), f64::NEG_INFINITY);
-        assert!((s.predicted_value(NodeId(0)) - 2.0).abs() < 1e-12);
+        assert_eq!(s.predicted_value(NodeId(2)), None);
+        assert!((s.predicted_value(NodeId(0)).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn predicted_value_empty_window_is_unknown() {
         let s = SampleSet::new(2, 1, 4);
-        assert_eq!(s.predicted_value(NodeId(0)), f64::NEG_INFINITY);
+        assert_eq!(s.predicted_value(NodeId(0)), None);
+    }
+
+    #[test]
+    fn prediction_band_needs_a_long_enough_finite_window() {
+        let mut s = SampleSet::new(2, 1, 8);
+        assert_eq!(s.prediction_band(NodeId(0), 4.0, 0.0, 3), None, "empty window");
+        s.push(vec![10.0, 0.0]);
+        s.push(vec![12.0, 0.0]);
+        assert_eq!(s.prediction_band(NodeId(0), 4.0, 0.0, 3), None, "2 < min_window");
+        s.push(vec![14.0, 0.0]);
+        let (lo, hi) = s.prediction_band(NodeId(0), 4.0, 0.0, 3).unwrap();
+        // mean 12, sample stddev 2 → 12 ± 8.
+        assert!((lo - 4.0).abs() < 1e-12, "lo {lo}");
+        assert!((hi - 20.0).abs() < 1e-12, "hi {hi}");
+        // Masking drains the finite count back below the floor.
+        s.mask_nodes(&[NodeId(0)]);
+        assert_eq!(s.prediction_band(NodeId(0), 4.0, 0.0, 3), None, "masked window");
+    }
+
+    #[test]
+    fn prediction_band_floors_sigma_for_constant_history() {
+        let mut s = SampleSet::new(1, 1, 4);
+        for _ in 0..4 {
+            s.push(vec![7.0]);
+        }
+        let (lo, hi) = s.prediction_band(NodeId(0), 2.0, 0.5, 2).unwrap();
+        // Zero variance would give a zero-width band; min_sigma keeps it open.
+        assert!((lo - 6.0).abs() < 1e-12, "lo {lo}");
+        assert!((hi - 8.0).abs() < 1e-12, "hi {hi}");
+        // min_window below 2 is clamped up: one reading never yields a band.
+        let mut short = SampleSet::new(1, 1, 4);
+        short.push(vec![7.0]);
+        assert_eq!(short.prediction_band(NodeId(0), 2.0, 0.5, 0), None);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Permanent-failure injection (Section 4.4, "permanent failures").
+//! Fault injection: permanent failures (Section 4.4) and data faults.
 //!
 //! The paper distinguishes two failure regimes: transient link failures,
 //! folded into the planners' cost model ([`crate::failure`]), and permanent
@@ -8,14 +8,79 @@
 //! and link degradations keyed by epoch, which the experiment runner
 //! consumes to exercise tree repair and re-planning.
 //!
+//! A third family, [`DataFault`], models sensors that keep responding but
+//! lie: stuck-at readings, additive drift, transient spikes, and noise
+//! bursts. Data faults corrupt values where they are *sourced* (via
+//! [`FaultSchedule::corrupt_values`]), so every execution path — reliable,
+//! ARQ, naive — sees the same corrupted readings.
+//!
 //! The schedule is plain data — it never consumes randomness at run time,
 //! so an empty schedule leaves a simulation's RNG stream (and therefore its
-//! output) bit-for-bit unchanged.
+//! output) bit-for-bit unchanged. Noise bursts honor the same contract by
+//! drawing from a private RNG re-seeded per (schedule seed, epoch, node)
+//! rather than from any caller stream.
 
 use crate::node::NodeId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A deterministic sensor-data corruption: what a faulty sensor reports
+/// instead of the truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataFault {
+    /// The sensor reports `level` regardless of the true value (the classic
+    /// stuck-at-max/min failure).
+    StuckAt { level: f64 },
+    /// Calibration drift: the reported value gains `rate` more error every
+    /// active epoch (error = `rate × (age + 1)`).
+    Drift { rate: f64 },
+    /// A transient additive spike of `magnitude` on every active epoch
+    /// (schedule with duration 1 for a one-shot glitch).
+    Spike { magnitude: f64 },
+    /// A noise burst: additive error uniform in `[-amplitude, amplitude)`,
+    /// drawn deterministically per (schedule noise seed, epoch, node).
+    Noise { amplitude: f64 },
+}
+
+impl DataFault {
+    /// A stable snake_case tag for traces and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DataFault::StuckAt { .. } => "stuck_at",
+            DataFault::Drift { .. } => "drift",
+            DataFault::Spike { .. } => "spike",
+            DataFault::Noise { .. } => "noise",
+        }
+    }
+
+    /// The fault's single numeric parameter (level, rate, magnitude, or
+    /// amplitude) — the wire codec round-trips `(kind, param)`.
+    pub fn param(&self) -> f64 {
+        match self {
+            DataFault::StuckAt { level } => *level,
+            DataFault::Drift { rate } => *rate,
+            DataFault::Spike { magnitude } => *magnitude,
+            DataFault::Noise { amplitude } => *amplitude,
+        }
+    }
+
+    fn check(&self) -> Result<(), &'static str> {
+        match self {
+            DataFault::StuckAt { level } if !level.is_finite() => Err("non-finite stuck-at level"),
+            DataFault::Drift { rate } if !rate.is_finite() => Err("non-finite drift rate"),
+            DataFault::Spike { magnitude } if !magnitude.is_finite() => {
+                Err("non-finite spike magnitude")
+            }
+            DataFault::Noise { amplitude } if !(amplitude.is_finite() && *amplitude > 0.0) => {
+                Err("noise amplitude must be finite and positive")
+            }
+            _ => Ok(()),
+        }
+    }
+}
 
 /// One injected fault.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +91,9 @@ pub enum FaultEvent {
     /// The link above `child` permanently worsens: its transient failure
     /// probability increases by `added_prob` (clamped to 1.0).
     LinkDegrade { child: NodeId, added_prob: f64 },
+    /// `node` reports corrupted readings for `duration` epochs starting at
+    /// the event's epoch; the node stays alive and routable throughout.
+    Data { node: NodeId, fault: DataFault, duration: u64 },
 }
 
 impl FaultEvent {
@@ -34,8 +102,54 @@ impl FaultEvent {
         match self {
             FaultEvent::NodeDeath(n) => *n,
             FaultEvent::LinkDegrade { child, .. } => *child,
+            FaultEvent::Data { node, .. } => *node,
         }
     }
+}
+
+/// A rejected [`FaultSchedule`] build step, naming the offending event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultScheduleError {
+    /// A degradation probability was NaN, negative, or above 1.
+    BadDegradation { epoch: u64, child: NodeId, added_prob: f64 },
+    /// The same node was already scheduled to die at the same epoch.
+    DuplicateDeath { epoch: u64, node: NodeId },
+    /// A data fault had an invalid parameter or a zero duration.
+    BadDataFault { epoch: u64, node: NodeId, why: &'static str },
+}
+
+impl fmt::Display for FaultScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultScheduleError::BadDegradation { epoch, child, added_prob } => write!(
+                f,
+                "degradation of {child:?} at epoch {epoch}: added probability {added_prob} \
+                 outside [0, 1]"
+            ),
+            FaultScheduleError::DuplicateDeath { epoch, node } => {
+                write!(f, "{node:?} is already scheduled to die at epoch {epoch}")
+            }
+            FaultScheduleError::BadDataFault { epoch, node, why } => {
+                write!(f, "data fault on {node:?} at epoch {epoch}: {why}")
+            }
+        }
+    }
+}
+
+impl Error for FaultScheduleError {}
+
+/// One data corruption actually applied by [`FaultSchedule::corrupt_values`],
+/// for tracing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppliedDataFault {
+    /// The corrupted node.
+    pub node: NodeId,
+    /// The fault kind tag ([`DataFault::kind`]).
+    pub kind: &'static str,
+    /// The honest reading before corruption.
+    pub clean: f64,
+    /// The reading the sensor actually reports.
+    pub corrupted: f64,
 }
 
 /// A deterministic schedule of [`FaultEvent`]s keyed by epoch.
@@ -52,6 +166,9 @@ impl FaultEvent {
 #[derive(Debug, Clone, Default)]
 pub struct FaultSchedule {
     events: BTreeMap<u64, Vec<FaultEvent>>,
+    /// Seed for noise-burst draws; part of the schedule (plain data), not a
+    /// runtime RNG stream.
+    noise_seed: u64,
 }
 
 impl FaultSchedule {
@@ -71,16 +188,86 @@ impl FaultSchedule {
     }
 
     /// Schedules `node` to die at the start of `epoch`.
-    pub fn with_death(mut self, epoch: u64, node: NodeId) -> Self {
-        self.events.entry(epoch).or_default().push(FaultEvent::NodeDeath(node));
-        self
+    ///
+    /// Panicking convenience over [`FaultSchedule::try_with_death`] for
+    /// literal schedules in tests and figures.
+    pub fn with_death(self, epoch: u64, node: NodeId) -> Self {
+        self.try_with_death(epoch, node).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Schedules `node` to die at the start of `epoch`, rejecting a second
+    /// death of the same node at the same epoch.
+    pub fn try_with_death(mut self, epoch: u64, node: NodeId) -> Result<Self, FaultScheduleError> {
+        let events = self.events.entry(epoch).or_default();
+        if events.iter().any(|e| matches!(e, FaultEvent::NodeDeath(n) if *n == node)) {
+            return Err(FaultScheduleError::DuplicateDeath { epoch, node });
+        }
+        events.push(FaultEvent::NodeDeath(node));
+        Ok(self)
     }
 
     /// Schedules the link above `child` to degrade at the start of `epoch`.
-    pub fn with_degradation(mut self, epoch: u64, child: NodeId, added_prob: f64) -> Self {
-        assert!((0.0..=1.0).contains(&added_prob), "added probability out of range");
+    ///
+    /// Panicking convenience over [`FaultSchedule::try_with_degradation`].
+    pub fn with_degradation(self, epoch: u64, child: NodeId, added_prob: f64) -> Self {
+        self.try_with_degradation(epoch, child, added_prob).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Schedules the link above `child` to degrade at the start of `epoch`,
+    /// rejecting NaN or out-of-range probabilities.
+    pub fn try_with_degradation(
+        mut self,
+        epoch: u64,
+        child: NodeId,
+        added_prob: f64,
+    ) -> Result<Self, FaultScheduleError> {
+        if !(0.0..=1.0).contains(&added_prob) {
+            return Err(FaultScheduleError::BadDegradation { epoch, child, added_prob });
+        }
         self.events.entry(epoch).or_default().push(FaultEvent::LinkDegrade { child, added_prob });
+        Ok(self)
+    }
+
+    /// Schedules `node` to report corrupted readings for `duration` epochs
+    /// starting at `epoch`.
+    ///
+    /// Panicking convenience over [`FaultSchedule::try_with_data_fault`].
+    pub fn with_data_fault(
+        self,
+        epoch: u64,
+        node: NodeId,
+        fault: DataFault,
+        duration: u64,
+    ) -> Self {
+        self.try_with_data_fault(epoch, node, fault, duration).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Schedules a data fault, rejecting non-finite parameters,
+    /// non-positive noise amplitudes, and zero durations.
+    pub fn try_with_data_fault(
+        mut self,
+        epoch: u64,
+        node: NodeId,
+        fault: DataFault,
+        duration: u64,
+    ) -> Result<Self, FaultScheduleError> {
+        if duration == 0 {
+            return Err(FaultScheduleError::BadDataFault { epoch, node, why: "zero duration" });
+        }
+        fault.check().map_err(|why| FaultScheduleError::BadDataFault { epoch, node, why })?;
+        self.events.entry(epoch).or_default().push(FaultEvent::Data { node, fault, duration });
+        Ok(self)
+    }
+
+    /// Sets the seed for noise-burst draws (plain data; defaults to 0).
+    pub fn with_noise_seed(mut self, seed: u64) -> Self {
+        self.noise_seed = seed;
         self
+    }
+
+    /// The seed noise bursts are drawn from.
+    pub fn noise_seed(&self) -> u64 {
+        self.noise_seed
     }
 
     /// A schedule killing `deaths` distinct non-root nodes of an `n`-node
@@ -109,6 +296,91 @@ impl FaultSchedule {
             sched = sched.with_death(epoch, node);
         }
         sched
+    }
+
+    /// A schedule giving `count` distinct non-root nodes of an `n`-node
+    /// network the same `fault` from `epoch` for `duration` epochs,
+    /// deterministic in `seed`. The node choice reuses the
+    /// [`FaultSchedule::random_deaths`] draw discipline; `seed` also
+    /// becomes the schedule's noise seed.
+    pub fn random_data_faults(
+        n: usize,
+        count: usize,
+        epoch: u64,
+        duration: u64,
+        fault: DataFault,
+        seed: u64,
+    ) -> Self {
+        assert!(n >= 2, "need at least one non-root node");
+        assert!(count < n, "cannot corrupt {count} of {} non-root nodes", n - 1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A_FA17_u64);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(count);
+        while chosen.len() < count {
+            let candidate = NodeId::from_index(rng.random_range(1..n));
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+        }
+        let mut sched = FaultSchedule::new().with_noise_seed(seed);
+        for node in chosen {
+            sched = sched.with_data_fault(epoch, node, fault, duration);
+        }
+        sched
+    }
+
+    /// True when any scheduled event is a [`FaultEvent::Data`].
+    pub fn has_data_faults(&self) -> bool {
+        self.events.values().flatten().any(|e| matches!(e, FaultEvent::Data { .. }))
+    }
+
+    /// Data faults active at `epoch` (scheduled at `start ≤ epoch` with
+    /// `start + duration > epoch`), as `(node, fault, age)` where `age` is
+    /// `epoch − start`.
+    pub fn data_faults_at(&self, epoch: u64) -> Vec<(NodeId, DataFault, u64)> {
+        let mut active = Vec::new();
+        for (&start, events) in self.events.range(..=epoch) {
+            let age = epoch - start;
+            for e in events {
+                if let FaultEvent::Data { node, fault, duration } = e {
+                    if age < *duration {
+                        active.push((*node, *fault, age));
+                    }
+                }
+            }
+        }
+        active
+    }
+
+    /// Applies every data fault active at `epoch` to `values` in place and
+    /// reports what changed. Non-finite entries (dead or masked nodes) are
+    /// skipped: a dead sensor reports nothing, corrupted or not. Fully
+    /// deterministic — noise draws come from a private RNG seeded per
+    /// (noise seed, epoch, node), never from a caller stream.
+    pub fn corrupt_values(&self, epoch: u64, values: &mut [f64]) -> Vec<AppliedDataFault> {
+        let mut applied = Vec::new();
+        for (node, fault, age) in self.data_faults_at(epoch) {
+            let i = node.index();
+            if i >= values.len() || !values[i].is_finite() {
+                continue;
+            }
+            let clean = values[i];
+            let corrupted = match fault {
+                DataFault::StuckAt { level } => level,
+                DataFault::Drift { rate } => clean + rate * (age + 1) as f64,
+                DataFault::Spike { magnitude } => clean + magnitude,
+                DataFault::Noise { amplitude } => {
+                    let stream = self
+                        .noise_seed
+                        .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .wrapping_add((node.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+                    let mut rng = StdRng::seed_from_u64(stream);
+                    clean + rng.random_range(-amplitude..amplitude)
+                }
+            };
+            values[i] = corrupted;
+            applied.push(AppliedDataFault { node, kind: fault.kind(), clean, corrupted });
+        }
+        applied
     }
 
     /// All events scheduled for `epoch`.
@@ -213,5 +485,151 @@ mod tests {
     #[should_panic]
     fn rejects_invalid_degradation() {
         let _ = FaultSchedule::new().with_degradation(0, NodeId(1), 1.5);
+    }
+
+    #[test]
+    fn try_builders_reject_bad_events_with_typed_errors() {
+        let nan = f64::NAN;
+        assert_eq!(
+            FaultSchedule::new().try_with_degradation(3, NodeId(1), -0.1).unwrap_err(),
+            FaultScheduleError::BadDegradation { epoch: 3, child: NodeId(1), added_prob: -0.1 }
+        );
+        assert!(matches!(
+            FaultSchedule::new().try_with_degradation(3, NodeId(1), nan).unwrap_err(),
+            FaultScheduleError::BadDegradation { .. }
+        ));
+        assert_eq!(
+            FaultSchedule::new().with_death(7, NodeId(2)).try_with_death(7, NodeId(2)).unwrap_err(),
+            FaultScheduleError::DuplicateDeath { epoch: 7, node: NodeId(2) }
+        );
+        // The same node may still die at a *different* epoch (repair can
+        // resurrect nothing, but the schedule itself stays permissive).
+        assert!(FaultSchedule::new().with_death(7, NodeId(2)).try_with_death(8, NodeId(2)).is_ok());
+        for (fault, why) in [
+            (DataFault::StuckAt { level: nan }, "non-finite stuck-at level"),
+            (DataFault::Drift { rate: f64::INFINITY }, "non-finite drift rate"),
+            (DataFault::Spike { magnitude: nan }, "non-finite spike magnitude"),
+            (DataFault::Noise { amplitude: 0.0 }, "noise amplitude must be finite and positive"),
+            (DataFault::Noise { amplitude: -2.0 }, "noise amplitude must be finite and positive"),
+        ] {
+            assert_eq!(
+                FaultSchedule::new().try_with_data_fault(1, NodeId(4), fault, 5).unwrap_err(),
+                FaultScheduleError::BadDataFault { epoch: 1, node: NodeId(4), why }
+            );
+        }
+        assert_eq!(
+            FaultSchedule::new()
+                .try_with_data_fault(1, NodeId(4), DataFault::Spike { magnitude: 1.0 }, 0)
+                .unwrap_err(),
+            FaultScheduleError::BadDataFault { epoch: 1, node: NodeId(4), why: "zero duration" }
+        );
+    }
+
+    #[test]
+    fn data_faults_activate_for_their_duration_only() {
+        let s = FaultSchedule::new().with_data_fault(
+            5,
+            NodeId(2),
+            DataFault::StuckAt { level: 99.0 },
+            3,
+        );
+        assert!(s.has_data_faults());
+        assert!(s.data_faults_at(4).is_empty());
+        for epoch in 5..8 {
+            assert_eq!(s.data_faults_at(epoch).len(), 1, "epoch {epoch}");
+        }
+        assert!(s.data_faults_at(8).is_empty());
+        // Deaths and degradations are invisible to the data-fault view.
+        let s = FaultSchedule::new().with_death(1, NodeId(1)).with_degradation(1, NodeId(2), 0.5);
+        assert!(!s.has_data_faults());
+        assert!(s.data_faults_at(1).is_empty());
+    }
+
+    #[test]
+    fn corruption_math_per_kind() {
+        let stuck = FaultSchedule::new().with_data_fault(
+            0,
+            NodeId(1),
+            DataFault::StuckAt { level: 99.0 },
+            10,
+        );
+        let mut v = vec![10.0, 20.0, 30.0];
+        let applied = stuck.corrupt_values(2, &mut v);
+        assert_eq!(v, vec![10.0, 99.0, 30.0]);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(applied[0].node, NodeId(1));
+        assert_eq!(applied[0].kind, "stuck_at");
+        assert_eq!(applied[0].clean, 20.0);
+        assert_eq!(applied[0].corrupted, 99.0);
+
+        let drift =
+            FaultSchedule::new().with_data_fault(4, NodeId(0), DataFault::Drift { rate: 2.0 }, 10);
+        let mut v = vec![10.0];
+        drift.corrupt_values(4, &mut v); // age 0 → one epoch of drift
+        assert_eq!(v, vec![12.0]);
+        let mut v = vec![10.0];
+        drift.corrupt_values(7, &mut v); // age 3 → four epochs of drift
+        assert_eq!(v, vec![18.0]);
+
+        let spike = FaultSchedule::new().with_data_fault(
+            1,
+            NodeId(0),
+            DataFault::Spike { magnitude: -5.0 },
+            1,
+        );
+        let mut v = vec![10.0];
+        spike.corrupt_values(1, &mut v);
+        assert_eq!(v, vec![5.0]);
+        let mut v = vec![10.0];
+        spike.corrupt_values(2, &mut v); // duration 1: over by epoch 2
+        assert_eq!(v, vec![10.0]);
+    }
+
+    #[test]
+    fn noise_is_deterministic_bounded_and_seed_sensitive() {
+        let mk = |seed| {
+            FaultSchedule::new()
+                .with_data_fault(0, NodeId(1), DataFault::Noise { amplitude: 3.0 }, 20)
+                .with_noise_seed(seed)
+        };
+        let mut a = vec![50.0, 50.0];
+        let mut b = vec![50.0, 50.0];
+        mk(9).corrupt_values(5, &mut a);
+        mk(9).corrupt_values(5, &mut b);
+        assert_eq!(a, b, "same seed, same epoch: identical noise");
+        assert!((a[1] - 50.0).abs() < 3.0, "noise bounded by amplitude: {}", a[1]);
+        let mut c = vec![50.0, 50.0];
+        mk(9).corrupt_values(6, &mut c);
+        assert_ne!(a[1], c[1], "noise varies across epochs");
+        let mut d = vec![50.0, 50.0];
+        mk(10).corrupt_values(5, &mut d);
+        assert_ne!(a[1], d[1], "noise varies with the schedule seed");
+    }
+
+    #[test]
+    fn corruption_skips_dead_and_out_of_range_nodes() {
+        let s = FaultSchedule::new()
+            .with_data_fault(0, NodeId(1), DataFault::StuckAt { level: 99.0 }, 10)
+            .with_data_fault(0, NodeId(7), DataFault::StuckAt { level: 99.0 }, 10);
+        let mut v = vec![10.0, f64::NEG_INFINITY, 30.0];
+        let applied = s.corrupt_values(3, &mut v);
+        assert!(applied.is_empty(), "masked and out-of-range nodes are untouched");
+        assert_eq!(v[1], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn random_data_faults_are_deterministic_and_distinct() {
+        let fault = DataFault::Drift { rate: 1.5 };
+        let a = FaultSchedule::random_data_faults(20, 5, 8, 30, fault, 3);
+        let b = FaultSchedule::random_data_faults(20, 5, 8, 30, fault, 3);
+        assert_eq!(a.data_faults_at(8), b.data_faults_at(8));
+        assert_eq!(a.noise_seed(), 3);
+        let hit = a.data_faults_at(8);
+        assert_eq!(hit.len(), 5);
+        let mut nodes: Vec<NodeId> = hit.iter().map(|&(n, _, _)| n).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 5, "faults must hit distinct nodes");
+        assert!(!nodes.contains(&NodeId(0)), "the root sources no readings");
     }
 }

@@ -32,7 +32,7 @@ pub mod topology;
 pub use arq::{epoch_seed, link_rng, ArqPolicy, Backoff, BackoffError, LinkAttempts};
 pub use energy::EnergyModel;
 pub use failure::{FailureModel, FailureModelError};
-pub use fault::{FaultEvent, FaultSchedule};
+pub use fault::{AppliedDataFault, DataFault, FaultEvent, FaultSchedule, FaultScheduleError};
 pub use meter::{EnergyMeter, MeterMergeError, Phase, NUM_PHASES};
 pub use node::NodeId;
 pub use placement::{Network, NetworkBuilder, Position, ZoneLayout};

@@ -73,6 +73,16 @@ pub enum TraceEvent {
     /// A lost subtree's answer entry was backfilled from the sample
     /// window (an estimate, not an observation).
     Backfill { node: u32, predicted: f64 },
+    /// A scheduled data fault corrupted a sourced reading: the node
+    /// reported `corrupted` where the truth was `clean`.
+    DataFault { node: u32, kind: &'static str, clean: f64, corrupted: f64 },
+    /// A delivered reading fell outside its plausibility band
+    /// `[lo, hi]` and was substituted with the window prediction.
+    ReadingFlagged { node: u32, value: f64, lo: f64, hi: f64, predicted: f64 },
+    /// A node crossed the consecutive-strike threshold into quarantine.
+    NodeQuarantined { node: u32, strikes: u32 },
+    /// A quarantined node completed parole and is trusted again.
+    NodeReadmitted { node: u32, clean_epochs: u32 },
     /// An adaptive-loop epoch finished (`run_adaptive`).
     AdaptiveEpoch { epoch: u64, action: &'static str, period: u64, accuracy: f64, energy_mj: f64 },
     /// An epoch finished; scalar summary mirroring `EpochReport`.
@@ -105,6 +115,10 @@ impl TraceEvent {
             TraceEvent::RetryEscalated { .. } => "retry_escalated",
             TraceEvent::ReplanForced { .. } => "replan_forced",
             TraceEvent::Backfill { .. } => "backfill",
+            TraceEvent::DataFault { .. } => "data_fault",
+            TraceEvent::ReadingFlagged { .. } => "reading_flagged",
+            TraceEvent::NodeQuarantined { .. } => "node_quarantined",
+            TraceEvent::NodeReadmitted { .. } => "node_readmitted",
             TraceEvent::AdaptiveEpoch { .. } => "adaptive_epoch",
             TraceEvent::EpochEnd { .. } => "epoch_end",
         }
@@ -201,6 +215,27 @@ impl TraceEvent {
             TraceEvent::Backfill { node, predicted } => {
                 push_u64(&mut o, "node", u64::from(*node));
                 push_f64_field(&mut o, "predicted", *predicted);
+            }
+            TraceEvent::DataFault { node, kind, clean, corrupted } => {
+                push_u64(&mut o, "node", u64::from(*node));
+                push_static(&mut o, "kind", kind);
+                push_f64_field(&mut o, "clean", *clean);
+                push_f64_field(&mut o, "corrupted", *corrupted);
+            }
+            TraceEvent::ReadingFlagged { node, value, lo, hi, predicted } => {
+                push_u64(&mut o, "node", u64::from(*node));
+                push_f64_field(&mut o, "value", *value);
+                push_f64_field(&mut o, "lo", *lo);
+                push_f64_field(&mut o, "hi", *hi);
+                push_f64_field(&mut o, "predicted", *predicted);
+            }
+            TraceEvent::NodeQuarantined { node, strikes } => {
+                push_u64(&mut o, "node", u64::from(*node));
+                push_u64(&mut o, "strikes", u64::from(*strikes));
+            }
+            TraceEvent::NodeReadmitted { node, clean_epochs } => {
+                push_u64(&mut o, "node", u64::from(*node));
+                push_u64(&mut o, "clean_epochs", u64::from(*clean_epochs));
             }
             TraceEvent::AdaptiveEpoch { epoch, action, period, accuracy, energy_mj } => {
                 push_u64(&mut o, "epoch", *epoch);
@@ -301,6 +336,30 @@ mod tests {
     fn backfill_minus_infinity_is_representable() {
         let ev = TraceEvent::Backfill { node: 2, predicted: f64::NEG_INFINITY };
         assert_eq!(ev.to_json(), r#"{"ev":"backfill","node":2,"predicted":"-inf"}"#);
+    }
+
+    #[test]
+    fn gating_events_serialize_with_fixed_field_order() {
+        let ev = TraceEvent::DataFault { node: 5, kind: "stuck_at", clean: 42.5, corrupted: 99.0 };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"data_fault","node":5,"kind":"stuck_at","clean":42.5,"corrupted":99}"#
+        );
+        let ev = TraceEvent::ReadingFlagged {
+            node: 5,
+            value: 99.0,
+            lo: 40.0,
+            hi: 45.0,
+            predicted: 42.5,
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"reading_flagged","node":5,"value":99,"lo":40,"hi":45,"predicted":42.5}"#
+        );
+        let ev = TraceEvent::NodeQuarantined { node: 5, strikes: 3 };
+        assert_eq!(ev.to_json(), r#"{"ev":"node_quarantined","node":5,"strikes":3}"#);
+        let ev = TraceEvent::NodeReadmitted { node: 5, clean_epochs: 4 };
+        assert_eq!(ev.to_json(), r#"{"ev":"node_readmitted","node":5,"clean_epochs":4}"#);
     }
 
     #[test]

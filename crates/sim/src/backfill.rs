@@ -72,8 +72,10 @@ pub fn backfill_answer_traced(
         for (i, &m) in missing.iter().enumerate() {
             if m {
                 let node = NodeId::from_index(i);
-                let reading = Reading { node, value: samples.predicted_value(node) };
-                entries.push(AnswerEntry { reading, estimated: true });
+                // An unknown history predicts `-inf`: the estimate sorts
+                // last and can never displace a real observation.
+                let value = samples.predicted_value(node).unwrap_or(f64::NEG_INFINITY);
+                entries.push(AnswerEntry { reading: Reading { node, value }, estimated: true });
             }
         }
         entries.sort_unstable_by(|a, b| a.reading.rank_cmp(&b.reading));

@@ -18,13 +18,13 @@
 //! unicasts retry a bounded number of times and nodes that never receive
 //! their new subplan keep executing the previous one.
 
-use crate::backfill::{backfill_answer_traced, AnswerEntry};
+use crate::backfill::{backfill_answer, backfill_answer_traced, AnswerEntry};
 use crate::dissemination::{install_plan_lossy_traced, install_plan_traced};
 use crate::exec::{execute_plan, execute_plan_arq_traced, execute_plan_traced};
 use crate::trace::charge;
 use prospector_ckpt::{Checkpoint, CheckpointPolicy, CheckpointStore, StoreError};
-use prospector_core::{evaluate, Plan, PlanContext, PlanError, Planner};
-use prospector_data::{top_k_nodes, SamplePolicy, SampleSet, ValueSource};
+use prospector_core::{evaluate, GatePolicy, Plan, PlanContext, PlanError, Planner, TrustState};
+use prospector_data::{top_k_nodes, Reading, SamplePolicy, SampleSet, ValueSource};
 use prospector_net::{
     epoch_seed, ArqPolicy, EnergyMeter, EnergyModel, FailureModel, FaultSchedule, NodeId, Phase,
     Topology,
@@ -69,6 +69,13 @@ pub struct ExperimentConfig {
     pub min_delivered: f64,
     /// Ceiling for the escalated collection retry budget.
     pub max_retry_budget: u32,
+    /// Optional root-side plausibility gate: delivered readings outside
+    /// their sample-window prediction band are substituted with the
+    /// prediction, and repeat offenders are quarantined (see
+    /// [`GatePolicy`]). Observation-only on honest data: when every
+    /// reading stays in-band the run's output is bit-identical to an
+    /// ungated one.
+    pub gate: Option<GatePolicy>,
     /// Seed for failure injection.
     pub seed: u64,
 }
@@ -90,6 +97,8 @@ pub enum ConfigError {
     BadBudget { budget_mj: f64 },
     /// `min_delivered` is a fraction and must lie in `[0, 1]`.
     BadMinDelivered { min_delivered: f64 },
+    /// The plausibility-gate policy has an invalid knob.
+    BadGate { why: String },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -106,6 +115,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadMinDelivered { min_delivered } => {
                 write!(f, "min_delivered must lie in [0, 1], got {min_delivered}")
             }
+            ConfigError::BadGate { why } => write!(f, "invalid gate policy: {why}"),
         }
     }
 }
@@ -129,6 +139,9 @@ impl ExperimentConfig {
         }
         if !self.min_delivered.is_finite() || !(0.0..=1.0).contains(&self.min_delivered) {
             return Err(ConfigError::BadMinDelivered { min_delivered: self.min_delivered });
+        }
+        if let Some(gate) = &self.gate {
+            gate.validate().map_err(|e| ConfigError::BadGate { why: e.to_string() })?;
         }
         Ok(())
     }
@@ -225,11 +238,28 @@ pub struct EpochReport {
     /// Subplan unicasts that exhausted dissemination retries this epoch
     /// (0 when no plan was installed).
     pub install_undelivered: usize,
+    /// Readings the plausibility gate replaced with window predictions
+    /// this epoch (out-of-band, or held back by quarantine). Always 0
+    /// without a [`ExperimentConfig::gate`].
+    pub flagged: usize,
+    /// Nodes in quarantine at the end of this epoch.
+    pub quarantined: usize,
+    /// Nodes that completed parole and were readmitted this epoch.
+    pub readmitted: usize,
     /// Cumulative metrics snapshot at the end of this epoch; present only
     /// after [`ExperimentRunner::enable_metrics`]. Snapshots may carry
     /// wall-clock measurements (plan latency) and are never part of the
     /// deterministic trace.
     pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Per-epoch tally of plausibility-gate interventions.
+#[derive(Debug, Clone, Copy, Default)]
+struct GateTally {
+    /// Readings replaced with window predictions.
+    substituted: usize,
+    /// Nodes readmitted from quarantine.
+    readmitted: usize,
 }
 
 /// Drives a planner over a value source for many epochs.
@@ -252,6 +282,9 @@ pub struct ExperimentRunner<'a> {
     arq: ArqPolicy,
     /// `alive[i]` is false once node i has permanently failed.
     alive: Vec<bool>,
+    /// Per-node plausibility-gate trust state; stays all-default without
+    /// a gate policy (and on honest data with one).
+    trust: Vec<TrustState>,
     meter: EnergyMeter,
     rng: StdRng,
     /// Aggregate metrics; populated only after
@@ -298,6 +331,7 @@ impl<'a> ExperimentRunner<'a> {
             failures,
             arq,
             alive: vec![true; topology.len()],
+            trust: vec![TrustState::default(); topology.len()],
             meter: EnergyMeter::new(topology.len()),
             rng,
             metrics: None,
@@ -326,9 +360,11 @@ impl<'a> ExperimentRunner<'a> {
             config_arq: self.config.arq,
             min_delivered: self.config.min_delivered,
             max_retry_budget: self.config.max_retry_budget,
+            gate: self.config.gate,
             seed: self.config.seed,
             topology: self.topology.clone(),
             alive: self.alive.clone(),
+            trust: self.trust.clone(),
             samples: self.samples.clone(),
             meter: self.meter.clone(),
             plan: self.plan.clone(),
@@ -367,6 +403,7 @@ impl<'a> ExperimentRunner<'a> {
             arq: ckpt.config_arq,
             min_delivered: ckpt.min_delivered,
             max_retry_budget: ckpt.max_retry_budget,
+            gate: ckpt.gate,
             seed: ckpt.seed,
         };
         let n = ckpt.topology.len();
@@ -391,6 +428,12 @@ impl<'a> ExperimentRunner<'a> {
             return inconsistent(format!(
                 "alive mask covers {} nodes, topology has {n}",
                 ckpt.alive.len()
+            ));
+        }
+        if ckpt.trust.len() != n {
+            return inconsistent(format!(
+                "trust state covers {} nodes, topology has {n}",
+                ckpt.trust.len()
             ));
         }
         if ckpt.meter.node_totals().len() != n {
@@ -420,6 +463,7 @@ impl<'a> ExperimentRunner<'a> {
             failures: ckpt.failures,
             arq: ckpt.arq,
             alive: ckpt.alive,
+            trust: ckpt.trust,
             meter: ckpt.meter,
             rng: StdRng::from_state(ckpt.rng_state),
             metrics: ckpt.metrics.as_ref().map(MetricsRegistry::from_snapshot),
@@ -562,6 +606,23 @@ impl<'a> ExperimentRunner<'a> {
         let repaired = !deaths.is_empty();
         mask_dead_values(&mut values, &self.alive);
 
+        // Data faults corrupt readings where they are sourced, after death
+        // masking (a dead sensor reports nothing, corrupted or not), so
+        // every execution path below sees the same lies. The clean copy is
+        // the ground truth accuracy is scored against; without data faults
+        // the truth is `values` itself and no copy is taken.
+        let clean = self.config.faults.has_data_faults().then(|| values.clone());
+        for f in self.config.faults.corrupt_values(epoch, &mut values) {
+            if tracer.enabled() {
+                tracer.record(TraceEvent::DataFault {
+                    node: f.node.0,
+                    kind: f.kind,
+                    clean: f.clean,
+                    corrupted: f.corrupted,
+                });
+            }
+        }
+
         // Exploration: full sweep feeds the window and answers exactly.
         if self.config.policy.should_sample(epoch) {
             let mut sweep = Plan::full_sweep(&self.topology);
@@ -577,13 +638,31 @@ impl<'a> ExperimentRunner<'a> {
                     charge(&mut epoch_meter, tracer, node, Phase::Sampling, mj);
                 }
             }
+            // Root-side gate on the sweep: implausible readings feed the
+            // window (and the answer) as predictions, so a lying sensor
+            // cannot poison the very history it is judged against.
+            let mut gated = GateTally::default();
+            if let Some(policy) = self.config.gate {
+                gated = self.gate_sweep(epoch, &mut values, &policy, tracer);
+            }
             self.meter.merge(&epoch_meter);
+            // Sweeps answer exactly over what the network reports; with
+            // data faults in play, score the (gated) report against the
+            // clean truth instead of hard-coding exactness.
+            let accuracy = match &clean {
+                None => 1.0,
+                Some(clean_values) => {
+                    let truth = top_k_nodes(clean_values, k);
+                    let answered = top_k_nodes(&values, k);
+                    answered.iter().filter(|n| truth.contains(n)).count() as f64 / k as f64
+                }
+            };
             self.samples.push(values);
             let report = EpochReport {
                 epoch,
                 sampled: true,
                 replanned: false,
-                accuracy: 1.0,
+                accuracy,
                 energy_mj: epoch_meter.total(),
                 deaths,
                 repaired,
@@ -594,6 +673,9 @@ impl<'a> ExperimentRunner<'a> {
                 backfilled: 0,
                 retry_budget: self.arq.max_retries,
                 install_undelivered: 0,
+                flagged: gated.substituted,
+                quarantined: self.quarantined_count(),
+                readmitted: gated.readmitted,
                 metrics: None,
             };
             return Ok(self.finish_epoch(report, tracer));
@@ -736,20 +818,68 @@ impl<'a> ExperimentRunner<'a> {
         epoch_meter.merge(&report.meter);
         self.meter.merge(&epoch_meter);
 
+        // Root-side plausibility gate: delivered readings outside their
+        // prediction band are flagged and replaced with the window
+        // prediction (the backfill estimated-entry convention); nodes in
+        // quarantine are substituted unconditionally until parole.
+        let mut kept: Vec<Reading> = Vec::new();
+        let mut substituted: Vec<AnswerEntry> = Vec::new();
+        let mut gated = GateTally::default();
+        if let Some(policy) = self.config.gate {
+            for &reading in &report.answer {
+                match self.gate_reading(reading, epoch, &policy, &mut gated, tracer) {
+                    Some(prediction) => {
+                        substituted.push(AnswerEntry { reading: prediction, estimated: true })
+                    }
+                    None => kept.push(reading),
+                }
+            }
+        }
+        let answer: &[Reading] = if self.config.gate.is_some() { &kept } else { &report.answer };
+        // Re-borrow: gating above needed `&mut self`.
+        let plan = self.plan.as_ref().expect("plan exists after planning step");
+
         // Graceful degradation at the root: estimate lost subtrees from
-        // the sample window and answer over delivered + backfilled
-        // entries.
-        let entries: Vec<AnswerEntry> = backfill_answer_traced(
-            &report.answer,
-            &report.lost_edges,
-            plan,
-            &self.topology,
-            &self.samples,
-            k,
-            tracer,
-        );
-        let backfilled = entries.iter().filter(|e| e.estimated).count();
-        let truth = top_k_nodes(&values, k);
+        // the sample window and answer over delivered + backfilled (+
+        // gate-substituted) entries.
+        let entries: Vec<AnswerEntry> = if substituted.is_empty() {
+            backfill_answer_traced(
+                answer,
+                &report.lost_edges,
+                plan,
+                &self.topology,
+                &self.samples,
+                k,
+                tracer,
+            )
+        } else {
+            // Substituted entries compete by rank exactly like backfilled
+            // ones; `Backfill` events are only owed to estimates that
+            // survive the final cut, so emit them after the merge.
+            let mut entries =
+                backfill_answer(answer, &report.lost_edges, plan, &self.topology, &self.samples, k);
+            entries.extend(substituted.iter().copied());
+            entries.sort_unstable_by(|a, b| a.reading.rank_cmp(&b.reading));
+            entries.truncate(k);
+            if tracer.enabled() {
+                for e in entries.iter().filter(|e| {
+                    e.estimated && !substituted.iter().any(|s| s.reading.node == e.reading.node)
+                }) {
+                    tracer.record(TraceEvent::Backfill {
+                        node: e.reading.node.0,
+                        predicted: e.reading.value,
+                    });
+                }
+            }
+            entries
+        };
+        let backfilled = entries
+            .iter()
+            .filter(|e| {
+                e.estimated && !substituted.iter().any(|s| s.reading.node == e.reading.node)
+            })
+            .count();
+        let truth = top_k_nodes(clean.as_deref().unwrap_or(&values), k);
         let hits = entries.iter().filter(|e| truth.contains(&e.reading.node)).count();
 
         // Adaptive reliability: when too little of the network is heard
@@ -795,9 +925,94 @@ impl<'a> ExperimentRunner<'a> {
             backfilled,
             retry_budget,
             install_undelivered,
+            flagged: gated.substituted,
+            quarantined: self.quarantined_count(),
+            readmitted: gated.readmitted,
             metrics: None,
         };
         Ok(self.finish_epoch(report, tracer))
+    }
+
+    /// Nodes currently in quarantine.
+    fn quarantined_count(&self) -> usize {
+        self.trust.iter().filter(|t| t.is_quarantined()).count()
+    }
+
+    /// Gates one delivered reading against its prediction band, updating
+    /// the node's trust state. Returns the prediction to substitute when
+    /// the reading is out-of-band or the node is quarantined, `None` when
+    /// the reading is kept (in-band and trusted, or no band exists yet —
+    /// the gate abstains rather than judging on thin evidence).
+    fn gate_reading(
+        &mut self,
+        reading: Reading,
+        epoch: u64,
+        policy: &GatePolicy,
+        tally: &mut GateTally,
+        tracer: &mut dyn Tracer,
+    ) -> Option<Reading> {
+        let node = reading.node;
+        let (lo, hi) =
+            self.samples.prediction_band(node, policy.z, policy.min_sigma, policy.min_window)?;
+        let in_band = reading.value >= lo && reading.value <= hi;
+        let t = self.trust[node.index()].observe(in_band, epoch, policy);
+        // A band implies at least two finite readings, so a prediction
+        // always exists here.
+        let predicted = self.samples.predicted_value(node).expect("band implies history");
+        if tracer.enabled() {
+            if t.flagged {
+                tracer.record(TraceEvent::ReadingFlagged {
+                    node: node.0,
+                    value: reading.value,
+                    lo,
+                    hi,
+                    predicted,
+                });
+            }
+            if t.quarantined {
+                tracer.record(TraceEvent::NodeQuarantined {
+                    node: node.0,
+                    strikes: self.trust[node.index()].strikes,
+                });
+            }
+            if t.readmitted {
+                tracer.record(TraceEvent::NodeReadmitted {
+                    node: node.0,
+                    clean_epochs: policy.parole_after,
+                });
+            }
+        }
+        tally.readmitted += usize::from(t.readmitted);
+        if !in_band || self.trust[node.index()].is_quarantined() {
+            tally.substituted += 1;
+            Some(Reading { node, value: predicted })
+        } else {
+            None
+        }
+    }
+
+    /// Gates a sweep's readings in place: every alive node is observed,
+    /// and flagged or quarantined nodes contribute their window
+    /// prediction to the new sample instead of their reported value.
+    fn gate_sweep(
+        &mut self,
+        epoch: u64,
+        values: &mut [f64],
+        policy: &GatePolicy,
+        tracer: &mut dyn Tracer,
+    ) -> GateTally {
+        let mut tally = GateTally::default();
+        for (i, value) in values.iter_mut().enumerate() {
+            if !value.is_finite() {
+                continue;
+            }
+            let reading = Reading { node: NodeId::from_index(i), value: *value };
+            if let Some(prediction) = self.gate_reading(reading, epoch, policy, &mut tally, tracer)
+            {
+                *value = prediction.value;
+            }
+        }
+        tally
     }
 
     /// Epoch epilogue shared by both branches: folds the report into the
@@ -821,6 +1036,9 @@ impl<'a> ExperimentRunner<'a> {
             m.count("lost_edges", report.lost_edges as u64);
             m.count("backfilled_entries", report.backfilled as u64);
             m.count("install_undelivered", report.install_undelivered as u64);
+            m.count("flagged_readings", report.flagged as u64);
+            m.count("readmissions", report.readmitted as u64);
+            m.gauge("quarantined_nodes", report.quarantined as f64);
             m.gauge("delivered_fraction", report.delivered_fraction);
             m.gauge("retry_budget", f64::from(self.arq.max_retries));
             m.gauge("energy_total_mj", self.meter.total());
@@ -1013,6 +1231,7 @@ mod tests {
             arq: ArqPolicy::default(),
             min_delivered: 0.0,
             max_retry_budget: 8,
+            gate: None,
             seed: 42,
         }
     }
@@ -1161,6 +1380,114 @@ mod tests {
         // Backfilled predictions only ever appear alongside lost edges.
         assert!(queries.iter().all(|r| r.lost_edges > 0 || r.backfilled == 0));
         assert!(queries.iter().any(|r| r.backfilled > 0), "some loss is backfilled");
+    }
+
+    /// The child of the root whose subtree has the lowest peak mean: no
+    /// true top-k member lives below it, but its edge aggregates a whole
+    /// subtree, so a corrupted high reading hijacks a forwarding slot and
+    /// reaches the root — the damage gating can undo cleanly.
+    fn gullible_victim(t: &Topology, source: &IndependentGaussian) -> NodeId {
+        let subtree_peak = |n: NodeId| {
+            t.children(n)
+                .iter()
+                .map(|c| source.means()[c.index()])
+                .fold(source.means()[n.index()], f64::max)
+        };
+        *t.children(t.root())
+            .iter()
+            .min_by(|&&a, &&b| subtree_peak(a).total_cmp(&subtree_peak(b)))
+            .expect("root has children")
+    }
+
+    #[test]
+    fn gating_recovers_accuracy_under_a_stuck_sensor() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let source = || IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 7);
+        let victim = gullible_victim(&t, &source());
+        let faults = FaultSchedule::new().with_data_fault(
+            8,
+            victim,
+            prospector_net::DataFault::StuckAt { level: 1000.0 },
+            10,
+        );
+        let run = |gate: Option<GatePolicy>| {
+            let mut cfg = config(30.0);
+            // Sweeps mixed into the faulty stretch: ungated sweeps answer
+            // with the imposter *and* poison the sample window.
+            cfg.policy = SamplePolicy::Periodic { warmup: 5, period: 5 };
+            cfg.faults = faults.clone();
+            cfg.gate = gate;
+            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+            let reports = runner.run(&mut source(), 20).unwrap();
+            // Mean accuracy over the faulty stretch only.
+            let q: Vec<f64> = reports[8..18].iter().map(|r| r.accuracy).collect();
+            q.iter().sum::<f64>() / q.len() as f64
+        };
+        let ungated = run(None);
+        let gated = run(Some(GatePolicy::default()));
+        // The run is fully seeded, so these means are deterministic: the
+        // gated run holds near the fault-free ceiling for this config
+        // (~0.83) while the ungated one pays for the imposter.
+        assert!(gated >= 0.8, "gated accuracy stays near the fault-free ceiling: {gated:.2}");
+        assert!(
+            gated > ungated + 0.04,
+            "gating must recover accuracy: gated {gated:.2}, ungated {ungated:.2}"
+        );
+    }
+
+    #[test]
+    fn quarantine_lifecycle_is_reported() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 7);
+        let victim = gullible_victim(&t, &source);
+        let mut cfg = config(30.0);
+        // Frequent sweeps so the honest post-fault readings are observed
+        // (a low-mean node's honest value rarely wins a query slot).
+        cfg.policy = SamplePolicy::Periodic { warmup: 5, period: 5 };
+        cfg.faults = FaultSchedule::new().with_data_fault(
+            8,
+            victim,
+            prospector_net::DataFault::StuckAt { level: 1000.0 },
+            5,
+        );
+        cfg.gate =
+            Some(GatePolicy { quarantine_after: 2, parole_after: 2, ..GatePolicy::default() });
+        let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+        let reports = runner.run(&mut source, 24).unwrap();
+        assert!(reports.iter().any(|r| r.flagged > 0), "the stuck readings are flagged");
+        assert!(reports.iter().any(|r| r.quarantined > 0), "strikes lead to quarantine");
+        assert_eq!(
+            reports.iter().map(|r| r.readmitted).sum::<usize>(),
+            1,
+            "the node earns parole exactly once"
+        );
+        assert_eq!(reports.last().unwrap().quarantined, 0, "quarantine is empty at the end");
+    }
+
+    #[test]
+    fn gate_is_observation_only_without_faults() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let planner = ProspectorGreedy;
+        let run = |gate: Option<GatePolicy>| {
+            let mut cfg = config(30.0);
+            cfg.gate = gate;
+            let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..4.0, 7);
+            let mut runner = ExperimentRunner::new(&t, &em, &planner, cfg);
+            runner.run(&mut source, 30).unwrap()
+        };
+        let off = run(None);
+        let on = run(Some(GatePolicy::default()));
+        for (x, y) in off.iter().zip(&on) {
+            assert_eq!(x.accuracy.to_bits(), y.accuracy.to_bits(), "epoch {}", x.epoch);
+            assert_eq!(x.energy_mj.to_bits(), y.energy_mj.to_bits(), "epoch {}", x.epoch);
+            assert_eq!(x.backfilled, y.backfilled, "epoch {}", x.epoch);
+            assert_eq!((y.flagged, y.quarantined, y.readmitted), (0, 0, 0), "epoch {}", x.epoch);
+        }
     }
 
     #[test]

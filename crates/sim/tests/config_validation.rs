@@ -2,7 +2,7 @@
 //! a typed `ConfigError` raised at construction, where it names the bad
 //! field — not a panic three layers down in `SampleSet` or the planner.
 
-use prospector_core::FallbackPlanner;
+use prospector_core::{FallbackPlanner, GatePolicy};
 use prospector_net::{topology, EnergyModel, FaultSchedule};
 use prospector_sim::{ConfigError, ExperimentConfig, ExperimentRunner, ResumeError};
 use prospector_testutil::recovery_config;
@@ -80,6 +80,29 @@ fn min_delivered_outside_unit_interval_is_rejected() {
 }
 
 #[test]
+fn bad_gate_policy_is_rejected_naming_the_knob() {
+    let cases: [(GatePolicy, &str); 3] = [
+        (GatePolicy { z: 0.0, ..GatePolicy::default() }, "z"),
+        (GatePolicy { min_window: 1, ..GatePolicy::default() }, "min_window"),
+        (GatePolicy { quarantine_after: 0, ..GatePolicy::default() }, "quarantine_after"),
+    ];
+    for (gate, knob) in cases {
+        let mut cfg = base();
+        cfg.gate = Some(gate);
+        match cfg.validate(N) {
+            Err(ConfigError::BadGate { why }) => {
+                assert!(why.contains(knob), "error {why:?} does not name {knob}")
+            }
+            other => panic!("expected BadGate naming {knob}, got {other:?}"),
+        }
+    }
+    // Gating disabled skips gate validation entirely.
+    let mut cfg = base();
+    cfg.gate = None;
+    assert_eq!(cfg.validate(N), Ok(()));
+}
+
+#[test]
 fn try_new_surfaces_the_error_and_new_panics() {
     let t = topology::balanced(3, 2);
     let em = EnergyModel::mica2();
@@ -136,6 +159,17 @@ fn resume_rejects_invalid_and_inconsistent_checkpoints() {
         }
         Err(e) => panic!("expected Inconsistent, got {e}"),
         Ok(_) => panic!("truncated alive mask was accepted"),
+    }
+
+    // A trust vector that does not cover the topology is inconsistent.
+    let mut bad = good.clone();
+    bad.trust.pop();
+    match ExperimentRunner::resume(bad, &em, &planner) {
+        Err(ResumeError::Inconsistent(why)) => {
+            assert!(why.contains("trust"), "unhelpful message: {why}")
+        }
+        Err(e) => panic!("expected Inconsistent, got {e}"),
+        Ok(_) => panic!("truncated trust vector was accepted"),
     }
 
     // The untampered image still resumes.

@@ -92,6 +92,7 @@ fn degradation_hits_dissemination_and_collection_in_the_same_epoch() {
         arq: ArqPolicy { max_retries: 2, backoff: Backoff::none() },
         min_delivered: 0.0,
         max_retry_budget: 8,
+        gate: None,
         seed: 23,
     };
     let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 23);

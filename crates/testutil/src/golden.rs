@@ -10,14 +10,14 @@
 
 use crate::{lossy_config, recovery_config, FailingPlanner};
 use prospector_ckpt::Checkpoint;
-use prospector_core::{FallbackPlanner, NaiveK, ProspectorGreedy};
+use prospector_core::{FallbackPlanner, GatePolicy, NaiveK, ProspectorGreedy};
 use prospector_data::IndependentGaussian;
-use prospector_net::{topology, EnergyModel, FaultSchedule, Topology};
+use prospector_net::{topology, DataFault, EnergyModel, FaultSchedule, NodeId, Topology};
 use prospector_obs::{event, MetricsSnapshot, RingTracer, TraceEvent};
 use prospector_sim::{ExperimentConfig, ExperimentRunner, ResumeError};
 
 /// Names of the canonical scenarios, in blessing order.
-pub const SCENARIOS: &[&str] = &["clean", "loss_arq", "death_repair"];
+pub const SCENARIOS: &[&str] = &["clean", "loss_arq", "death_repair", "data_fault"];
 
 /// Epochs every scenario runs for.
 pub const EPOCHS: u64 = 16;
@@ -103,8 +103,41 @@ pub fn scenario(name: &str) -> Scenario {
                 energy,
             }
         }
+        // Two data faults against a tight gate: the node with the highest
+        // source mean (always in the historical top-k, so its edge always
+        // carries bandwidth and its readings always reach the root) sticks
+        // at 1000 for epochs 7..=12, earning quarantine after two strikes;
+        // the runner-up takes a single +400 spike at epoch 8, which flags
+        // once without quarantine. The fault clears after epoch 12, so the
+        // stuck node is still quarantined at the epoch-12 boundary (the
+        // crash-resume kill point) and earns parole in-window.
+        "data_fault" => {
+            let source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..4.0, 13);
+            let (stuck, runner_up) = top_two_means(&source, t.root());
+            let mut config = recovery_config(
+                FaultSchedule::new()
+                    .with_data_fault(7, stuck, DataFault::StuckAt { level: 1000.0 }, 6)
+                    .with_data_fault(8, runner_up, DataFault::Spike { magnitude: 400.0 }, 1),
+            );
+            config.gate =
+                Some(GatePolicy { quarantine_after: 2, parole_after: 2, ..GatePolicy::default() });
+            Scenario {
+                name: "data_fault",
+                config,
+                planner: FallbackPlanner::standard(),
+                topology: t,
+                energy,
+            }
+        }
         other => panic!("unknown golden scenario {other:?}; valid: {SCENARIOS:?}"),
     }
+}
+
+/// The two non-root nodes with the highest source means, highest first.
+fn top_two_means(source: &IndependentGaussian, root: NodeId) -> (NodeId, NodeId) {
+    let mut nodes: Vec<usize> = (0..source.means().len()).filter(|&i| i != root.index()).collect();
+    nodes.sort_by(|&a, &b| source.means()[b].total_cmp(&source.means()[a]));
+    (NodeId::from_index(nodes[0]), NodeId::from_index(nodes[1]))
 }
 
 /// Runs one named scenario with metrics enabled and returns its full
@@ -160,6 +193,15 @@ mod tests {
         for &name in SCENARIOS {
             assert_eq!(golden_trace(name), golden_trace(name), "{name}");
         }
+    }
+
+    #[test]
+    fn data_fault_exercises_the_whole_gate_lifecycle() {
+        let events = golden_events("data_fault");
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::DataFault { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::ReadingFlagged { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::NodeQuarantined { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::NodeReadmitted { .. })));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 pub mod golden;
 
-use prospector_core::{Plan, PlanContext, PlanError, Planner};
+use prospector_core::{GatePolicy, Plan, PlanContext, PlanError, Planner};
 use prospector_data::SamplePolicy;
 use prospector_net::{
     ArqPolicy, Backoff, EnergyMeter, FailureModel, FaultSchedule, Network, NetworkBuilder, NodeId,
@@ -41,6 +41,9 @@ pub fn recovery_config(faults: FaultSchedule) -> ExperimentConfig {
         arq: ArqPolicy::default(),
         min_delivered: 0.0,
         max_retry_budget: 8,
+        // Gating stays on in the shared fixtures: on fault-free runs it
+        // is observation-only, and the golden traces prove it stays so.
+        gate: Some(GatePolicy::default()),
         seed: 9,
     }
 }
@@ -62,6 +65,7 @@ pub fn lossy_config(n: usize, p: f64, max_retries: u32, faults: FaultSchedule) -
         arq: ArqPolicy { max_retries, backoff: Backoff::mica2() },
         min_delivered: 0.8,
         max_retry_budget: max_retries + 3,
+        gate: Some(GatePolicy::default()),
         seed: 87,
     }
 }
@@ -132,6 +136,9 @@ pub fn assert_reports_equivalent(a: &[EpochReport], b: &[EpochReport]) {
             "epoch {e}: delivered_fraction"
         );
         assert_eq!(x.backfilled, y.backfilled, "epoch {e}: backfilled");
+        assert_eq!(x.flagged, y.flagged, "epoch {e}: flagged");
+        assert_eq!(x.quarantined, y.quarantined, "epoch {e}: quarantined");
+        assert_eq!(x.readmitted, y.readmitted, "epoch {e}: readmitted");
         assert_eq!(x.retry_budget, y.retry_budget, "epoch {e}: retry_budget");
         assert_eq!(x.install_undelivered, y.install_undelivered, "epoch {e}: install_undelivered");
         match (&x.metrics, &y.metrics) {

@@ -46,6 +46,7 @@ fn main() {
         arq: ArqPolicy::default(),
         min_delivered: 0.9,
         max_retry_budget: 6,
+        gate: None,
         seed: 5,
     };
 

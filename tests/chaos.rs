@@ -21,10 +21,12 @@
 //!    integer per-sample counts, so every thread count returns the same
 //!    bits.
 //! 5. **No-surprises under combined chaos** — loss × retries × mid-run
-//!    degradations and deaths: every epoch completes, all reported
-//!    fractions stay in range, backfill only accompanies loss, retry
-//!    escalation never shrinks, and the cumulative meter equals the sum
-//!    of per-epoch bills exactly.
+//!    degradations, deaths and data faults: every epoch completes, all
+//!    reported fractions stay in range, backfill only accompanies loss,
+//!    retry escalation never shrinks, the cumulative meter equals the
+//!    sum of per-epoch bills exactly, and the plausibility gate never
+//!    flags or quarantines anything on schedules with no data faults
+//!    (the false-positive guard).
 //!
 //! `CHAOS_FAST=1` (the CI profile) shrinks the sweep; the invariants are
 //! identical in both profiles.
@@ -33,7 +35,7 @@ use prospector::core::evaluate::expected_accuracy_under_loss_with;
 use prospector::core::{run_plan_lossy, Plan};
 use prospector::data::{top_k_nodes, IndependentGaussian, SampleSet, ValueSource};
 use prospector::net::{
-    epoch_seed, topology, ArqPolicy, Backoff, EnergyMeter, EnergyModel, FailureModel,
+    epoch_seed, topology, ArqPolicy, Backoff, DataFault, EnergyMeter, EnergyModel, FailureModel,
     FaultSchedule, NodeId, Phase, Topology,
 };
 use prospector::sim::{backfill_answer, execute_plan, execute_plan_arq, ExperimentRunner};
@@ -260,10 +262,19 @@ fn chaos_sweep_keeps_epoch_loop_invariants() {
         }
         let victim = t.children(t.root())[0];
         let combined = degradations.clone().with_death(20, victim);
+        // Everything at once: degradations, a death, a stuck sensor, a
+        // noisy sensor. The stuck level rides high enough to hijack
+        // forwarding slots, so the gate actually sees it under loss.
+        let everything = combined
+            .clone()
+            .with_data_fault(10, t.children(t.root())[1], DataFault::StuckAt { level: 500.0 }, 8)
+            .with_data_fault(16, t.children(t.root())[2], DataFault::Noise { amplitude: 80.0 }, 6)
+            .with_noise_seed(87);
         vec![
             ("none", FaultSchedule::new()),
             ("degradations", degradations),
             ("degradations+death", combined),
+            ("degradations+death+data", everything),
         ]
     }
 
@@ -277,6 +288,7 @@ fn chaos_sweep_keeps_epoch_loop_invariants() {
     for &p in rates {
         for &max_retries in budgets {
             for (name, faults) in schedules(&t) {
+                let has_data_faults = faults.has_data_faults();
                 let config = lossy_config(n, p, max_retries, faults);
                 let mut source = IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 87);
                 let mut runner = ExperimentRunner::new(&t, &em, &planner, config);
@@ -296,6 +308,18 @@ fn chaos_sweep_keeps_epoch_loop_invariants() {
                         r.lost_edges > 0 || r.backfilled == 0,
                         "backfill only accompanies loss: {r:?}"
                     );
+                    assert!(r.flagged <= n && r.quarantined <= n, "{name}: {r:?}");
+                    if !has_data_faults {
+                        // False-positive guard: with gating enabled but
+                        // no data faults scheduled, the gate must stay
+                        // silent — loss, deaths and degradations alone
+                        // never flag, quarantine or readmit anything.
+                        assert_eq!(
+                            (r.flagged, r.quarantined, r.readmitted),
+                            (0, 0, 0),
+                            "{name}: gate fired without data faults: {r:?}"
+                        );
+                    }
                     if !r.sampled {
                         assert!(r.retry_budget >= last_budget, "{name}: escalation never shrinks");
                         last_budget = r.retry_budget;
@@ -309,6 +333,15 @@ fn chaos_sweep_keeps_epoch_loop_invariants() {
                 // Loss with a retry budget exercises (and bills) the ARQ.
                 if max_retries > 0 {
                     assert!(runner.meter().phase_total(Phase::Retransmit) > 0.0, "{name}");
+                }
+                // And a schedule with data faults exercises the gate: a
+                // stuck-high reading wins forwarding slots, so some epoch
+                // delivers it to the root and gets it flagged.
+                if has_data_faults {
+                    assert!(
+                        reports.iter().map(|r| r.flagged).sum::<usize>() > 0,
+                        "{name}: data faults never reached the gate (p={p})"
+                    );
                 }
             }
         }

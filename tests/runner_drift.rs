@@ -37,6 +37,7 @@ fn replanning_tracks_drift() {
         arq: ArqPolicy::default(),
         min_delivered: 0.0,
         max_retry_budget: 8,
+        gate: None,
         seed: 3,
     };
 
@@ -110,6 +111,7 @@ fn runner_energy_breakdown_is_complete() {
         arq: ArqPolicy::default(),
         min_delivered: 0.0,
         max_retry_budget: 8,
+        gate: None,
         seed: 1,
     };
     let mut src = RandomWalk::new(20, 10.0, 2.0, 0.5, 0.1, 2);
