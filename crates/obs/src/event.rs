@@ -85,6 +85,22 @@ pub enum TraceEvent {
     NodeReadmitted { node: u32, clean_epochs: u32 },
     /// An adaptive-loop epoch finished (`run_adaptive`).
     AdaptiveEpoch { epoch: u64, action: &'static str, period: u64, accuracy: f64, energy_mj: f64 },
+    /// A service request cleared validation and admission control
+    /// (`prospector-serve`). `band` is the budget band the request was
+    /// admitted into — the plan-cache key component, not the raw budget.
+    RequestAccepted { id: u64, tenant: u32, k: u32, band: u64 },
+    /// A service request was rejected; `reason` is the stringified typed
+    /// error (validation or admission), which is deterministic.
+    RequestRejected { id: u64, tenant: u32, reason: String },
+    /// A service request was answered by a cached plan — no LP ran.
+    PlanCacheHit { topo_epoch: u64, k: u32, band: u64 },
+    /// No usable cached plan existed for this key; the service planned
+    /// from scratch (and cached the result).
+    PlanCacheMiss { topo_epoch: u64, k: u32, band: u64 },
+    /// A service batch finished planning: `requests` admitted requests
+    /// shared `unique_keys` distinct cache keys, of which `planned`
+    /// required a fresh planner run.
+    BatchPlanned { requests: u32, unique_keys: u32, planned: u32 },
     /// An epoch finished; scalar summary mirroring `EpochReport`.
     EpochEnd {
         epoch: u64,
@@ -120,6 +136,11 @@ impl TraceEvent {
             TraceEvent::NodeQuarantined { .. } => "node_quarantined",
             TraceEvent::NodeReadmitted { .. } => "node_readmitted",
             TraceEvent::AdaptiveEpoch { .. } => "adaptive_epoch",
+            TraceEvent::RequestAccepted { .. } => "request_accepted",
+            TraceEvent::RequestRejected { .. } => "request_rejected",
+            TraceEvent::PlanCacheHit { .. } => "plan_cache_hit",
+            TraceEvent::PlanCacheMiss { .. } => "plan_cache_miss",
+            TraceEvent::BatchPlanned { .. } => "batch_planned",
             TraceEvent::EpochEnd { .. } => "epoch_end",
         }
     }
@@ -243,6 +264,34 @@ impl TraceEvent {
                 push_u64(&mut o, "period", *period);
                 push_f64_field(&mut o, "accuracy", *accuracy);
                 push_f64_field(&mut o, "energy_mj", *energy_mj);
+            }
+            TraceEvent::RequestAccepted { id, tenant, k, band } => {
+                push_u64(&mut o, "id", *id);
+                push_u64(&mut o, "tenant", u64::from(*tenant));
+                push_u64(&mut o, "k", u64::from(*k));
+                push_u64(&mut o, "band", *band);
+            }
+            TraceEvent::RequestRejected { id, tenant, reason } => {
+                push_u64(&mut o, "id", *id);
+                push_u64(&mut o, "tenant", u64::from(*tenant));
+                o.push(',');
+                json::push_key(&mut o, "reason");
+                json::push_str(&mut o, reason);
+            }
+            TraceEvent::PlanCacheHit { topo_epoch, k, band } => {
+                push_u64(&mut o, "topo_epoch", *topo_epoch);
+                push_u64(&mut o, "k", u64::from(*k));
+                push_u64(&mut o, "band", *band);
+            }
+            TraceEvent::PlanCacheMiss { topo_epoch, k, band } => {
+                push_u64(&mut o, "topo_epoch", *topo_epoch);
+                push_u64(&mut o, "k", u64::from(*k));
+                push_u64(&mut o, "band", *band);
+            }
+            TraceEvent::BatchPlanned { requests, unique_keys, planned } => {
+                push_u64(&mut o, "requests", u64::from(*requests));
+                push_u64(&mut o, "unique_keys", u64::from(*unique_keys));
+                push_u64(&mut o, "planned", u64::from(*planned));
             }
             TraceEvent::EpochEnd {
                 epoch,
@@ -373,6 +422,30 @@ mod tests {
             backoff_mj: 0.1 + 0.2,
         };
         assert_eq!(a.to_json(), a.clone().to_json());
+    }
+
+    #[test]
+    fn serve_events_serialize_with_fixed_field_order() {
+        let ev = TraceEvent::RequestAccepted { id: 7, tenant: 2, k: 4, band: 3 };
+        assert_eq!(ev.to_json(), r#"{"ev":"request_accepted","id":7,"tenant":2,"k":4,"band":3}"#);
+        let ev = TraceEvent::RequestRejected {
+            id: 8,
+            tenant: 1,
+            reason: "energy budget exhausted".to_string(),
+        };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"request_rejected","id":8,"tenant":1,"reason":"energy budget exhausted"}"#
+        );
+        let ev = TraceEvent::PlanCacheHit { topo_epoch: 2, k: 4, band: 5 };
+        assert_eq!(ev.to_json(), r#"{"ev":"plan_cache_hit","topo_epoch":2,"k":4,"band":5}"#);
+        let ev = TraceEvent::PlanCacheMiss { topo_epoch: 2, k: 4, band: 5 };
+        assert_eq!(ev.to_json(), r#"{"ev":"plan_cache_miss","topo_epoch":2,"k":4,"band":5}"#);
+        let ev = TraceEvent::BatchPlanned { requests: 6, unique_keys: 3, planned: 2 };
+        assert_eq!(
+            ev.to_json(),
+            r#"{"ev":"batch_planned","requests":6,"unique_keys":3,"planned":2}"#
+        );
     }
 
     #[test]

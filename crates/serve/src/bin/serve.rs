@@ -1,0 +1,94 @@
+//! The `serve` bin: line-protocol REPL, load generator, golden printer.
+//!
+//! ```text
+//! serve                 line-protocol REPL on stdin/stdout
+//! serve --loadgen       closed-loop load generator → BENCH_serve.json
+//!       [--fast]        CI profile (also via SERVE_FAST=1)
+//!       [--cache-off]   plan every request from scratch
+//!       [--out PATH]    report path (default BENCH_serve.json)
+//! serve --golden        print the serve_burst golden trace (for CI cmp)
+//! ```
+
+use prospector_data::IndependentGaussian;
+use prospector_net::{topology, EnergyModel};
+use prospector_serve::{golden, loadgen, Repl, ServiceConfig};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    if has("--golden") {
+        print!("{}", golden::serve_burst_trace());
+        return;
+    }
+    if has("--loadgen") {
+        let fast = has("--fast") || std::env::var("SERVE_FAST").is_ok_and(|v| v == "1");
+        let mut cfg =
+            if fast { loadgen::LoadgenConfig::fast() } else { loadgen::LoadgenConfig::full() };
+        cfg.cache = !has("--cache-off");
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_serve.json".to_string());
+        let report = loadgen::run_loadgen(&cfg);
+        let json = report.to_json();
+        if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+            eprintln!("serve: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+        println!("{json}");
+        eprintln!(
+            "serve: {} queries, {:.0} q/s, hit rate {:.1}%, plan p50 {:.3} ms p99 {:.3} ms → {out}",
+            report.queries,
+            report.qps,
+            100.0 * report.cache_hit_rate,
+            report.plan_p50_ms,
+            report.plan_p99_ms,
+        );
+        return;
+    }
+    repl();
+}
+
+/// The interactive loop: one golden-sized network, default service
+/// config, responses flushed per line.
+fn repl() {
+    let tree = topology::balanced(3, 2);
+    let n = tree.len();
+    let service = prospector_serve::QueryService::new(
+        tree,
+        EnergyModel::mica2(),
+        Box::new(prospector_core::FallbackPlanner::standard()),
+        ServiceConfig::default(),
+    )
+    .expect("default config is valid");
+    let source = IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 21);
+    let mut session = Repl::new(service, source);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_until(b'\n', &mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                while line.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+                    line.pop();
+                }
+                for response in session.handle_bytes(&line) {
+                    let _ = writeln!(stdout, "{response}");
+                }
+                let _ = stdout.flush();
+                if session.done() {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("serve: stdin error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The `serve_burst` golden scenario.
+//!
+//! A seeded 3-tenant burst over the canonical 13-node balanced tree:
+//! tenants 0 and 1 query the same budget band every epoch (the second is
+//! a cache hit from epoch 1 on), tenant 2 queries a higher band; epoch 3
+//! adds one over-ledger request that admission rejects with a typed
+//! error, and node death before epoch 6 forces a tree repair and a cache
+//! invalidation. The serialized event stream is byte-diffed against
+//! `tests/golden/serve_burst.jsonl` by `tests/golden_serve.rs` and the CI
+//! determinism loop (1 thread vs default).
+
+use crate::request::QueryRequest;
+use crate::service::{QueryService, ServiceConfig};
+use prospector_core::FallbackPlanner;
+use prospector_data::{IndependentGaussian, ValueSource};
+use prospector_net::{topology, EnergyModel, Topology};
+use prospector_obs::{event, RingTracer, TraceEvent};
+
+/// Epochs the burst runs for.
+pub const EPOCHS: u64 = 10;
+
+/// The epoch whose `begin_epoch` follows the node death.
+pub const DEATH_BEFORE_EPOCH: u64 = 6;
+
+fn tree() -> Topology {
+    topology::balanced(3, 2) // 13 nodes, matching the runner scenarios
+}
+
+/// The scenario's service, fresh.
+pub fn service() -> QueryService {
+    let config = ServiceConfig {
+        window: 8,
+        min_history: 1,
+        band_width_mj: 5.0,
+        epoch_budget_mj: 50.0,
+        max_k: 6,
+        sample_every: 2,
+        cache: true,
+        failures: None,
+    };
+    QueryService::new(tree(), EnergyModel::mica2(), Box::new(FallbackPlanner::standard()), config)
+        .expect("serve_burst config is valid")
+}
+
+/// The scenario's value source (epoch-deterministic).
+pub fn source() -> IndependentGaussian {
+    IndependentGaussian::random(tree().len(), 40.0..60.0, 1.0..4.0, 21)
+}
+
+/// The request batch for one epoch. Tenants 0 and 1 land in the same
+/// (k, band) key — one plans, the other hits; tenant 2 gets its own key.
+/// Ledger per epoch: 10 + 10 + 25 = 45 of 50 mJ, so epoch 3's extra
+/// request (another 25 mJ) is the scenario's admission rejection.
+pub fn burst(epoch: u64) -> Vec<QueryRequest> {
+    let base = 100 * (epoch + 1);
+    let mut batch = vec![
+        QueryRequest::simple(base, 0, 3, 12.0),
+        QueryRequest::simple(base + 1, 1, 3, 13.0),
+        QueryRequest::simple(base + 2, 2, 5, 27.0),
+    ];
+    if epoch == 3 {
+        batch.push(QueryRequest::simple(base + 3, 2, 5, 27.0));
+    }
+    batch
+}
+
+/// Runs the burst and returns its full event stream.
+pub fn serve_burst_events() -> Vec<TraceEvent> {
+    let mut service = service();
+    let mut source = source();
+    let mut tracer = RingTracer::new(1 << 16);
+    for epoch in 0..EPOCHS {
+        if epoch == DEATH_BEFORE_EPOCH {
+            let victim = service.topology().children(service.topology().root())[1];
+            service.kill_node(victim, &mut tracer).expect("victim is not the root");
+        }
+        let values = source.values(epoch);
+        service.begin_epoch(&values, &mut tracer);
+        service.serve_batch(&burst(epoch), &mut tracer);
+    }
+    assert_eq!(tracer.dropped(), 0, "ring capacity must cover the whole scenario");
+    tracer.take()
+}
+
+/// The serialized JSONL the golden file stores byte-for-byte.
+pub fn serve_burst_trace() -> String {
+    event::to_jsonl(&serve_burst_events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_reproducible_in_process() {
+        assert_eq!(serve_burst_trace(), serve_burst_trace());
+    }
+
+    #[test]
+    fn burst_exercises_the_advertised_lifecycle() {
+        let events = serve_burst_events();
+        let rejected =
+            events.iter().filter(|e| matches!(e, TraceEvent::RequestRejected { .. })).count();
+        assert_eq!(rejected, 1, "exactly one admission rejection");
+        assert!(events.iter().any(
+            |e| matches!(e, TraceEvent::RequestRejected { reason, .. } if reason.contains("ledger"))
+        ));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::NodeDeath { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::TreeRepaired { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::PlanCacheHit { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::PlanCacheMiss { .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::BatchPlanned { .. })));
+        // The death invalidates every cached plan: the epoch right after
+        // it must re-plan (a miss at the new topology epoch).
+        let hit_after_death =
+            events.iter().any(|e| matches!(e, TraceEvent::PlanCacheHit { topo_epoch: 1, .. }));
+        let miss_after_death =
+            events.iter().any(|e| matches!(e, TraceEvent::PlanCacheMiss { topo_epoch: 1, .. }));
+        assert!(miss_after_death, "post-death epochs plan fresh");
+        assert!(hit_after_death, "and the cache warms back up");
+    }
+}

@@ -1,0 +1,65 @@
+//! Multi-tenant serving layer for Prospector top-k queries.
+//!
+//! The paper plans one query at a time; the north-star deployment is a
+//! service absorbing a *stream* of top-k queries over one shared sensor
+//! network. This crate is that layer:
+//!
+//! * [`QueryService`] — shared sample window and metered network, batched
+//!   planning, energy-budget admission control (typed [`AdmitError`],
+//!   never silent);
+//! * [`PlanCache`] — plans keyed on (topology epoch, `k`, budget band,
+//!   subset), invalidated by deaths/repairs/degradations and window
+//!   refreshes. Cache hits are *transparent*: answers and energy charges
+//!   are bit-identical to planning every request from scratch (the
+//!   service plans at the band-floor budget, a pure function of the key);
+//! * [`protocol`] / [`Repl`] — the `serve` bin's line protocol, typed
+//!   errors for every malformed line;
+//! * [`loadgen`] — the closed-loop seeded load generator behind
+//!   `BENCH_serve.json`;
+//! * [`golden`] — the `serve_burst` golden-trace scenario.
+//!
+//! Like every traced layer, service runs are byte-deterministic: the
+//! event stream is a pure function of seeds (wall clock only ever appears
+//! in untraced latency fields). The cache-introspection events
+//! (`plan_cache_hit`/`plan_cache_miss`/`batch_planned`) are the one
+//! intentional difference between cached and scratch runs;
+//! [`scrub_cache_events`] removes them for transparency comparisons.
+
+pub mod cache;
+pub mod error;
+pub mod golden;
+pub mod loadgen;
+pub mod protocol;
+pub mod repl;
+pub mod request;
+pub mod service;
+
+pub use cache::{CacheEntry, CacheStats, PlanCache, PlanKey};
+pub use error::{AdmitError, ConfigError, RequestError, ServiceError};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use protocol::{parse_line, Command, ProtocolError, MAX_LINE_BYTES};
+pub use repl::Repl;
+pub use request::{QueryRequest, QueryResponse};
+pub use service::{EpochStart, QueryService, ServiceConfig, ServiceStats};
+
+use prospector_obs::TraceEvent;
+
+/// Drops the cache-introspection events (`plan_cache_hit`,
+/// `plan_cache_miss`, `batch_planned`) from a trace. Everything that
+/// remains — energy charges, accepts/rejects, deaths, repairs — must be
+/// byte-identical between cached and scratch serving; the proptest suite
+/// compares through this filter.
+pub fn scrub_cache_events(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e,
+                TraceEvent::PlanCacheHit { .. }
+                    | TraceEvent::PlanCacheMiss { .. }
+                    | TraceEvent::BatchPlanned { .. }
+            )
+        })
+        .cloned()
+        .collect()
+}

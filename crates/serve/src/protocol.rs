@@ -1,0 +1,246 @@
+//! The `serve` bin's line protocol.
+//!
+//! One request per line, ASCII, whitespace-separated:
+//!
+//! ```text
+//! QUERY <id> <tenant> k=<K> budget=<MJ> [subset=<a,b,c>] [deadline=<EPOCH>]
+//! TICK
+//! STATS
+//! QUIT
+//! ```
+//!
+//! Queries queue until the next `TICK`, which advances one epoch and
+//! serves the queued batch. Responses are one line per request:
+//! `OK <id> ...` or `ERR <id> <code> <message>`; protocol-level failures
+//! (no parseable id) answer `ERR - <code> <message>`. Malformed,
+//! truncated or oversized lines return a typed [`ProtocolError`] —
+//! parsing never panics and never wedges the loop.
+
+use crate::request::QueryRequest;
+use prospector_net::NodeId;
+use std::fmt;
+
+/// Longest accepted request line, in bytes. Longer lines are rejected
+/// whole — no truncated-prefix parsing.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// One parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Query(QueryRequest),
+    Tick,
+    Stats,
+    Quit,
+}
+
+/// A line the protocol refuses, with a stable code for `ERR` responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// Blank line (after trimming).
+    Empty,
+    /// Line exceeds [`MAX_LINE_BYTES`].
+    Oversized { len: usize, max: usize },
+    /// Line is not valid UTF-8.
+    BadUtf8,
+    /// First token is not a known command.
+    UnknownCommand(String),
+    /// A required positional or keyed field is absent.
+    MissingField(&'static str),
+    /// The same keyed field appeared twice.
+    DuplicateField(&'static str),
+    /// A field failed to parse; `value` is clipped for safety.
+    BadField { field: &'static str, value: String },
+    /// A command that takes no arguments got some.
+    TrailingInput(String),
+}
+
+impl ProtocolError {
+    /// Stable kebab-case code for `ERR` responses.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::Empty => "empty",
+            ProtocolError::Oversized { .. } => "oversized",
+            ProtocolError::BadUtf8 => "bad-utf8",
+            ProtocolError::UnknownCommand(_) => "unknown-command",
+            ProtocolError::MissingField(_) => "missing-field",
+            ProtocolError::DuplicateField(_) => "duplicate-field",
+            ProtocolError::BadField { .. } => "bad-field",
+            ProtocolError::TrailingInput(_) => "trailing-input",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Empty => write!(f, "empty line"),
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "line of {len} bytes exceeds {max}")
+            }
+            ProtocolError::BadUtf8 => write!(f, "line is not valid UTF-8"),
+            ProtocolError::UnknownCommand(c) => write!(f, "unknown command {c:?}"),
+            ProtocolError::MissingField(field) => write!(f, "missing field {field}"),
+            ProtocolError::DuplicateField(field) => write!(f, "duplicate field {field}"),
+            ProtocolError::BadField { field, value } => {
+                write!(f, "field {field} cannot parse {value:?}")
+            }
+            ProtocolError::TrailingInput(rest) => write!(f, "unexpected trailing input {rest:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Clips a hostile token before it lands in an error message.
+fn clip(s: &str) -> String {
+    const MAX: usize = 32;
+    if s.len() <= MAX {
+        s.to_string()
+    } else {
+        let mut end = MAX;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+/// Parses one raw line into a [`Command`].
+pub fn parse_line(raw: &str) -> Result<Command, ProtocolError> {
+    if raw.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError::Oversized { len: raw.len(), max: MAX_LINE_BYTES });
+    }
+    let line = raw.trim();
+    if line.is_empty() {
+        return Err(ProtocolError::Empty);
+    }
+    let mut tokens = line.split_whitespace();
+    let cmd = tokens.next().expect("non-empty line has a first token");
+    match cmd {
+        "QUERY" => parse_query(tokens),
+        "TICK" | "STATS" | "QUIT" => {
+            let rest: Vec<&str> = tokens.collect();
+            if !rest.is_empty() {
+                return Err(ProtocolError::TrailingInput(clip(&rest.join(" "))));
+            }
+            Ok(match cmd {
+                "TICK" => Command::Tick,
+                "STATS" => Command::Stats,
+                _ => Command::Quit,
+            })
+        }
+        other => Err(ProtocolError::UnknownCommand(clip(other))),
+    }
+}
+
+fn parse_query<'a>(mut tokens: impl Iterator<Item = &'a str>) -> Result<Command, ProtocolError> {
+    let id_tok = tokens.next().ok_or(ProtocolError::MissingField("id"))?;
+    let id: u64 =
+        id_tok.parse().map_err(|_| ProtocolError::BadField { field: "id", value: clip(id_tok) })?;
+    let tenant_tok = tokens.next().ok_or(ProtocolError::MissingField("tenant"))?;
+    let tenant: u32 = tenant_tok
+        .parse()
+        .map_err(|_| ProtocolError::BadField { field: "tenant", value: clip(tenant_tok) })?;
+    let mut k: Option<usize> = None;
+    let mut budget: Option<f64> = None;
+    let mut subset: Option<Vec<NodeId>> = None;
+    let mut deadline: Option<u64> = None;
+    for tok in tokens {
+        let (field, value) = tok
+            .split_once('=')
+            .ok_or(ProtocolError::BadField { field: "field", value: clip(tok) })?;
+        match field {
+            "k" => {
+                if k.is_some() {
+                    return Err(ProtocolError::DuplicateField("k"));
+                }
+                k = Some(
+                    value
+                        .parse()
+                        .map_err(|_| ProtocolError::BadField { field: "k", value: clip(value) })?,
+                );
+            }
+            "budget" => {
+                if budget.is_some() {
+                    return Err(ProtocolError::DuplicateField("budget"));
+                }
+                budget = Some(value.parse().map_err(|_| ProtocolError::BadField {
+                    field: "budget",
+                    value: clip(value),
+                })?);
+            }
+            "subset" => {
+                if subset.is_some() {
+                    return Err(ProtocolError::DuplicateField("subset"));
+                }
+                let mut nodes = Vec::new();
+                for part in value.split(',') {
+                    let id: u32 = part.parse().map_err(|_| ProtocolError::BadField {
+                        field: "subset",
+                        value: clip(part),
+                    })?;
+                    nodes.push(NodeId(id));
+                }
+                subset = Some(nodes);
+            }
+            "deadline" => {
+                if deadline.is_some() {
+                    return Err(ProtocolError::DuplicateField("deadline"));
+                }
+                deadline = Some(value.parse().map_err(|_| ProtocolError::BadField {
+                    field: "deadline",
+                    value: clip(value),
+                })?);
+            }
+            other => return Err(ProtocolError::BadField { field: "field", value: clip(other) }),
+        }
+    }
+    let k = k.ok_or(ProtocolError::MissingField("k"))?;
+    let budget_mj = budget.ok_or(ProtocolError::MissingField("budget"))?;
+    Ok(Command::Query(QueryRequest { id, tenant, k, budget_mj, subset, deadline }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_query() {
+        let got = parse_line("QUERY 7 2 k=3 budget=12.5 subset=1,2,3 deadline=9").unwrap();
+        match got {
+            Command::Query(q) => {
+                assert_eq!(q.id, 7);
+                assert_eq!(q.tenant, 2);
+                assert_eq!(q.k, 3);
+                assert_eq!(q.budget_mj, 12.5);
+                assert_eq!(q.subset, Some(vec![NodeId(1), NodeId(2), NodeId(3)]));
+                assert_eq!(q.deadline, Some(9));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bare_commands() {
+        assert_eq!(parse_line("TICK").unwrap(), Command::Tick);
+        assert_eq!(parse_line("  STATS \r\n").unwrap(), Command::Stats);
+        assert_eq!(parse_line("QUIT").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn nan_budget_parses_and_is_left_to_the_service() {
+        // The protocol accepts any f64 literal; `BadBudget` is the
+        // service's semantic check.
+        match parse_line("QUERY 1 0 k=2 budget=NaN").unwrap() {
+            Command::Query(q) => assert!(q.budget_mj.is_nan()),
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_tokens_are_clipped_in_errors() {
+        let long = format!("QUERY 1 0 k=2 budget=1 {}=x", "a".repeat(400));
+        let err = parse_line(&long).unwrap_err();
+        assert!(err.to_string().len() < 120, "{err}");
+    }
+}

@@ -1,0 +1,132 @@
+//! The service loop behind the `serve` bin.
+//!
+//! Kept in the library (rather than the bin) so the robustness suite can
+//! drive it directly: a hostile line must produce an `ERR` response and
+//! leave the loop perfectly willing to serve the next good line.
+
+use crate::protocol::{parse_line, Command, ProtocolError, MAX_LINE_BYTES};
+use crate::request::QueryRequest;
+use crate::service::QueryService;
+use prospector_data::{IndependentGaussian, ValueSource};
+use prospector_obs::NullTracer;
+
+/// A stateful line-protocol session over one [`QueryService`].
+pub struct Repl {
+    service: QueryService,
+    source: IndependentGaussian,
+    pending: Vec<QueryRequest>,
+    done: bool,
+}
+
+impl Repl {
+    pub fn new(service: QueryService, source: IndependentGaussian) -> Self {
+        Repl { service, source, pending: Vec::new(), done: false }
+    }
+
+    /// True after a `QUIT`.
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// Queued queries awaiting the next `TICK`.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Handles one raw input line (bytes, pre-newline-strip) and returns
+    /// the response lines. Never panics on any input.
+    pub fn handle_bytes(&mut self, raw: &[u8]) -> Vec<String> {
+        if raw.len() > MAX_LINE_BYTES {
+            // Refuse before UTF-8 validation: the length bound must hold
+            // for arbitrary bytes.
+            let e = ProtocolError::Oversized { len: raw.len(), max: MAX_LINE_BYTES };
+            return vec![format!("ERR - {} {e}", e.code())];
+        }
+        match std::str::from_utf8(raw) {
+            Ok(s) => self.handle_line(s),
+            Err(_) => {
+                let e = ProtocolError::BadUtf8;
+                vec![format!("ERR - {} {e}", e.code())]
+            }
+        }
+    }
+
+    /// Handles one input line and returns the response lines.
+    pub fn handle_line(&mut self, line: &str) -> Vec<String> {
+        match parse_line(line) {
+            Err(e) => vec![format!("ERR - {} {e}", e.code())],
+            Ok(Command::Query(q)) => {
+                let line = format!("QUEUED {}", q.id);
+                self.pending.push(q);
+                vec![line]
+            }
+            Ok(Command::Tick) => self.tick(),
+            Ok(Command::Stats) => vec![self.stats_line()],
+            Ok(Command::Quit) => {
+                self.done = true;
+                vec!["BYE".to_string()]
+            }
+        }
+    }
+
+    /// Advances one epoch and serves the queued batch.
+    fn tick(&mut self) -> Vec<String> {
+        let epoch = self.service.epoch().map_or(0, |e| e + 1);
+        let values = self.source.values(epoch);
+        let started = self.service.begin_epoch(&values, &mut NullTracer);
+        let batch: Vec<QueryRequest> = std::mem::take(&mut self.pending);
+        let results = self.service.serve_batch(&batch, &mut NullTracer);
+        let mut out = Vec::with_capacity(batch.len() + 1);
+        let mut served = 0usize;
+        for (req, res) in batch.iter().zip(&results) {
+            match res {
+                Ok(r) => {
+                    served += 1;
+                    let answer: Vec<String> =
+                        r.answer.iter().map(|a| format!("{}:{}", a.node.0, a.value)).collect();
+                    out.push(format!(
+                        "OK {} epoch={} cached={} energy={} acc={} n={} answer={}",
+                        r.id,
+                        r.epoch,
+                        u8::from(r.cached),
+                        r.energy_mj,
+                        r.expected_accuracy,
+                        r.answer.len(),
+                        answer.join(",")
+                    ));
+                }
+                Err(e) => out.push(format!("ERR {} {} {e}", req.id, e.code())),
+            }
+        }
+        out.push(format!(
+            "TICK {} sampled={} served={} rejected={}",
+            started.epoch,
+            u8::from(started.sampled),
+            served,
+            batch.len() - served
+        ));
+        out
+    }
+
+    fn stats_line(&self) -> String {
+        let s = self.service.stats();
+        let c = self.service.cache_stats();
+        format!(
+            "STATS qdepth={} accepted={} rejected={} served={} hits={} misses={} \
+             stale={} invalidated={} energy={}",
+            self.pending.len(),
+            s.accepted,
+            s.rejected,
+            s.served,
+            c.hits,
+            c.misses,
+            c.stale_evictions,
+            c.invalidations,
+            self.service.meter().total()
+        )
+    }
+}

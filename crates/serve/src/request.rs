@@ -1,0 +1,61 @@
+//! Service request and response types.
+
+use prospector_data::Reading;
+use prospector_net::NodeId;
+
+/// One tenant's top-k query against the current epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Caller-chosen request id, echoed in responses and traces.
+    pub id: u64,
+    /// Tenant id, for traces and per-tenant accounting.
+    pub tenant: u32,
+    /// How many top values to return.
+    pub k: usize,
+    /// Collection-phase energy budget (mJ) the tenant is willing to pay.
+    /// Admission reserves the *band floor* of this (see `PlanCache`), so
+    /// the plan never costs more than the tenant offered.
+    pub budget_mj: f64,
+    /// Restrict the query to these nodes (top-k *within the subset*).
+    /// `None` queries the whole network.
+    pub subset: Option<Vec<NodeId>>,
+    /// Last epoch at which the answer is still useful; requests whose
+    /// deadline has passed are rejected instead of wasting energy.
+    pub deadline: Option<u64>,
+}
+
+impl QueryRequest {
+    /// A whole-network query with no deadline.
+    pub fn simple(id: u64, tenant: u32, k: usize, budget_mj: f64) -> Self {
+        QueryRequest { id, tenant, k, budget_mj, subset: None, deadline: None }
+    }
+}
+
+/// A served answer. All fields except `cached` and `plan_ms` are pure
+/// functions of the service's seeded state — `cached` reflects cache
+/// occupancy and `plan_ms` measures wall clock, so the transparency
+/// property compares everything else.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the tenant id.
+    pub tenant: u32,
+    /// Epoch the answer was collected in.
+    pub epoch: u64,
+    /// Whether a cached plan served this request (no planner ran).
+    pub cached: bool,
+    /// The collected top-k answer, in rank order.
+    pub answer: Vec<Reading>,
+    /// Window prediction for each answer node, parallel to `answer`.
+    /// Cold-start abstention never reaches here — it surfaces as
+    /// `ServiceError::InsufficientHistory` instead.
+    pub predicted: Vec<f64>,
+    /// Expected accuracy of the installed plan over the sample window.
+    pub expected_accuracy: f64,
+    /// Energy (mJ) this request's collection actually cost.
+    pub energy_mj: f64,
+    /// Wall-clock milliseconds spent planning for this request (0 when a
+    /// cached plan was reused). Never traced.
+    pub plan_ms: f64,
+}

@@ -1,0 +1,637 @@
+//! The multi-tenant query service.
+//!
+//! One [`QueryService`] owns a metered network (topology + energy model +
+//! cumulative [`EnergyMeter`]) and a shared sample window, and serves
+//! batches of [`QueryRequest`]s against them. Per epoch:
+//!
+//! 1. [`QueryService::begin_epoch`] ingests the epoch's ground-truth
+//!    readings, optionally runs a full-network sweep that feeds the
+//!    sample window (charged under [`Phase::Sampling`], like the
+//!    simulator's runner), and resets the admission ledger.
+//! 2. [`QueryService::serve_batch`] validates and admits each request in
+//!    order (typed [`AdmitError`] rejections, never silent), plans once
+//!    per unique [`PlanKey`] — the plan cache *is* the batching: the
+//!    first request of a key plans and caches, every same-key request
+//!    after it (same batch or later epochs) reuses the entry — and then
+//!    executes every admitted request's collection phase, merging its
+//!    energy into the service meter.
+//!
+//! **Cache transparency.** The service plans with the *band-floor* budget
+//! (`floor(budget / band_width) × band_width`), a pure function of the
+//! cache key, so a cached plan is bit-identical to what scratch planning
+//! would produce for any request in the band. With the cache disabled the
+//! service plans every admitted request from scratch; answers, energy
+//! charges and all non-cache trace events are byte-identical either way.
+//! `tests/proptest_serve.rs` proves this and the `serve_burst` golden
+//! pins it.
+
+use crate::cache::{CacheEntry, CacheStats, PlanCache, PlanKey};
+use crate::error::{AdmitError, ConfigError, RequestError, ServiceError};
+use crate::request::{QueryRequest, QueryResponse};
+use prospector_core::{evaluate, Plan, PlanContext, Planner};
+use prospector_data::SampleSet;
+use prospector_net::{
+    EnergyMeter, EnergyModel, FailureModel, NodeId, Phase, RepairError, Topology,
+};
+use prospector_obs::{TraceEvent, Tracer};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Service-level knobs. Validated by [`QueryService::new`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Sample-window capacity (full-network sweeps retained).
+    pub window: usize,
+    /// Minimum window samples before any request is served; colder
+    /// windows get [`ServiceError::InsufficientHistory`].
+    pub min_history: usize,
+    /// Budget quantum: requests are admitted into band
+    /// `floor(budget / band_width_mj)` and planned at the band floor.
+    pub band_width_mj: f64,
+    /// Collection energy the admission ledger hands out per epoch.
+    pub epoch_budget_mj: f64,
+    /// Largest `k` any tenant may ask for.
+    pub max_k: usize,
+    /// Run a window-feeding sweep every `sample_every` epochs (epoch 0
+    /// always sweeps).
+    pub sample_every: u64,
+    /// Plan-cache toggle. Disabling it must not change any answer or
+    /// charge — that is the transparency property.
+    pub cache: bool,
+    /// Link-failure statistics for the planners' cost model (execution
+    /// itself is reliable here); degradations update this in place.
+    pub failures: Option<FailureModel>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            window: 8,
+            min_history: 1,
+            band_width_mj: 5.0,
+            epoch_budget_mj: 50.0,
+            max_k: 8,
+            sample_every: 2,
+            cache: true,
+            failures: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.band_width_mj.is_finite() && self.band_width_mj > 0.0) {
+            return Err(ConfigError::BadBandWidth { band_width_mj: self.band_width_mj });
+        }
+        if !(self.epoch_budget_mj.is_finite() && self.epoch_budget_mj >= 0.0) {
+            return Err(ConfigError::BadEpochBudget { epoch_budget_mj: self.epoch_budget_mj });
+        }
+        if self.window < 1 || self.sample_every < 1 || self.max_k < 1 {
+            return Err(ConfigError::BadShape {
+                window: self.window,
+                sample_every: self.sample_every,
+                max_k: self.max_k,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What [`QueryService::begin_epoch`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStart {
+    pub epoch: u64,
+    /// Whether a window-feeding sweep ran this epoch.
+    pub sampled: bool,
+    /// Energy the sweep cost (0 when `sampled` is false).
+    pub sweep_mj: f64,
+}
+
+/// Cumulative service counters (cache counters live in [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests that cleared validation and admission.
+    pub accepted: u64,
+    /// Requests rejected by validation or admission.
+    pub rejected: u64,
+    /// Requests actually answered (accepted minus planner failures).
+    pub served: u64,
+    /// Accepted requests whose whole fallback chain failed to plan.
+    pub plan_failures: u64,
+}
+
+/// The service. See the module docs for the epoch lifecycle.
+pub struct QueryService {
+    topology: Topology,
+    energy: EnergyModel,
+    planner: Box<dyn Planner>,
+    config: ServiceConfig,
+    alive: Vec<bool>,
+    /// Current epoch; `None` until the first [`QueryService::begin_epoch`].
+    epoch: Option<u64>,
+    /// Bumped by every death/repair/degradation; part of every cache key.
+    topo_epoch: u64,
+    /// Bumped by every window push or mask; validates cache entries.
+    window_version: u64,
+    /// Masked raw sweep rows, oldest first (dead nodes at `-inf`).
+    raw_window: VecDeque<Vec<f64>>,
+    /// Current epoch's masked ground truth.
+    truth: Vec<f64>,
+    cache: PlanCache,
+    /// Collection energy still grantable this epoch.
+    ledger_remaining: f64,
+    /// Cumulative per-node/per-phase energy across the service lifetime.
+    meter: EnergyMeter,
+    stats: ServiceStats,
+}
+
+impl QueryService {
+    pub fn new(
+        topology: Topology,
+        energy: EnergyModel,
+        planner: Box<dyn Planner>,
+        config: ServiceConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let n = topology.len();
+        Ok(QueryService {
+            topology,
+            energy,
+            planner,
+            config,
+            alive: vec![true; n],
+            epoch: None,
+            topo_epoch: 0,
+            window_version: 0,
+            raw_window: VecDeque::new(),
+            truth: vec![f64::NEG_INFINITY; n],
+            cache: PlanCache::new(),
+            ledger_remaining: 0.0,
+            meter: EnergyMeter::new(n),
+            stats: ServiceStats::default(),
+        })
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    pub fn topo_epoch(&self) -> u64 {
+        self.topo_epoch
+    }
+
+    pub fn window_len(&self) -> usize {
+        self.raw_window.len()
+    }
+
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub fn ledger_remaining(&self) -> f64 {
+        self.ledger_remaining
+    }
+
+    /// Mirrors one energy charge into the meter and the trace, like the
+    /// simulator's runner does.
+    fn charge(&mut self, tracer: &mut dyn Tracer, node: NodeId, phase: Phase, mj: f64) {
+        self.meter.charge(node, phase, mj);
+        if tracer.enabled() {
+            tracer.record(TraceEvent::Energy { node: node.0, phase: phase.name(), mj });
+        }
+    }
+
+    /// Starts the next epoch: ingests `values` as ground truth (dead
+    /// nodes masked), runs the periodic window-feeding sweep, and resets
+    /// the admission ledger.
+    ///
+    /// Panics if `values` is the wrong length — that is a programming
+    /// error of the driver, not tenant input.
+    pub fn begin_epoch(&mut self, values: &[f64], tracer: &mut dyn Tracer) -> EpochStart {
+        assert_eq!(values.len(), self.topology.len(), "value vector size mismatch");
+        let epoch = self.epoch.map_or(0, |e| e + 1);
+        self.epoch = Some(epoch);
+        if tracer.enabled() {
+            tracer.record(TraceEvent::EpochStart { epoch });
+        }
+        self.truth = values.to_vec();
+        for (i, v) in self.truth.iter_mut().enumerate() {
+            if !self.alive[i] {
+                *v = f64::NEG_INFINITY;
+            }
+        }
+        let sampled = epoch.is_multiple_of(self.config.sample_every);
+        let mut sweep_mj = 0.0;
+        if sampled {
+            sweep_mj = self.sweep(tracer);
+            if self.raw_window.len() == self.config.window {
+                self.raw_window.pop_front();
+            }
+            self.raw_window.push_back(self.truth.clone());
+            self.window_version += 1;
+        }
+        self.ledger_remaining = self.config.epoch_budget_mj;
+        EpochStart { epoch, sampled, sweep_mj }
+    }
+
+    /// Full-network sweep feeding the sample window: every live edge
+    /// ships its whole subtree. Charges are re-attributed to
+    /// [`Phase::Sampling`] per node, exactly like the simulator's runner.
+    fn sweep(&mut self, tracer: &mut dyn Tracer) -> f64 {
+        let mut plan = Plan::full_sweep(&self.topology);
+        for i in 0..self.topology.len() {
+            if !self.alive[i] {
+                plan.set_bandwidth(NodeId::from_index(i), 0);
+            }
+        }
+        let report =
+            prospector_sim::execute_plan(&plan, &self.topology, &self.energy, &self.truth, 1, None);
+        let mut total = 0.0;
+        for i in 0..self.topology.len() {
+            let node = NodeId::from_index(i);
+            let mj = report.meter.node_total(node);
+            if mj > 0.0 {
+                self.charge(tracer, node, Phase::Sampling, mj);
+                total += mj;
+            }
+        }
+        total
+    }
+
+    /// Kills `node` permanently: masks it everywhere, repairs the
+    /// spanning tree (re-attachment handshakes charged under
+    /// [`Phase::Repair`]), bumps the topology epoch and invalidates the
+    /// plan cache. Killing an already-dead node is a no-op.
+    pub fn kill_node(&mut self, node: NodeId, tracer: &mut dyn Tracer) -> Result<(), RepairError> {
+        let repaired = self.topology.repair(&[node])?;
+        if !self.alive[node.index()] {
+            return Ok(());
+        }
+        self.alive[node.index()] = false;
+        if tracer.enabled() {
+            tracer.record(TraceEvent::NodeDeath { node: node.0 });
+        }
+        // Every node the repair re-parented pays one re-attachment
+        // handshake, in node order.
+        for i in 0..self.topology.len() {
+            let id = NodeId::from_index(i);
+            if id != self.topology.root()
+                && self.alive[i]
+                && repaired.parent(id) != self.topology.parent(id)
+            {
+                self.charge(tracer, id, Phase::Repair, self.energy.repair_handshake());
+            }
+        }
+        self.topology = repaired;
+        if tracer.enabled() {
+            tracer.record(TraceEvent::TreeRepaired { deaths: 1 });
+        }
+        for row in &mut self.raw_window {
+            row[node.index()] = f64::NEG_INFINITY;
+        }
+        self.truth[node.index()] = f64::NEG_INFINITY;
+        self.window_version += 1;
+        self.topo_epoch += 1;
+        self.cache.invalidate(self.topo_epoch);
+        Ok(())
+    }
+
+    /// Raises the loss probability of the edge above `child` in the
+    /// planners' failure model, bumping the topology epoch — degraded
+    /// links change plan costs, so cached plans must not survive.
+    pub fn degrade_link(
+        &mut self,
+        child: NodeId,
+        added_prob: f64,
+        tracer: &mut dyn Tracer,
+    ) -> Result<(), prospector_net::FailureModelError> {
+        let n = self.topology.len();
+        let failures = self.config.failures.get_or_insert_with(|| FailureModel::none(n));
+        failures.degrade(child, added_prob)?;
+        if tracer.enabled() {
+            tracer.record(TraceEvent::LinkDegraded { child: child.0, added: added_prob });
+        }
+        self.topo_epoch += 1;
+        self.cache.invalidate(self.topo_epoch);
+        Ok(())
+    }
+
+    /// The band a budget falls into (`None` below one band). Saturating
+    /// float→int conversion keeps absurd budgets finite.
+    fn band(&self, budget_mj: f64) -> Option<u64> {
+        let band = (budget_mj / self.config.band_width_mj).floor() as u64;
+        (band >= 1).then_some(band)
+    }
+
+    fn validate(&self, req: &QueryRequest) -> Result<(), ServiceError> {
+        if self.epoch.is_none() {
+            return Err(ServiceError::NoEpoch);
+        }
+        if self.raw_window.len() < self.config.min_history {
+            return Err(ServiceError::InsufficientHistory {
+                have: self.raw_window.len(),
+                need: self.config.min_history,
+            });
+        }
+        let n = self.topology.len();
+        let queryable = match &req.subset {
+            None => n,
+            Some(subset) => {
+                if let Some(bad) = subset.iter().find(|id| id.index() >= n) {
+                    return Err(RequestError::SubsetOutOfRange { node: bad.0, n }.into());
+                }
+                let mut ids: Vec<u32> = subset.iter().map(|id| id.0).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                if ids.is_empty() {
+                    return Err(RequestError::EmptySubset.into());
+                }
+                ids.len()
+            }
+        };
+        let max = self.config.max_k.min(queryable);
+        if req.k == 0 || req.k > max {
+            return Err(RequestError::BadK { k: req.k, max }.into());
+        }
+        if !(req.budget_mj.is_finite() && req.budget_mj > 0.0) {
+            return Err(RequestError::BadBudget { budget_mj: req.budget_mj }.into());
+        }
+        Ok(())
+    }
+
+    /// Admission proper: deadline, band floor, energy ledger. Reserves
+    /// the band-floor budget on success.
+    fn admit(&mut self, req: &QueryRequest, epoch: u64) -> Result<u64, ServiceError> {
+        if let Some(deadline) = req.deadline {
+            if deadline < epoch {
+                return Err(AdmitError::DeadlineExpired { deadline, epoch }.into());
+            }
+        }
+        let band = self.band(req.budget_mj).ok_or(AdmitError::BudgetBelowBand {
+            budget_mj: req.budget_mj,
+            band_mj: self.config.band_width_mj,
+        })?;
+        let banded_mj = band as f64 * self.config.band_width_mj;
+        if banded_mj > self.ledger_remaining {
+            return Err(AdmitError::EnergyExhausted {
+                requested_mj: banded_mj,
+                remaining_mj: self.ledger_remaining,
+            }
+            .into());
+        }
+        self.ledger_remaining -= banded_mj;
+        Ok(band)
+    }
+
+    /// The sample window as a [`SampleSet`] for one cache key: raw rows
+    /// replayed at the key's `k`, then masked down to the key's subset
+    /// and the live nodes. A pure function of (window content, key), so
+    /// rebuilding it per key is transparent.
+    fn build_samples(&self, k: usize, subset: Option<&[u32]>) -> SampleSet {
+        let n = self.topology.len();
+        let mut samples = SampleSet::new(n, k, self.config.window);
+        for row in &self.raw_window {
+            samples.push(row.clone());
+        }
+        let mut masked: Vec<NodeId> = Vec::new();
+        for i in 0..n {
+            let in_subset = subset.is_none_or(|s| s.binary_search(&(i as u32)).is_ok());
+            if !self.alive[i] || !in_subset {
+                masked.push(NodeId::from_index(i));
+            }
+        }
+        samples.mask_nodes(&masked);
+        samples
+    }
+
+    /// Serves one batch of requests against the current epoch. Responses
+    /// come back in request order; every rejection is typed and traced.
+    pub fn serve_batch(
+        &mut self,
+        requests: &[QueryRequest],
+        tracer: &mut dyn Tracer,
+    ) -> Vec<Result<QueryResponse, ServiceError>> {
+        let epoch = self.epoch.unwrap_or(0);
+        // Phase A: validate + admit in request order. `admitted[i]` holds
+        // the request's cache key once it clears the ledger.
+        let mut admitted: Vec<Option<PlanKey>> = Vec::with_capacity(requests.len());
+        let mut results: Vec<Result<QueryResponse, ServiceError>> =
+            Vec::with_capacity(requests.len());
+        for req in requests {
+            let outcome = self.validate(req).and_then(|()| self.admit(req, epoch));
+            match outcome {
+                Ok(band) => {
+                    let subset = req.subset.as_ref().map(|s| {
+                        let mut ids: Vec<u32> = s.iter().map(|id| id.0).collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        ids
+                    });
+                    let key =
+                        PlanKey { topo_epoch: self.topo_epoch, k: req.k as u32, band, subset };
+                    if tracer.enabled() {
+                        tracer.record(TraceEvent::RequestAccepted {
+                            id: req.id,
+                            tenant: req.tenant,
+                            k: req.k as u32,
+                            band,
+                        });
+                    }
+                    self.stats.accepted += 1;
+                    admitted.push(Some(key));
+                    results.push(Err(ServiceError::NoEpoch)); // placeholder
+                }
+                Err(e) => {
+                    if tracer.enabled() {
+                        tracer.record(TraceEvent::RequestRejected {
+                            id: req.id,
+                            tenant: req.tenant,
+                            reason: e.to_string(),
+                        });
+                    }
+                    self.stats.rejected += 1;
+                    admitted.push(None);
+                    results.push(Err(e));
+                }
+            }
+        }
+
+        // Phase B: plan once per unique key, in request order. With the
+        // cache on, the cache itself is the batch structure: the first
+        // request of a key plans and inserts, same-key requests hit. With
+        // the cache off every admitted request plans from scratch.
+        struct Batched {
+            key: PlanKey,
+            plan: Plan,
+            expected_accuracy: f64,
+            samples: SampleSet,
+            cached: bool,
+            plan_ms: f64,
+        }
+        let mut batch: Vec<Option<Result<Batched, ServiceError>>> = Vec::new();
+        let mut unique: Vec<&PlanKey> = Vec::new();
+        let mut planned_count = 0u32;
+        for (req, key) in requests.iter().zip(&admitted) {
+            let Some(key) = key else {
+                batch.push(None);
+                continue;
+            };
+            if !unique.contains(&key) {
+                unique.push(key);
+            }
+            let banded_mj = key.band as f64 * self.config.band_width_mj;
+            let subset = key.subset.as_deref();
+            if self.config.cache {
+                if let Some(entry) = self.cache.lookup(key, self.window_version) {
+                    let (plan, acc) = (entry.plan.clone(), entry.expected_accuracy);
+                    if tracer.enabled() {
+                        tracer.record(TraceEvent::PlanCacheHit {
+                            topo_epoch: key.topo_epoch,
+                            k: key.k,
+                            band: key.band,
+                        });
+                    }
+                    batch.push(Some(Ok(Batched {
+                        key: key.clone(),
+                        plan,
+                        expected_accuracy: acc,
+                        samples: self.build_samples(req.k, subset),
+                        cached: true,
+                        plan_ms: 0.0,
+                    })));
+                    continue;
+                }
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::PlanCacheMiss {
+                        topo_epoch: key.topo_epoch,
+                        k: key.k,
+                        band: key.band,
+                    });
+                }
+            }
+            let samples = self.build_samples(req.k, subset);
+            let mut ctx = PlanContext::new(&self.topology, &self.energy, &samples, banded_mj);
+            if let Some(f) = &self.config.failures {
+                ctx = ctx.with_failures(f);
+            }
+            let started = Instant::now();
+            let planned = self.planner.plan(&ctx);
+            let plan_ms = started.elapsed().as_secs_f64() * 1e3;
+            planned_count += 1;
+            match planned {
+                Ok(plan) => {
+                    let acc = evaluate::expected_accuracy(&plan, &self.topology, &samples);
+                    if self.config.cache {
+                        self.cache.insert(
+                            key.clone(),
+                            CacheEntry {
+                                plan: plan.clone(),
+                                expected_accuracy: acc,
+                                window_version: self.window_version,
+                            },
+                        );
+                    }
+                    batch.push(Some(Ok(Batched {
+                        key: key.clone(),
+                        plan,
+                        expected_accuracy: acc,
+                        samples,
+                        cached: false,
+                        plan_ms,
+                    })));
+                }
+                Err(e) => {
+                    self.stats.plan_failures += 1;
+                    batch.push(Some(Err(ServiceError::Plan(e))));
+                }
+            }
+        }
+
+        // Phase C: execute every planned request's collection phase, in
+        // request order, merging each bill into the service meter.
+        for (i, (req, slot)) in requests.iter().zip(batch).enumerate() {
+            let Some(outcome) = slot else { continue };
+            let b = match outcome {
+                Ok(b) => b,
+                Err(e) => {
+                    results[i] = Err(e);
+                    continue;
+                }
+            };
+            let truth: Vec<f64> = match &b.key.subset {
+                None => self.truth.clone(),
+                Some(subset) => {
+                    let mut t = vec![f64::NEG_INFINITY; self.truth.len()];
+                    for &id in subset {
+                        t[id as usize] = self.truth[id as usize];
+                    }
+                    t
+                }
+            };
+            let report = prospector_sim::execute_plan_traced(
+                &b.plan,
+                &self.topology,
+                &self.energy,
+                &truth,
+                req.k,
+                None,
+                tracer,
+            );
+            self.meter.merge(&report.meter);
+            let answer: Vec<_> =
+                report.answer.into_iter().filter(|r| r.value.is_finite()).collect();
+            let mut predicted = Vec::with_capacity(answer.len());
+            let mut cold = None;
+            for r in &answer {
+                match b.samples.predicted_value(r.node) {
+                    Some(p) => predicted.push(p),
+                    None => {
+                        // The window abstained for a node we just heard
+                        // from: typed cold-start error, never an unwrap.
+                        cold = Some(ServiceError::InsufficientHistory { have: 0, need: 1 });
+                        break;
+                    }
+                }
+            }
+            results[i] = match cold {
+                Some(e) => Err(e),
+                None => {
+                    self.stats.served += 1;
+                    Ok(QueryResponse {
+                        id: req.id,
+                        tenant: req.tenant,
+                        epoch,
+                        cached: b.cached,
+                        answer,
+                        predicted,
+                        expected_accuracy: b.expected_accuracy,
+                        energy_mj: report.meter.total(),
+                        plan_ms: b.plan_ms,
+                    })
+                }
+            };
+        }
+
+        let admitted_count = admitted.iter().flatten().count() as u32;
+        if tracer.enabled() {
+            tracer.record(TraceEvent::BatchPlanned {
+                requests: admitted_count,
+                unique_keys: unique.len() as u32,
+                planned: planned_count,
+            });
+        }
+        results
+    }
+}

@@ -1,0 +1,133 @@
+//! Line-protocol robustness: malformed, truncated and oversized request
+//! lines must come back as typed errors — parsing never panics, and a bad
+//! line never wedges the service loop.
+
+use prospector_core::FallbackPlanner;
+use prospector_data::IndependentGaussian;
+use prospector_net::{topology, EnergyModel};
+use prospector_serve::{parse_line, QueryService, Repl, ServiceConfig, MAX_LINE_BYTES};
+
+fn session() -> Repl {
+    let tree = topology::balanced(3, 2);
+    let n = tree.len();
+    let service = QueryService::new(
+        tree,
+        EnergyModel::mica2(),
+        Box::new(FallbackPlanner::standard()),
+        ServiceConfig::default(),
+    )
+    .expect("default config is valid");
+    Repl::new(service, IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 5))
+}
+
+/// The table: one hostile line per row, with the typed code it must map
+/// to. Every row must parse to `Err` — no panics, no false accepts.
+#[test]
+fn bad_lines_return_typed_errors() {
+    let oversized = format!("QUERY 1 0 k=2 budget=9 {}", "x".repeat(MAX_LINE_BYTES));
+    let cases: Vec<(&str, &str)> = vec![
+        ("", "empty"),
+        ("   \t  ", "empty"),
+        ("\r\n", "empty"),
+        (&oversized, "oversized"),
+        ("FETCH 1 0 k=2", "unknown-command"),
+        ("query 1 0 k=2 budget=9", "unknown-command"), // commands are case-sensitive
+        ("QUERY", "missing-field"),                    // no id
+        ("QUERY 1", "missing-field"),                  // no tenant
+        ("QUERY 1 0", "missing-field"),                // no k
+        ("QUERY 1 0 k=2", "missing-field"),            // no budget
+        ("QUERY 1 0 budget=9", "missing-field"),       // k absent, budget present
+        ("QUERY abc 0 k=2 budget=9", "bad-field"),     // non-numeric id
+        ("QUERY -1 0 k=2 budget=9", "bad-field"),      // negative id
+        ("QUERY 1 lots k=2 budget=9", "bad-field"),    // non-numeric tenant
+        ("QUERY 1 0 k=two budget=9", "bad-field"),     // non-numeric k
+        ("QUERY 1 0 k=-3 budget=9", "bad-field"),      // negative k
+        ("QUERY 1 0 k=2 budget=much", "bad-field"),    // non-numeric budget
+        ("QUERY 1 0 k=2 budget=", "bad-field"),        // truncated budget value
+        ("QUERY 1 0 k=2 budget=9 subset=1,,3", "bad-field"), // hole in subset
+        ("QUERY 1 0 k=2 budget=9 subset=1,zap", "bad-field"), // non-numeric subset node
+        ("QUERY 1 0 k=2 budget=9 deadline=later", "bad-field"), // non-numeric deadline
+        ("QUERY 1 0 k=2 budget=9 priority=max", "bad-field"), // unknown keyed field
+        ("QUERY 1 0 k=2 budget=9 naked", "bad-field"), // keyless trailing token
+        ("QUERY 1 0 k=2 k=3 budget=9", "duplicate-field"),
+        ("QUERY 1 0 k=2 budget=9 budget=8", "duplicate-field"),
+        ("TICK now", "trailing-input"),
+        ("QUIT please", "trailing-input"),
+    ];
+    for (line, want) in cases {
+        let err = parse_line(line).expect_err(&format!("{line:?} must be rejected"));
+        assert_eq!(err.code(), want, "line {line:?} → {err}");
+    }
+}
+
+/// Interleave every hostile line with good traffic: each bad line answers
+/// `ERR -` and the very next good line still works. The loop never
+/// panics and never wedges.
+#[test]
+fn bad_lines_never_wedge_the_loop() {
+    let mut session = session();
+    let oversized = format!("QUERY 9 0 k=2 budget=9 {}", "x".repeat(MAX_LINE_BYTES));
+    let bad = [
+        "GARBAGE",
+        "",
+        "QUERY 1 0 k=nope budget=9",
+        oversized.as_str(),
+        "QUERY 2 0 k=2 k=2 budget=9",
+        "TICK tock",
+    ];
+    for (i, line) in bad.iter().enumerate() {
+        let responses = session.handle_line(line);
+        assert_eq!(responses.len(), 1, "line {line:?}");
+        assert!(responses[0].starts_with("ERR - "), "line {line:?} → {}", responses[0]);
+        // A good query right after queues fine… (band 1, 5 mJ each, so
+        // all six fit the default 50 mJ ledger at the TICK below)
+        let ok = session.handle_line(&format!("QUERY {} 1 k=3 budget=6", 100 + i));
+        assert_eq!(ok, vec![format!("QUEUED {}", 100 + i)]);
+    }
+    // …and the next TICK serves all of them.
+    let responses = session.handle_line("TICK");
+    let served = responses.iter().filter(|r| r.starts_with("OK ")).count();
+    assert_eq!(served, bad.len(), "{responses:?}");
+    assert!(responses.last().unwrap().starts_with("TICK 0 "));
+    assert_eq!(session.queue_depth(), 0);
+}
+
+/// Raw-byte hostility: invalid UTF-8 and oversized byte blobs get typed
+/// errors through the byte entry point.
+#[test]
+fn hostile_bytes_are_refused_not_crashed() {
+    let mut session = session();
+    let responses = session.handle_bytes(&[0x51, 0x55, 0xff, 0xfe, 0x00]);
+    assert!(responses[0].starts_with("ERR - bad-utf8"), "{responses:?}");
+    let blob = vec![0xffu8; MAX_LINE_BYTES + 1];
+    let responses = session.handle_bytes(&blob);
+    assert!(responses[0].starts_with("ERR - oversized"), "{responses:?}");
+    // Deterministic seeded garbage, none of it may panic.
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..256 {
+        let mut line = Vec::new();
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            line.push((x & 0xff) as u8);
+        }
+        let responses = session.handle_bytes(&line);
+        assert!(!responses.is_empty());
+    }
+    // The session still serves after all that.
+    assert_eq!(session.handle_line("QUERY 7 0 k=2 budget=11"), vec!["QUEUED 7".to_string()]);
+    let responses = session.handle_line("TICK");
+    assert!(responses.iter().any(|r| r.starts_with("OK 7 ")), "{responses:?}");
+}
+
+/// `STATS` and `QUIT` behave after abuse.
+#[test]
+fn stats_and_quit_still_work() {
+    let mut session = session();
+    session.handle_line("NONSENSE");
+    let stats = session.handle_line("STATS");
+    assert!(stats[0].starts_with("STATS qdepth=0 "), "{stats:?}");
+    assert_eq!(session.handle_line("QUIT"), vec!["BYE".to_string()]);
+    assert!(session.done());
+}

@@ -1,0 +1,87 @@
+//! Cold-start regression: `SampleSet::predicted_value` abstains (`None`)
+//! while the window is short, and the serve path must surface that as a
+//! typed `ServiceError::InsufficientHistory` — never an unwrap, never a
+//! silent drop.
+
+use prospector_core::FallbackPlanner;
+use prospector_data::{IndependentGaussian, ValueSource};
+use prospector_net::{topology, EnergyModel, NodeId};
+use prospector_obs::NullTracer;
+use prospector_serve::{QueryRequest, QueryService, ServiceConfig, ServiceError};
+
+fn service(min_history: usize, sample_every: u64) -> QueryService {
+    let config = ServiceConfig { min_history, sample_every, ..ServiceConfig::default() };
+    QueryService::new(
+        topology::balanced(3, 2),
+        EnergyModel::mica2(),
+        Box::new(FallbackPlanner::standard()),
+        config,
+    )
+    .expect("config is valid")
+}
+
+/// The regression proper: a query at epoch 0 against `min_history = 2`
+/// is one sample short and must get the typed error, with the exact
+/// have/need counts.
+#[test]
+fn epoch_zero_query_gets_typed_insufficient_history() {
+    let mut svc = service(2, 2);
+    let mut source = IndependentGaussian::random(13, 40.0..60.0, 1.0..4.0, 3);
+    let values = source.values(0);
+    svc.begin_epoch(&values, &mut NullTracer);
+    let results = svc.serve_batch(&[QueryRequest::simple(1, 0, 3, 12.0)], &mut NullTracer);
+    assert_eq!(
+        results[0].as_ref().unwrap_err(),
+        &ServiceError::InsufficientHistory { have: 1, need: 2 }
+    );
+    // Epoch 1 does not sweep (sample_every = 2): still one sample short.
+    let values = source.values(1);
+    svc.begin_epoch(&values, &mut NullTracer);
+    let results = svc.serve_batch(&[QueryRequest::simple(2, 0, 3, 12.0)], &mut NullTracer);
+    assert!(matches!(results[0], Err(ServiceError::InsufficientHistory { have: 1, need: 2 })));
+    // Epoch 2 sweeps: the window reaches min_history and the same query
+    // is served.
+    let values = source.values(2);
+    svc.begin_epoch(&values, &mut NullTracer);
+    let results = svc.serve_batch(&[QueryRequest::simple(3, 0, 3, 12.0)], &mut NullTracer);
+    let response = results[0].as_ref().expect("warm window serves");
+    assert_eq!(response.answer.len(), 3);
+    assert_eq!(response.predicted.len(), 3, "every answer node has a finite prediction");
+    assert!(response.predicted.iter().all(|p| p.is_finite()));
+}
+
+/// Before any epoch at all, requests get `NoEpoch` — not a panic.
+#[test]
+fn serving_before_any_epoch_is_typed() {
+    let mut svc = service(1, 2);
+    let results = svc.serve_batch(&[QueryRequest::simple(1, 0, 2, 12.0)], &mut NullTracer);
+    assert_eq!(results[0].as_ref().unwrap_err(), &ServiceError::NoEpoch);
+}
+
+/// A subset query over nodes with no finite history must also surface
+/// the typed error rather than unwrapping the abstention. Masked-dead
+/// subsets yield empty answers (nothing to predict), which is fine; the
+/// guarded path is a node that *answers* without history — impossible to
+/// reach without a masked window, so instead pin the adjacent behavior:
+/// killing a node mid-run leaves its subset query answerable from the
+/// survivors, predictions all finite.
+#[test]
+fn predictions_stay_finite_after_mid_run_death() {
+    let mut svc = service(1, 1);
+    let mut source = IndependentGaussian::random(13, 40.0..60.0, 1.0..4.0, 3);
+    for epoch in 0..3 {
+        let values = source.values(epoch);
+        svc.begin_epoch(&values, &mut NullTracer);
+    }
+    let victim = svc.topology().children(svc.topology().root())[0];
+    svc.kill_node(victim, &mut NullTracer).expect("victim is not the root");
+    let values = source.values(3);
+    svc.begin_epoch(&values, &mut NullTracer);
+    let subset: Vec<NodeId> = (0..13).map(NodeId::from_index).collect();
+    let req = QueryRequest { subset: Some(subset), ..QueryRequest::simple(9, 1, 4, 20.0) };
+    let results = svc.serve_batch(&[req], &mut NullTracer);
+    let response = results[0].as_ref().expect("survivors answer");
+    assert_eq!(response.answer.len(), 4);
+    assert!(response.answer.iter().all(|r| r.node != victim), "the dead node never answers");
+    assert!(response.predicted.iter().all(|p| p.is_finite()));
+}

@@ -12,4 +12,5 @@ pub use prospector_lp as lp;
 pub use prospector_net as net;
 pub use prospector_obs as obs;
 pub use prospector_par as par;
+pub use prospector_serve as serve;
 pub use prospector_sim as sim;

@@ -1,0 +1,83 @@
+//! Golden-trace snapshot for the serve path: the `serve_burst` scenario's
+//! event stream is byte-diffed against `tests/golden/serve_burst.jsonl`.
+//!
+//! The scenario drives three tenants of bursty traffic through a cached
+//! [`prospector::serve::QueryService`], with one admission rejection
+//! (ledger exhaustion at epoch 3) and one cache-invalidating node death
+//! before epoch 6. Regenerate with `BLESS=1 cargo test --test
+//! golden_serve` and review the diff like any other code change.
+
+use prospector::serve::golden;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/serve_burst.jsonl")
+}
+
+fn first_diff_line(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!("first difference at line {}:\n  blessed: {e}\n  actual:  {a}", i + 1);
+        }
+    }
+    format!(
+        "streams agree on their common prefix but differ in length: \
+         blessed {} lines, actual {} lines",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn serve_burst_matches_blessed_file() {
+    let bless = std::env::var("BLESS").is_ok_and(|v| v == "1");
+    let actual = golden::serve_burst_trace();
+    assert!(!actual.is_empty(), "serve_burst produced no events");
+    let path = golden_path();
+    if bless {
+        fs::write(&path, &actual).unwrap_or_else(|e| panic!("blessing {path:?}: {e}"));
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {path:?} ({e}); run `BLESS=1 cargo test --test golden_serve` \
+             to create it"
+        )
+    });
+    assert!(
+        expected == actual,
+        "serve_burst trace drifted from {path:?}\n{}",
+        first_diff_line(&expected, &actual)
+    );
+}
+
+/// The blessed file stays well-formed JSONL and keeps the scenario's
+/// load-bearing beats: an accepted request, exactly one ledger rejection,
+/// cache hits and misses, a batch marker, and the death/repair pair.
+#[test]
+fn blessed_serve_burst_is_jsonl_with_expected_beats() {
+    let Ok(text) = fs::read_to_string(golden_path()) else {
+        return; // serve_burst_matches_blessed_file reports the miss
+    };
+    for (i, line) in text.lines().enumerate() {
+        assert!(
+            line.starts_with("{\"ev\":\"") && line.ends_with('}'),
+            "line {}: not a trace object: {line}",
+            i + 1
+        );
+    }
+    for beat in [
+        "\"ev\":\"request_accepted\"",
+        "\"ev\":\"request_rejected\"",
+        "\"ev\":\"plan_cache_hit\"",
+        "\"ev\":\"plan_cache_miss\"",
+        "\"ev\":\"batch_planned\"",
+        "\"ev\":\"node_death\"",
+        "\"ev\":\"tree_repaired\"",
+    ] {
+        assert!(text.contains(beat), "blessed serve_burst lost its {beat} beat");
+    }
+    let rejections = text.lines().filter(|l| l.contains("\"ev\":\"request_rejected\"")).count();
+    assert_eq!(rejections, 1, "serve_burst stages exactly one admission rejection");
+}
