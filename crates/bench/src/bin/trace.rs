@@ -4,7 +4,7 @@
 //! ```text
 //! trace [--metrics] [--checkpoint-dir DIR] [--ckpt-every N] [--kill-at E]
 //!       [--resume] [--resume-epoch] [--epoch-delay-ms M]
-//!       [clean|loss_arq|death_repair|data_fault]
+//!       [clean|loss_arq|death_repair|data_fault|continuous_drift]
 //! ```
 //!
 //! Stdout carries exactly the bytes the golden-trace harness diffs

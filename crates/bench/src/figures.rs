@@ -787,6 +787,7 @@ pub fn fault_tolerance(fast: bool) -> FigureResult {
             min_delivered: 0.0,
             max_retry_budget: 8,
             gate: None,
+            continuous: None,
             seed: 87,
         };
         let mut source = prospector_data::IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 87);
@@ -890,6 +891,7 @@ pub fn dfault(fast: bool) -> FigureResult {
                     min_delivered: 0.0,
                     max_retry_budget: 8,
                     gate: gated.then(GatePolicy::default),
+                    continuous: None,
                     seed: 55,
                 };
                 let planner = FallbackPlanner::standard();
@@ -1172,6 +1174,101 @@ pub fn scale(fast: bool) -> FigureResult {
     }
 }
 
+/// Extension: the continuous-query protocol's message economy behind
+/// `BENCH_cont.json` (DESIGN.md §16). A 121-node tree runs the same
+/// drifting workload twice — delta protocol (refresh every 16 epochs)
+/// against the from-scratch reference (refresh every epoch) — and the
+/// steady-state messages per epoch are compared across drift rates. On a
+/// quiet network the delta run spends only subtree beacons plus the
+/// occasional periodic refresh, so its message bill must stay under 10%
+/// of from-scratch collection (the CI regression floor).
+pub fn cont(fast: bool) -> FigureResult {
+    use prospector_core::{ContinuousPolicy, FallbackPlanner, SketchPrecision};
+    use prospector_data::{DriftField, SamplePolicy};
+    use prospector_net::{topology, ArqPolicy, FaultSchedule};
+    use prospector_sim::{ExperimentConfig, ExperimentRunner};
+    use std::fmt::Write as _;
+
+    let topo = topology::balanced(3, 4); // 121 nodes
+    let n = topo.len();
+    let em = EnergyModel::mica2();
+    let epochs: u64 = if fast { 24 } else { 64 };
+    // Sweeps only at the two warmup epochs; steady state starts after
+    // the first refresh cycle settles.
+    let steady_from = 4u64;
+    let rates: &[f64] = if fast { &[0.0, 0.2] } else { &[0.0, 0.05, 0.2, 0.5] };
+
+    let run = |refresh_period: u64, rate: f64| -> f64 {
+        let config = ExperimentConfig {
+            k: 8,
+            window: 10,
+            policy: SamplePolicy::Periodic { warmup: 2, period: 1_000 },
+            budget_mj: 40.0,
+            replan_every: 8,
+            replan_threshold: 0.1,
+            failures: None,
+            faults: FaultSchedule::new(),
+            install_retries: 2,
+            arq: ArqPolicy::default(),
+            min_delivered: 0.0,
+            max_retry_budget: 8,
+            gate: None,
+            continuous: Some(ContinuousPolicy {
+                tolerance: 0.5,
+                refresh_period,
+                sketch: Some(SketchPrecision { depth: 10, compression: 16, lo: 0.0, hi: 100.0 }),
+            }),
+            seed: 16,
+        };
+        let planner = FallbackPlanner::standard();
+        let mut source = DriftField::random(n, 40.0..60.0, 1.0..4.0, rate, 16);
+        let mut runner = ExperimentRunner::new(&topo, &em, &planner, config);
+        let reports = runner.run(&mut source, epochs).expect("cont run completes");
+        let steady: Vec<u32> =
+            reports.iter().filter(|r| r.epoch >= steady_from).map(|r| r.messages).collect();
+        steady.iter().map(|&m| m as f64).sum::<f64>() / steady.len() as f64
+    };
+
+    let cells: Vec<(f64, f64, f64)> = rates
+        .iter()
+        .map(|&rate| {
+            let (delta, full) = (run(16, rate), run(1, rate));
+            (rate, delta, full)
+        })
+        .collect();
+    let mut points = Vec::new();
+    let mut dump = String::from("{\n  \"bench\": \"cont\",\n  \"series\": {");
+    for (si, series) in ["delta", "fromscratch", "ratio"].iter().enumerate() {
+        let _ = write!(dump, "{}\n    \"{series}\": [", if si > 0 { "," } else { "" });
+        for (ri, &(rate, delta, full)) in cells.iter().enumerate() {
+            let y = match *series {
+                "delta" => delta,
+                "fromscratch" => full,
+                _ => delta / full,
+            };
+            points.push(CurvePoint::new(*series, rate, y));
+            let _ = write!(dump, "{}[{rate}, {y:.4}]", if ri > 0 { ", " } else { "" });
+        }
+        dump.push(']');
+    }
+    dump.push_str("\n  }\n}\n");
+    if !fast {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cont.json");
+        match std::fs::write(path, dump) {
+            Ok(()) => println!("[wrote {path}]"),
+            Err(e) => eprintln!("[failed to write {path}: {e}]"),
+        }
+    }
+    FigureResult {
+        id: "cont",
+        title:
+            "Continuous top-k: steady-state messages/epoch, delta vs from-scratch (DESIGN.md §16)",
+        x_label: "drift rate (per-node change probability per epoch)",
+        y_label: "messages per epoch",
+        points,
+    }
+}
+
 /// A figure runner: `fast` shrinks sizes for smoke tests.
 pub type FigureFn = fn(bool) -> FigureResult;
 
@@ -1201,6 +1298,7 @@ pub const REGISTRY: &[(&str, FigureFn)] = &[
     ("esensitivity", e_sensitivity),
     ("esubset", e_subset),
     ("obs", e_obs),
+    ("cont", cont),
     ("scale", scale),
 ];
 
@@ -1223,6 +1321,27 @@ mod tests {
         let ys: Vec<f64> = points.iter().filter(|p| p.series == series).map(|p| p.y).collect();
         assert!(!ys.is_empty(), "missing series {series}");
         ys.iter().sum::<f64>() / ys.len() as f64
+    }
+
+    #[test]
+    fn cont_fast_shape() {
+        let f = cont(true);
+        // The quiet-network regression floor: steady-state delta traffic
+        // under 10% of from-scratch collection (CI re-checks this against
+        // the committed BENCH_cont.json).
+        let quiet_ratio = f
+            .points
+            .iter()
+            .find(|p| p.series == "ratio" && p.x == 0.0)
+            .expect("quiet ratio point")
+            .y;
+        assert!(quiet_ratio < 0.10, "quiet-drift ratio must stay under 10%: {quiet_ratio}");
+        // More drift can only cost more messages, and from-scratch always
+        // outspends the delta protocol.
+        let ratios: Vec<f64> =
+            f.points.iter().filter(|p| p.series == "ratio").map(|p| p.y).collect();
+        assert!(ratios.windows(2).all(|w| w[0] <= w[1]), "ratio monotone in drift: {ratios:?}");
+        assert!(ratios.iter().all(|&r| r < 1.0), "delta never outspends from-scratch: {ratios:?}");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! truncation — surfaces as a typed [`CheckpointError`].
 
 use crate::codec::{fnv1a64, DecodeError, Reader, Writer};
-use prospector_core::{GatePolicy, Plan, TrustState};
+use prospector_core::{ContinuousPolicy, GatePolicy, Plan, SketchPrecision, TrustState};
 use prospector_data::{SamplePolicy, SampleSet};
 use prospector_net::{
     ArqPolicy, Backoff, DataFault, EnergyMeter, FailureModel, FaultEvent, FaultSchedule, NodeId,
@@ -41,8 +41,12 @@ pub const MAGIC: [u8; 8] = *b"PRSPCKPT";
 
 /// Current format version. Version 2 added data faults (with the
 /// schedule's noise seed), the plausibility-gate policy, and per-node
-/// trust state.
-pub const VERSION: u32 = 2;
+/// trust state. Version 3 added the continuous-query mode: the
+/// [`ContinuousPolicy`] in the configuration section and the protocol's
+/// resumable state (view, per-node last-shipped values, in-flight
+/// custody entries, threshold, refresh cursor and encoded per-subtree
+/// q-digests) as a [`ContinuousImage`].
+pub const VERSION: u32 = 3;
 
 /// Header bytes preceding the payload (magic + version + length +
 /// checksum).
@@ -122,6 +126,8 @@ pub struct Checkpoint {
     pub max_retry_budget: u32,
     /// The plausibility-gate policy, if gating is enabled.
     pub gate: Option<GatePolicy>,
+    /// The continuous-query policy, if the run is in continuous mode.
+    pub continuous: Option<ContinuousPolicy>,
     pub seed: u64,
 
     // -- dynamic state (accumulated across epochs) --
@@ -150,6 +156,31 @@ pub struct Checkpoint {
     pub rng_state: [u64; 4],
     /// Metrics at the boundary, if the run had metrics enabled.
     pub metrics: Option<MetricsSnapshot>,
+    /// Continuous-protocol state, present exactly when `continuous` is.
+    pub cont_state: Option<ContinuousImage>,
+}
+
+/// Wire-level image of the continuous protocol's resumable state (the
+/// sim crate's `ContinuousState` without its derived answer index, which
+/// is rebuilt from `eff` on resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinuousImage {
+    /// Root's belief: last applied raw value per node (`-inf` unknown).
+    pub view: Vec<f64>,
+    /// Per node: the last value it handed into the delta pipeline.
+    pub last_shipped: Vec<f64>,
+    /// Root's post-gate effective value per node (`-inf` absent).
+    pub eff: Vec<f64>,
+    /// The k-th threshold as last broadcast.
+    pub threshold: f64,
+    /// Epoch of the last full refresh.
+    pub last_refresh: Option<u64>,
+    /// The next query epoch must fully refresh.
+    pub force_refresh: bool,
+    /// Per holder node: in-flight custody entries `(origin, epoch, value)`.
+    pub custody: Vec<Vec<(u32, u64, f64)>>,
+    /// Per root-child: `(child, encoded q-digest)` from the last refresh.
+    pub sketches: Vec<(u32, Vec<u8>)>,
 }
 
 fn put_node(w: &mut Writer, n: NodeId) {
@@ -284,6 +315,7 @@ impl Checkpoint {
         w.put_f64(self.min_delivered);
         w.put_u32(self.max_retry_budget);
         w.put_opt(&self.gate, put_gate);
+        w.put_opt(&self.continuous, put_continuous_policy);
         w.put_u64(self.seed);
 
         put_node(&mut w, self.topology.root());
@@ -325,6 +357,7 @@ impl Checkpoint {
             w.put_u64(s);
         }
         w.put_opt(&self.metrics, put_metrics);
+        w.put_opt(&self.cont_state, put_cont_state);
         w.into_bytes()
     }
 
@@ -374,6 +407,10 @@ impl Checkpoint {
         let gate = r.get_opt(get_gate)?;
         if let Some(g) = &gate {
             g.validate().map_err(|e| CheckpointError::Invalid(e.to_string()))?;
+        }
+        let continuous = r.get_opt(get_continuous_policy)?;
+        if let Some(c) = &continuous {
+            c.validate().map_err(|e| CheckpointError::Invalid(e.to_string()))?;
         }
         let seed = r.get_u64()?;
 
@@ -470,6 +507,22 @@ impl Checkpoint {
             *s = r.get_u64()?;
         }
         let metrics = get_opt_metrics(&mut r)?;
+        let cont_state = get_opt_cont_state(&mut r)?;
+        if let Some(cs) = &cont_state {
+            for (label, len) in [
+                ("view", cs.view.len()),
+                ("last_shipped", cs.last_shipped.len()),
+                ("eff", cs.eff.len()),
+                ("custody", cs.custody.len()),
+            ] {
+                if len != topology.len() {
+                    return Err(CheckpointError::Invalid(format!(
+                        "continuous {label} covers {len} nodes, topology has {}",
+                        topology.len()
+                    )));
+                }
+            }
+        }
         r.finish()?;
 
         Ok(Checkpoint {
@@ -487,6 +540,7 @@ impl Checkpoint {
             min_delivered,
             max_retry_budget,
             gate,
+            continuous,
             seed,
             topology,
             alive,
@@ -500,7 +554,93 @@ impl Checkpoint {
             arq,
             rng_state,
             metrics,
+            cont_state,
         })
+    }
+}
+
+fn put_continuous_policy(w: &mut Writer, c: &ContinuousPolicy) {
+    w.put_f64(c.tolerance);
+    w.put_u64(c.refresh_period);
+    w.put_opt(&c.sketch, |w, s| {
+        w.put_u32(s.depth);
+        w.put_u64(s.compression);
+        w.put_f64(s.lo);
+        w.put_f64(s.hi);
+    });
+}
+
+fn get_continuous_policy(r: &mut Reader<'_>) -> Result<ContinuousPolicy, DecodeError> {
+    Ok(ContinuousPolicy {
+        tolerance: r.get_f64()?,
+        refresh_period: r.get_u64()?,
+        sketch: r.get_opt(|r| {
+            Ok(SketchPrecision {
+                depth: r.get_u32()?,
+                compression: r.get_u64()?,
+                lo: r.get_f64()?,
+                hi: r.get_f64()?,
+            })
+        })?,
+    })
+}
+
+fn put_cont_state(w: &mut Writer, s: &ContinuousImage) {
+    w.put_seq(&s.view, |w, v| w.put_f64(*v));
+    w.put_seq(&s.last_shipped, |w, v| w.put_f64(*v));
+    w.put_seq(&s.eff, |w, v| w.put_f64(*v));
+    w.put_f64(s.threshold);
+    w.put_opt(&s.last_refresh, |w, e| w.put_u64(*e));
+    w.put_bool(s.force_refresh);
+    w.put_usize(s.custody.len());
+    for held in &s.custody {
+        w.put_seq(held, |w, (origin, epoch, value)| {
+            w.put_u32(*origin);
+            w.put_u64(*epoch);
+            w.put_f64(*value);
+        });
+    }
+    w.put_usize(s.sketches.len());
+    for (child, bytes) in &s.sketches {
+        w.put_u32(*child);
+        w.put_seq(bytes, |w, b| w.put_u8(*b));
+    }
+}
+
+fn get_opt_cont_state(r: &mut Reader<'_>) -> Result<Option<ContinuousImage>, CheckpointError> {
+    match r.get_u8().map_err(CheckpointError::Decode)? {
+        0 => Ok(None),
+        1 => {
+            let view = r.get_seq(8, |r| r.get_f64())?;
+            let last_shipped = r.get_seq(8, |r| r.get_f64())?;
+            let eff = r.get_seq(8, |r| r.get_f64())?;
+            let threshold = r.get_f64()?;
+            let last_refresh = r.get_opt(|r| r.get_u64())?;
+            let force_refresh = r.get_bool()?;
+            let holders = bounded_len(r)?;
+            let mut custody = Vec::with_capacity(holders);
+            for _ in 0..holders {
+                custody.push(r.get_seq(20, |r| Ok((r.get_u32()?, r.get_u64()?, r.get_f64()?)))?);
+            }
+            let num_sketches = bounded_len(r)?;
+            let mut sketches = Vec::with_capacity(num_sketches);
+            for _ in 0..num_sketches {
+                let child = r.get_u32()?;
+                let bytes = r.get_seq(1, |r| r.get_u8())?;
+                sketches.push((child, bytes));
+            }
+            Ok(Some(ContinuousImage {
+                view,
+                last_shipped,
+                eff,
+                threshold,
+                last_refresh,
+                force_refresh,
+                custody,
+                sketches,
+            }))
+        }
+        tag => Err(CheckpointError::Decode(DecodeError::BadTag { offset: 0, tag })),
     }
 }
 

@@ -34,6 +34,6 @@ pub mod checkpoint;
 pub mod codec;
 pub mod store;
 
-pub use checkpoint::{Checkpoint, CheckpointError, HEADER_LEN, MAGIC, VERSION};
+pub use checkpoint::{Checkpoint, CheckpointError, ContinuousImage, HEADER_LEN, MAGIC, VERSION};
 pub use codec::{fnv1a64, DecodeError, Reader, Writer};
 pub use store::{CheckpointPolicy, CheckpointStore, StoreError};

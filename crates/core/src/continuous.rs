@@ -1,0 +1,108 @@
+//! Configuration of the continuous-query (delta-collection) mode.
+//!
+//! In continuous mode the network stops re-collecting the full top-k
+//! answer every epoch. Instead each node remembers the last value it
+//! shipped and the last broadcast k-th threshold, and a query epoch is
+//! either a **delta epoch** (only changed readings travel, silence means
+//! "nothing changed") or a **full refresh** (the classic from-scratch
+//! collection, forced periodically and whenever silence can no longer be
+//! trusted). The policy knobs live here in `core` so the checkpoint wire
+//! format can carry them; the protocol state machine lives in
+//! `prospector-sim`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::sketch::{SketchConfigError, SketchPrecision};
+
+/// Knobs of the continuous-query mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousPolicy {
+    /// A node re-ships its reading when it moved more than this from the
+    /// last shipped value (or crossed the k-th threshold, regardless of
+    /// tolerance). `0.0` means any bit-level change ships.
+    pub tolerance: f64,
+    /// Force a full from-scratch refresh every this many epochs. `1`
+    /// degenerates to the classic protocol (refresh every epoch) and is
+    /// the reference the differential harness compares against.
+    pub refresh_period: u64,
+    /// When set, every full refresh also builds one q-digest per
+    /// root-child subtree (merged bottom-up along the tree) that the
+    /// planner can query for thresholds and the root uses to bound a
+    /// silent subtree's possible contribution.
+    pub sketch: Option<SketchPrecision>,
+}
+
+impl ContinuousPolicy {
+    /// Rejects unusable configurations.
+    pub fn validate(&self) -> Result<(), ContinuousPolicyError> {
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(ContinuousPolicyError::BadTolerance(self.tolerance));
+        }
+        if self.refresh_period == 0 {
+            return Err(ContinuousPolicyError::ZeroRefreshPeriod);
+        }
+        if let Some(p) = &self.sketch {
+            p.validate().map_err(ContinuousPolicyError::Sketch)?;
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`ContinuousPolicy`], naming the bad knob.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContinuousPolicyError {
+    /// `tolerance` must be finite and non-negative.
+    BadTolerance(f64),
+    /// `refresh_period` must be at least 1.
+    ZeroRefreshPeriod,
+    /// The sketch precision failed validation.
+    Sketch(SketchConfigError),
+}
+
+impl fmt::Display for ContinuousPolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContinuousPolicyError::BadTolerance(t) => {
+                write!(f, "continuous tolerance must be finite and non-negative, got {t}")
+            }
+            ContinuousPolicyError::ZeroRefreshPeriod => {
+                write!(f, "continuous refresh_period must be at least 1")
+            }
+            ContinuousPolicyError::Sketch(e) => write!(f, "continuous sketch invalid: {e}"),
+        }
+    }
+}
+
+impl Error for ContinuousPolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> ContinuousPolicy {
+        ContinuousPolicy { tolerance: 0.5, refresh_period: 8, sketch: None }
+    }
+
+    #[test]
+    fn accepts_reasonable_policy() {
+        assert!(policy().validate().is_ok());
+        let with_sketch = ContinuousPolicy {
+            sketch: Some(SketchPrecision { depth: 12, compression: 32, lo: 0.0, hi: 100.0 }),
+            ..policy()
+        };
+        assert!(with_sketch.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_knobs() {
+        assert!(ContinuousPolicy { tolerance: -1.0, ..policy() }.validate().is_err());
+        assert!(ContinuousPolicy { tolerance: f64::NAN, ..policy() }.validate().is_err());
+        assert!(ContinuousPolicy { refresh_period: 0, ..policy() }.validate().is_err());
+        let bad_sketch = ContinuousPolicy {
+            sketch: Some(SketchPrecision { depth: 0, compression: 1, lo: 0.0, hi: 1.0 }),
+            ..policy()
+        };
+        assert!(bad_sketch.validate().is_err());
+    }
+}

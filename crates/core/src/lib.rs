@@ -34,6 +34,7 @@
 //! Section 3.1 executably.
 
 pub mod cluster;
+pub mod continuous;
 pub mod error;
 pub mod evaluate;
 pub mod exact;
@@ -48,10 +49,12 @@ pub mod oracle;
 pub mod plan;
 pub mod planner;
 pub mod proof_lp;
+pub mod sketch;
 pub mod subset;
 pub mod theory;
 
 pub use cluster::{plan_cluster_query, Clustering};
+pub use continuous::{ContinuousPolicy, ContinuousPolicyError};
 pub use error::PlanError;
 pub use exact::ExactConfig;
 pub use exec::{
@@ -67,4 +70,5 @@ pub use naive::NaiveK;
 pub use plan::Plan;
 pub use planner::{LpStats, PlanAttempt, PlanContext, PlannedWith, Planner};
 pub use proof_lp::ProspectorProof;
+pub use sketch::{QDigest, SketchConfigError, SketchDecodeError, SketchPrecision};
 pub use subset::{deliver_chosen, plan_subset_query, subset_accuracy};

@@ -1,0 +1,470 @@
+//! q-digest quantile sketches — compact per-subtree value summaries for
+//! the continuous-query protocol ("Medians and Beyond: New Aggregation
+//! Techniques for Sensor Networks", Shrivastava et al., SenSys 2004).
+//!
+//! A [`QDigest`] summarizes a multiset of readings drawn from a bounded
+//! value domain `[lo, hi]` quantized onto `2^depth` equal-width buckets.
+//! The buckets are the leaves of a conceptual complete binary tree; the
+//! sketch stores counts on a sparse set of tree nodes. Three properties
+//! matter to the protocol:
+//!
+//! * **Associative, lossless merging.** [`QDigest::merge`] adds counts
+//!   node-by-node and defers compression, so `(a ∪ b) ∪ c` and
+//!   `a ∪ (b ∪ c)` are *identical* — subtree summaries can be combined
+//!   in routing-tree order without the result depending on that order.
+//! * **Bounded rank error.** After canonical compression the classic
+//!   q-digest guarantee holds: any quantile query is answered with rank
+//!   error at most `ε·n` where `ε = depth / compression`
+//!   ([`QDigest::epsilon`]), at a size of `O(compression · depth)` nodes.
+//! * **Byte-deterministic encoding.** [`QDigest::encode`] canonically
+//!   compresses and then serializes counts in sorted node order, so two
+//!   sketches summarizing the same multiset produce identical bytes no
+//!   matter how they were built.
+//!
+//! The continuous protocol ships one sketch per root-child subtree on
+//! every full refresh; the planner queries it for candidate thresholds
+//! ([`QDigest::quantile`]) and the root uses [`QDigest::upper_bound`]
+//! plus the delta tolerance to bound what a *silent* subtree could
+//! possibly contribute to the answer.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of a [`QDigest`]: value domain and accuracy/size knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchPrecision {
+    /// Universe depth: values are quantized onto `2^depth` buckets.
+    pub depth: u32,
+    /// The q-digest compression parameter `k`: larger is more accurate
+    /// and bigger. Rank error is at most `depth / compression · n`.
+    pub compression: u64,
+    /// Inclusive lower edge of the value domain.
+    pub lo: f64,
+    /// Inclusive upper edge of the value domain.
+    pub hi: f64,
+}
+
+impl SketchPrecision {
+    /// Rejects non-representable configurations.
+    pub fn validate(&self) -> Result<(), SketchConfigError> {
+        if self.depth == 0 || self.depth > 24 {
+            return Err(SketchConfigError::BadDepth(self.depth));
+        }
+        if self.compression == 0 {
+            return Err(SketchConfigError::ZeroCompression);
+        }
+        if !(self.lo.is_finite() && self.hi.is_finite() && self.lo < self.hi) {
+            return Err(SketchConfigError::BadDomain(self.lo, self.hi));
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`SketchPrecision`], naming the bad knob.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchConfigError {
+    /// `depth` must be in `1..=24`.
+    BadDepth(u32),
+    /// `compression` must be at least 1.
+    ZeroCompression,
+    /// The domain must satisfy `lo < hi` with both finite.
+    BadDomain(f64, f64),
+}
+
+impl fmt::Display for SketchConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchConfigError::BadDepth(d) => {
+                write!(f, "sketch depth must be in 1..=24, got {d}")
+            }
+            SketchConfigError::ZeroCompression => {
+                write!(f, "sketch compression must be at least 1")
+            }
+            SketchConfigError::BadDomain(lo, hi) => {
+                write!(f, "sketch domain must be finite with lo < hi, got [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl Error for SketchConfigError {}
+
+/// A malformed [`QDigest::encode`] byte string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchDecodeError {
+    /// Fewer bytes than the fixed header requires, or a truncated body.
+    Truncated,
+    /// The header's precision fields failed [`SketchPrecision::validate`].
+    Config(SketchConfigError),
+    /// A count entry's node id is outside the tree, zero-count, out of
+    /// order, or duplicated.
+    BadEntry(u64),
+    /// The stored total does not equal the sum of entry counts.
+    BadTotal,
+}
+
+impl fmt::Display for SketchDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchDecodeError::Truncated => write!(f, "sketch bytes truncated"),
+            SketchDecodeError::Config(e) => write!(f, "sketch header invalid: {e}"),
+            SketchDecodeError::BadEntry(id) => write!(f, "sketch entry {id} invalid"),
+            SketchDecodeError::BadTotal => write!(f, "sketch total mismatches entries"),
+        }
+    }
+}
+
+impl Error for SketchDecodeError {}
+
+/// A q-digest over a bounded, quantized value domain. See the module
+/// docs for the guarantees.
+///
+/// Tree-node ids are 1-based heap indices: the root is 1, node `v` has
+/// children `2v` and `2v+1`, and the `2^depth` leaves occupy
+/// `2^depth ..= 2^(depth+1) - 1` in bucket order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QDigest {
+    precision: SketchPrecision,
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl QDigest {
+    /// An empty sketch. Panics on an invalid precision; validate first
+    /// when the configuration is untrusted.
+    pub fn new(precision: SketchPrecision) -> QDigest {
+        precision.validate().expect("invalid sketch precision");
+        QDigest { precision, counts: BTreeMap::new(), total: 0 }
+    }
+
+    /// Builds a sketch from a slice of values in one pass.
+    pub fn from_values(precision: SketchPrecision, values: &[f64]) -> QDigest {
+        let mut d = QDigest::new(precision);
+        for &v in values {
+            d.insert(v);
+        }
+        d
+    }
+
+    /// The configured precision.
+    pub fn precision(&self) -> SketchPrecision {
+        self.precision
+    }
+
+    /// Number of summarized values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Worst-case relative rank error after compression:
+    /// `depth / compression`.
+    pub fn epsilon(&self) -> f64 {
+        self.precision.depth as f64 / self.precision.compression as f64
+    }
+
+    fn universe(&self) -> u64 {
+        1u64 << self.precision.depth
+    }
+
+    /// The bucket a value quantizes to. Values outside the domain clamp
+    /// to the edge buckets; NaN clamps low.
+    pub fn bucket_of(&self, value: f64) -> u64 {
+        let SketchPrecision { lo, hi, .. } = self.precision;
+        let v = if value.is_nan() { lo } else { value.clamp(lo, hi) };
+        let u = self.universe();
+        let b = ((v - lo) / (hi - lo) * u as f64) as u64;
+        b.min(u - 1)
+    }
+
+    /// Inclusive value bounds `(lower, upper)` of bucket `b`.
+    pub fn bucket_bounds(&self, b: u64) -> (f64, f64) {
+        let SketchPrecision { lo, hi, .. } = self.precision;
+        let u = self.universe() as f64;
+        let width = (hi - lo) / u;
+        (lo + b as f64 * width, lo + (b + 1) as f64 * width)
+    }
+
+    /// Adds one value.
+    pub fn insert(&mut self, value: f64) {
+        let leaf = self.universe() + self.bucket_of(value);
+        *self.counts.entry(leaf).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Adds every count of `other` into `self`. Pure count addition —
+    /// no compression happens here, so merging is exactly associative
+    /// and commutative. Panics when the precisions differ.
+    pub fn merge(&mut self, other: &QDigest) {
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge q-digests with different precision"
+        );
+        for (&id, &c) in &other.counts {
+            *self.counts.entry(id).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Canonically compresses in place: one deterministic bottom-up pass
+    /// merging sibling pairs into their parent wherever the q-digest
+    /// property `count(v) + count(sibling) + count(parent) ≤ ⌊n/k⌋`
+    /// allows. Queries and encoding apply this automatically; calling it
+    /// eagerly only trims memory.
+    pub fn compress(&mut self) {
+        let budget = self.total / self.precision.compression;
+        if budget == 0 {
+            return;
+        }
+        for level in (1..=self.precision.depth).rev() {
+            let lo_id = 1u64 << level;
+            let hi_id = (1u64 << (level + 1)) - 1;
+            let parents: Vec<u64> =
+                self.counts.range(lo_id..=hi_id).map(|(&id, _)| id >> 1).collect();
+            let mut last = 0u64;
+            for p in parents {
+                if p == last {
+                    continue; // both siblings listed this parent once already
+                }
+                last = p;
+                let a = self.counts.get(&(2 * p)).copied().unwrap_or(0);
+                let b = self.counts.get(&(2 * p + 1)).copied().unwrap_or(0);
+                let c = self.counts.get(&p).copied().unwrap_or(0);
+                if a + b + c <= budget {
+                    self.counts.remove(&(2 * p));
+                    self.counts.remove(&(2 * p + 1));
+                    self.counts.insert(p, a + b + c);
+                }
+            }
+        }
+    }
+
+    /// Cumulative counts per stored node ordered by the *highest* leaf
+    /// bucket the node can cover — the classic q-digest rank ordering.
+    fn ranked_nodes(&self) -> Vec<(u64, u64, u64)> {
+        // (max_bucket, min_bucket, count), sorted ascending.
+        let depth = self.precision.depth;
+        let mut v: Vec<(u64, u64, u64)> = self
+            .counts
+            .iter()
+            .map(|(&id, &c)| {
+                let level = 63 - id.leading_zeros();
+                let span = depth - level; // levels below this node
+                let first_leaf = id << span;
+                let min_b = first_leaf - self.universe();
+                let max_b = min_b + (1u64 << span) - 1;
+                (max_b, min_b, c)
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The smallest bucket `b` such that at least `phi·n` values are
+    /// summarized at or below `b`, up to the `ε·n` rank slack. Returns
+    /// the bucket and its inclusive value bounds; `None` when empty.
+    /// `phi` is clamped to `[0, 1]`.
+    pub fn quantile(&self, phi: f64) -> Option<(u64, f64, f64)> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut canon = self.clone();
+        canon.compress();
+        let target = (phi.clamp(0.0, 1.0) * canon.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        let mut last = None;
+        for (max_b, _min_b, c) in canon.ranked_nodes() {
+            seen += c;
+            last = Some(max_b);
+            if seen >= target {
+                break;
+            }
+        }
+        let b = last.expect("non-empty digest has nodes");
+        let (lo, hi) = self.bucket_bounds(b);
+        Some((b, lo, hi))
+    }
+
+    /// Estimated number of summarized values in buckets `<= b`:
+    /// every stored node whose covered range lies entirely at or below
+    /// `b` contributes fully. The true quantized rank exceeds this by at
+    /// most `ε·n` after compression.
+    pub fn rank_of_bucket(&self, b: u64) -> u64 {
+        let mut canon = self.clone();
+        canon.compress();
+        canon
+            .ranked_nodes()
+            .into_iter()
+            .take_while(|&(max_b, _, _)| max_b <= b)
+            .map(|(_, _, c)| c)
+            .sum()
+    }
+
+    /// Upper value bound over everything summarized: the upper edge of
+    /// the highest occupied region. Adding the continuous-mode tolerance
+    /// to this bounds what a silent subtree could contribute now.
+    pub fn upper_bound(&self) -> Option<f64> {
+        self.quantile(1.0).map(|(_, _, hi)| hi)
+    }
+
+    /// Canonical byte encoding: header (depth, compression, lo, hi,
+    /// total) then the compressed counts as sorted `(node id, count)`
+    /// pairs. Equal multisets encode to equal bytes regardless of
+    /// insertion or merge order.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut canon = self.clone();
+        canon.compress();
+        let mut out = Vec::with_capacity(44 + canon.counts.len() * 16);
+        out.extend_from_slice(&canon.precision.depth.to_le_bytes());
+        out.extend_from_slice(&canon.precision.compression.to_le_bytes());
+        out.extend_from_slice(&canon.precision.lo.to_bits().to_le_bytes());
+        out.extend_from_slice(&canon.precision.hi.to_bits().to_le_bytes());
+        out.extend_from_slice(&canon.total.to_le_bytes());
+        out.extend_from_slice(&(canon.counts.len() as u64).to_le_bytes());
+        for (&id, &c) in &canon.counts {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`QDigest::encode`], validating structure as it goes.
+    pub fn decode(bytes: &[u8]) -> Result<QDigest, SketchDecodeError> {
+        fn take<const N: usize>(b: &mut &[u8]) -> Result<[u8; N], SketchDecodeError> {
+            if b.len() < N {
+                return Err(SketchDecodeError::Truncated);
+            }
+            let (head, tail) = b.split_at(N);
+            *b = tail;
+            Ok(head.try_into().expect("split_at guarantees length"))
+        }
+        let mut b = bytes;
+        let depth = u32::from_le_bytes(take::<4>(&mut b)?);
+        let compression = u64::from_le_bytes(take::<8>(&mut b)?);
+        let lo = f64::from_bits(u64::from_le_bytes(take::<8>(&mut b)?));
+        let hi = f64::from_bits(u64::from_le_bytes(take::<8>(&mut b)?));
+        let precision = SketchPrecision { depth, compression, lo, hi };
+        precision.validate().map_err(SketchDecodeError::Config)?;
+        let total = u64::from_le_bytes(take::<8>(&mut b)?);
+        let len = u64::from_le_bytes(take::<8>(&mut b)?);
+        let max_id = (1u64 << (depth + 1)) - 1;
+        let mut counts = BTreeMap::new();
+        let mut prev = 0u64;
+        let mut sum = 0u64;
+        for _ in 0..len {
+            let id = u64::from_le_bytes(take::<8>(&mut b)?);
+            let c = u64::from_le_bytes(take::<8>(&mut b)?);
+            if id <= prev || id > max_id || c == 0 {
+                return Err(SketchDecodeError::BadEntry(id));
+            }
+            prev = id;
+            sum = sum.checked_add(c).ok_or(SketchDecodeError::BadTotal)?;
+            counts.insert(id, c);
+        }
+        if !b.is_empty() {
+            return Err(SketchDecodeError::Truncated);
+        }
+        if sum != total {
+            return Err(SketchDecodeError::BadTotal);
+        }
+        Ok(QDigest { precision, counts, total })
+    }
+
+    /// Number of stored tree nodes (sparse size before compression).
+    pub fn node_count(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prec() -> SketchPrecision {
+        SketchPrecision { depth: 8, compression: 16, lo: 0.0, hi: 256.0 }
+    }
+
+    #[test]
+    fn insert_and_total() {
+        let mut d = QDigest::new(prec());
+        assert_eq!(d.total(), 0);
+        d.insert(3.0);
+        d.insert(200.0);
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.node_count(), 2);
+    }
+
+    #[test]
+    fn clamping_maps_out_of_domain_to_edges() {
+        let d = QDigest::new(prec());
+        assert_eq!(d.bucket_of(-10.0), 0);
+        assert_eq!(d.bucket_of(1e9), 255);
+        assert_eq!(d.bucket_of(f64::NAN), 0);
+        assert_eq!(d.bucket_of(f64::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn quantile_on_uniform_values_is_near_exact() {
+        let values: Vec<f64> = (0..256).map(|i| i as f64 + 0.5).collect();
+        let d = QDigest::from_values(prec(), &values);
+        let (b, _, _) = d.quantile(0.5).unwrap();
+        let err = (b as i64 - 127).unsigned_abs();
+        assert!(err as f64 <= d.epsilon() * 256.0 + 1.0, "bucket {b}, err {err}");
+    }
+
+    #[test]
+    fn compress_respects_budget_and_preserves_total() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 256) as f64).collect();
+        let mut d = QDigest::from_values(prec(), &values);
+        d.compress();
+        assert_eq!(d.total(), 1000);
+        // Size bound: at most 3k nodes after compression (classic bound).
+        assert!(d.node_count() as u64 <= 3 * prec().compression);
+    }
+
+    #[test]
+    fn merge_is_count_addition() {
+        let mut a = QDigest::from_values(prec(), &[1.0, 2.0]);
+        let b = QDigest::from_values(prec(), &[1.0, 250.0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        let direct = QDigest::from_values(prec(), &[1.0, 2.0, 1.0, 250.0]);
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let values: Vec<f64> = (0..500).map(|i| (i * 7 % 256) as f64).collect();
+        let d = QDigest::from_values(prec(), &values);
+        let bytes = d.encode();
+        let back = QDigest::decode(&bytes).unwrap();
+        assert_eq!(back.total(), d.total());
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(QDigest::decode(&[1, 2, 3]), Err(SketchDecodeError::Truncated));
+        let mut bytes = QDigest::from_values(prec(), &[1.0, 2.0]).encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(QDigest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn precision_validation() {
+        assert!(prec().validate().is_ok());
+        assert!(SketchPrecision { depth: 0, ..prec() }.validate().is_err());
+        assert!(SketchPrecision { depth: 25, ..prec() }.validate().is_err());
+        assert!(SketchPrecision { compression: 0, ..prec() }.validate().is_err());
+        assert!(SketchPrecision { lo: 1.0, hi: 1.0, ..prec() }.validate().is_err());
+        assert!(SketchPrecision { lo: f64::NAN, ..prec() }.validate().is_err());
+    }
+
+    #[test]
+    fn upper_bound_covers_max() {
+        let values = [3.0, 99.5, 17.25, 240.0];
+        let d = QDigest::from_values(prec(), &values);
+        assert!(d.upper_bound().unwrap() >= 240.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! q-digest contract tests: the three properties the continuous-query
+//! protocol leans on (DESIGN.md §16).
+//!
+//! * **Rank error ≤ ε·n, two-sided.** A `quantile(phi)` answer covers at
+//!   least `⌈phi·n⌉` values and overshoots the target rank by at most
+//!   `ε·n` — on random multisets and on the adversarial shapes that
+//!   stress compression (all-identical values, tight clusters).
+//! * **Merge associativity.** `(a ∪ b) ∪ c` and `a ∪ (b ∪ c)` are the
+//!   same sketch, byte-for-byte — so subtree summaries can be combined
+//!   in routing-tree order without the result depending on that order.
+//! * **Byte-deterministic encoding.** Equal multisets encode to equal
+//!   bytes no matter how the sketch was assembled, and
+//!   encode → decode → encode is a fixed point.
+
+use proptest::prelude::*;
+use prospector_core::{QDigest, SketchPrecision};
+
+fn prec() -> SketchPrecision {
+    SketchPrecision { depth: 8, compression: 16, lo: 0.0, hi: 256.0 }
+}
+
+/// Exact number of values quantizing to a bucket `<= b`.
+fn exact_rank(d: &QDigest, values: &[f64], b: u64) -> u64 {
+    values.iter().filter(|&&v| d.bucket_of(v) <= b).count() as u64
+}
+
+/// The two-sided rank-error check for one multiset at one phi.
+///
+/// With `b = quantile(phi)` and `target = ⌈phi·n⌉`:
+/// * at least `target` values quantize to a bucket `<= b` (the answer
+///   never undershoots), and
+/// * fewer than `target + ε·n + 1` values quantize *strictly below* `b`
+///   (the answer never overshoots by more than the q-digest slack — the
+///   `+1` absorbs the `⌈·⌉` boundary).
+fn assert_rank_error_bounded(values: &[f64], phi: f64) {
+    let d = QDigest::from_values(prec(), values);
+    let n = values.len() as f64;
+    let slack = d.epsilon() * n;
+    let target = (phi * n).ceil() as u64;
+    let (b, _, _) = d.quantile(phi).expect("non-empty");
+    let at_or_below = exact_rank(&d, values, b);
+    assert!(
+        at_or_below >= target,
+        "phi={phi}: bucket {b} covers {at_or_below} values, target {target}"
+    );
+    if b > 0 {
+        let strictly_below = exact_rank(&d, values, b - 1);
+        assert!(
+            (strictly_below as f64) < target as f64 + slack + 1.0,
+            "phi={phi}: {strictly_below} values below bucket {b}, \
+             target {target}, slack {slack}"
+        );
+    }
+}
+
+const PHIS: &[f64] = &[0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+
+#[test]
+fn rank_error_bounded_on_identical_values() {
+    // Everything lands in one leaf: compression collapses the whole
+    // digest toward the root, the worst case for spanning-node error.
+    let values = vec![117.3; 1000];
+    for &phi in PHIS {
+        assert_rank_error_bounded(&values, phi);
+    }
+}
+
+#[test]
+fn rank_error_bounded_on_tight_clusters() {
+    // Two dense clusters at opposite domain edges plus a sparse middle:
+    // adjacent-leaf pileups merge aggressively while the middle stays
+    // exact, so queries straddle compressed and uncompressed regions.
+    let mut values = Vec::new();
+    for i in 0..400 {
+        values.push(1.0 + (i % 7) as f64 * 0.1);
+        values.push(254.0 + (i % 5) as f64 * 0.2);
+    }
+    for i in 0..40 {
+        values.push(64.0 + i as f64);
+    }
+    for &phi in PHIS {
+        assert_rank_error_bounded(&values, phi);
+    }
+}
+
+#[test]
+fn rank_error_bounded_on_geometric_pileup() {
+    // Exponentially skewed: half the mass in the lowest bucket, a long
+    // thin tail upward. Low-phi answers must stay pinned at the pileup.
+    let mut values = Vec::new();
+    for i in 0..10u32 {
+        let copies = 1usize << (10 - i);
+        for _ in 0..copies {
+            values.push((1u64 << i) as f64 / 4.0);
+        }
+    }
+    for &phi in PHIS {
+        assert_rank_error_bounded(&values, phi);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_error_bounded_on_random_multisets(
+        values in proptest::collection::vec(0.0..256.0f64, 1..600),
+        phi in 0.0..1.0f64,
+    ) {
+        assert_rank_error_bounded(&values, phi);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative_to_the_byte(
+        xs in proptest::collection::vec(0.0..256.0f64, 0..120),
+        ys in proptest::collection::vec(0.0..256.0f64, 0..120),
+        zs in proptest::collection::vec(0.0..256.0f64, 0..120),
+    ) {
+        let a = QDigest::from_values(prec(), &xs);
+        let b = QDigest::from_values(prec(), &ys);
+        let c = QDigest::from_values(prec(), &zs);
+
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // c ∪ (b ∪ a)
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut rev = c.clone();
+        rev.merge(&ba);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &rev);
+        prop_assert_eq!(left.encode(), right.encode());
+        prop_assert_eq!(right.encode(), rev.encode());
+    }
+
+    #[test]
+    fn encoding_is_deterministic_across_assembly_orders(
+        values in proptest::collection::vec(0.0..256.0f64, 1..300),
+        pivot in 0usize..300,
+    ) {
+        // One pass, reverse insertion order, and a two-digest merge at an
+        // arbitrary split point must all encode identically.
+        let one_pass = QDigest::from_values(prec(), &values);
+
+        let mut reversed = QDigest::new(prec());
+        for &v in values.iter().rev() {
+            reversed.insert(v);
+        }
+
+        let cut = pivot.min(values.len());
+        let mut split = QDigest::from_values(prec(), &values[..cut]);
+        split.merge(&QDigest::from_values(prec(), &values[cut..]));
+
+        let bytes = one_pass.encode();
+        prop_assert_eq!(&bytes, &reversed.encode());
+        prop_assert_eq!(&bytes, &split.encode());
+
+        // encode → decode → encode is a fixed point (compression is
+        // canonical and idempotent).
+        let back = QDigest::decode(&bytes).unwrap();
+        prop_assert_eq!(back.total(), one_pass.total());
+        prop_assert_eq!(back.encode(), bytes);
+    }
+}

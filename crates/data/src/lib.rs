@@ -23,6 +23,7 @@
 //!   CDF) shared by the generators.
 
 pub mod collector;
+pub mod drift;
 pub mod gaussian;
 pub mod intel;
 pub mod samples;
@@ -33,6 +34,7 @@ pub mod walk;
 pub mod zones;
 
 pub use collector::{full_sweep_cost, SamplePolicy};
+pub use drift::{DriftField, PiecewiseConstant};
 pub use gaussian::IndependentGaussian;
 pub use intel::IntelLabLike;
 pub use samples::{top_k_nodes, Reading, SamplePartsError, SampleSet};

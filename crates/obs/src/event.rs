@@ -101,6 +101,16 @@ pub enum TraceEvent {
     /// shared `unique_keys` distinct cache keys, of which `planned`
     /// required a fresh planner run.
     BatchPlanned { requests: u32, unique_keys: u32, planned: u32 },
+    /// Continuous mode: a node's changed reading was applied to the
+    /// root's cached view this epoch (delta epochs only).
+    DeltaShipped { node: u32, value: f64 },
+    /// Continuous mode: this epoch ran a full from-scratch collection
+    /// instead of shipping deltas. `reason` is one of `"first"`,
+    /// `"period"`, `"repair"`, `"loss"`, `"sweep"`.
+    FullRefresh { reason: &'static str },
+    /// Continuous mode: the k-th threshold moved beyond the tolerance
+    /// and was re-broadcast down the tree.
+    ThresholdBroadcast { threshold: f64 },
     /// An epoch finished; scalar summary mirroring `EpochReport`.
     EpochEnd {
         epoch: u64,
@@ -141,6 +151,9 @@ impl TraceEvent {
             TraceEvent::PlanCacheHit { .. } => "plan_cache_hit",
             TraceEvent::PlanCacheMiss { .. } => "plan_cache_miss",
             TraceEvent::BatchPlanned { .. } => "batch_planned",
+            TraceEvent::DeltaShipped { .. } => "delta_shipped",
+            TraceEvent::FullRefresh { .. } => "full_refresh",
+            TraceEvent::ThresholdBroadcast { .. } => "threshold_broadcast",
             TraceEvent::EpochEnd { .. } => "epoch_end",
         }
     }
@@ -292,6 +305,16 @@ impl TraceEvent {
                 push_u64(&mut o, "requests", u64::from(*requests));
                 push_u64(&mut o, "unique_keys", u64::from(*unique_keys));
                 push_u64(&mut o, "planned", u64::from(*planned));
+            }
+            TraceEvent::DeltaShipped { node, value } => {
+                push_u64(&mut o, "node", u64::from(*node));
+                push_f64_field(&mut o, "value", *value);
+            }
+            TraceEvent::FullRefresh { reason } => {
+                push_static(&mut o, "reason", reason);
+            }
+            TraceEvent::ThresholdBroadcast { threshold } => {
+                push_f64_field(&mut o, "threshold", *threshold);
             }
             TraceEvent::EpochEnd {
                 epoch,
@@ -446,6 +469,18 @@ mod tests {
             ev.to_json(),
             r#"{"ev":"batch_planned","requests":6,"unique_keys":3,"planned":2}"#
         );
+    }
+
+    #[test]
+    fn continuous_events_serialize_with_fixed_field_order() {
+        let ev = TraceEvent::DeltaShipped { node: 10, value: 48.5 };
+        assert_eq!(ev.to_json(), r#"{"ev":"delta_shipped","node":10,"value":48.5}"#);
+        let ev = TraceEvent::FullRefresh { reason: "repair" };
+        assert_eq!(ev.to_json(), r#"{"ev":"full_refresh","reason":"repair"}"#);
+        let ev = TraceEvent::ThresholdBroadcast { threshold: 47.0 };
+        assert_eq!(ev.to_json(), r#"{"ev":"threshold_broadcast","threshold":47}"#);
+        let ev = TraceEvent::ThresholdBroadcast { threshold: f64::NEG_INFINITY };
+        assert_eq!(ev.to_json(), r#"{"ev":"threshold_broadcast","threshold":"-inf"}"#);
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! serve                 line-protocol REPL on stdin/stdout
+//!       [--continuous]  continuous session: TICK reports deltas=
+//!                       (ship-rule tolerance 0.5)
 //! serve --loadgen       closed-loop load generator → BENCH_serve.json
 //!       [--fast]        CI profile (also via SERVE_FAST=1)
 //!       [--cache-off]   plan every request from scratch
@@ -49,12 +51,13 @@ fn main() {
         );
         return;
     }
-    repl();
+    repl(has("--continuous"));
 }
 
 /// The interactive loop: one golden-sized network, default service
-/// config, responses flushed per line.
-fn repl() {
+/// config, responses flushed per line. In continuous mode the session
+/// tracks last-shipped values and `TICK` reports `deltas=`.
+fn repl(continuous: bool) {
     let tree = topology::balanced(3, 2);
     let n = tree.len();
     let service = prospector_serve::QueryService::new(
@@ -65,7 +68,11 @@ fn repl() {
     )
     .expect("default config is valid");
     let source = IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 21);
-    let mut session = Repl::new(service, source);
+    let mut session = if continuous {
+        Repl::continuous(service, source, 0.5)
+    } else {
+        Repl::new(service, source)
+    };
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let mut line = Vec::new();

@@ -7,20 +7,64 @@
 use crate::protocol::{parse_line, Command, ProtocolError, MAX_LINE_BYTES};
 use crate::request::QueryRequest;
 use crate::service::QueryService;
-use prospector_data::{IndependentGaussian, ValueSource};
+use prospector_data::ValueSource;
 use prospector_obs::NullTracer;
 
-/// A stateful line-protocol session over one [`QueryService`].
-pub struct Repl {
-    service: QueryService,
-    source: IndependentGaussian,
-    pending: Vec<QueryRequest>,
-    done: bool,
+/// Root-side continuous bookkeeping for the line protocol: the last
+/// value each node shipped, against the DESIGN.md §16 ship rule. A node
+/// counts as a delta on a tick when it has never shipped or its reading
+/// moved beyond the tolerance; the counter is surfaced as `deltas=` on
+/// the `TICK` response (continuous sessions only — the classic response
+/// shape is pinned by the `serve_burst` golden).
+struct ContinuousTick {
+    tolerance: f64,
+    last_shipped: Vec<f64>,
 }
 
-impl Repl {
-    pub fn new(service: QueryService, source: IndependentGaussian) -> Self {
-        Repl { service, source, pending: Vec::new(), done: false }
+impl ContinuousTick {
+    /// Applies one epoch's readings and returns how many nodes shipped.
+    fn deltas(&mut self, values: &[f64]) -> usize {
+        let mut shipped = 0;
+        for (last, &v) in self.last_shipped.iter_mut().zip(values) {
+            if !last.is_finite() || (v - *last).abs() > self.tolerance {
+                *last = v;
+                shipped += 1;
+            }
+        }
+        shipped
+    }
+}
+
+/// A stateful line-protocol session over one [`QueryService`].
+pub struct Repl<S: ValueSource> {
+    service: QueryService,
+    source: S,
+    pending: Vec<QueryRequest>,
+    done: bool,
+    continuous: Option<ContinuousTick>,
+}
+
+impl<S: ValueSource> Repl<S> {
+    pub fn new(service: QueryService, source: S) -> Self {
+        Repl { service, source, pending: Vec::new(), done: false, continuous: None }
+    }
+
+    /// A session in continuous mode: `TICK` responses additionally
+    /// report `deltas=`, the number of nodes whose reading moved beyond
+    /// `tolerance` since they last shipped (every node ships on the
+    /// first tick).
+    pub fn continuous(service: QueryService, source: S, tolerance: f64) -> Self {
+        let n = service.topology().len();
+        Repl {
+            service,
+            source,
+            pending: Vec::new(),
+            done: false,
+            continuous: Some(ContinuousTick {
+                tolerance,
+                last_shipped: vec![f64::NEG_INFINITY; n],
+            }),
+        }
     }
 
     /// True after a `QUIT`.
@@ -77,6 +121,7 @@ impl Repl {
     fn tick(&mut self) -> Vec<String> {
         let epoch = self.service.epoch().map_or(0, |e| e + 1);
         let values = self.source.values(epoch);
+        let deltas = self.continuous.as_mut().map(|c| c.deltas(&values));
         let started = self.service.begin_epoch(&values, &mut NullTracer);
         let batch: Vec<QueryRequest> = std::mem::take(&mut self.pending);
         let results = self.service.serve_batch(&batch, &mut NullTracer);
@@ -102,13 +147,17 @@ impl Repl {
                 Err(e) => out.push(format!("ERR {} {} {e}", req.id, e.code())),
             }
         }
-        out.push(format!(
+        let mut tick_line = format!(
             "TICK {} sampled={} served={} rejected={}",
             started.epoch,
             u8::from(started.sampled),
             served,
             batch.len() - served
-        ));
+        );
+        if let Some(deltas) = deltas {
+            tick_line.push_str(&format!(" deltas={deltas}"));
+        }
+        out.push(tick_line);
         out
     }
 

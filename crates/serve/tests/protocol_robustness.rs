@@ -7,17 +7,20 @@ use prospector_data::IndependentGaussian;
 use prospector_net::{topology, EnergyModel};
 use prospector_serve::{parse_line, QueryService, Repl, ServiceConfig, MAX_LINE_BYTES};
 
-fn session() -> Repl {
-    let tree = topology::balanced(3, 2);
-    let n = tree.len();
-    let service = QueryService::new(
-        tree,
+fn service() -> QueryService {
+    QueryService::new(
+        topology::balanced(3, 2),
         EnergyModel::mica2(),
         Box::new(FallbackPlanner::standard()),
         ServiceConfig::default(),
     )
-    .expect("default config is valid");
-    Repl::new(service, IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 5))
+    .expect("default config is valid")
+}
+
+fn session() -> Repl<IndependentGaussian> {
+    let svc = service();
+    let n = svc.topology().len();
+    Repl::new(svc, IndependentGaussian::random(n, 40.0..60.0, 1.0..4.0, 5))
 }
 
 /// The table: one hostile line per row, with the typed code it must map
@@ -130,4 +133,35 @@ fn stats_and_quit_still_work() {
     assert!(stats[0].starts_with("STATS qdepth=0 "), "{stats:?}");
     assert_eq!(session.handle_line("QUIT"), vec!["BYE".to_string()]);
     assert!(session.done());
+}
+
+/// Continuous sessions append `deltas=` to the TICK response — all nodes
+/// ship on the first tick, a quiet network ships nothing after, and only
+/// moves beyond the tolerance ship. Classic sessions never carry the
+/// field (the `serve_burst` golden pins that shape).
+#[test]
+fn continuous_tick_reports_deltas() {
+    use prospector_data::PiecewiseConstant;
+
+    let classic = session().handle_line("TICK");
+    assert!(
+        classic.last().is_some_and(|l| l.starts_with("TICK ") && !l.contains("deltas=")),
+        "classic TICK must not grow a deltas field: {classic:?}"
+    );
+
+    let svc = service();
+    let n = svc.topology().len();
+    // Node 0 steps beyond the 0.5 tolerance at epoch 2, node 1 moves
+    // within it at epoch 3.
+    let base: Vec<f64> = (0..n).map(|i| 50.0 - i as f64).collect();
+    let source = PiecewiseConstant::new(base, vec![(2, 0, 52.0), (3, 1, 49.2)]);
+    let mut repl = Repl::continuous(svc, source, 0.5);
+    let ship_counts: Vec<String> = (0..4)
+        .map(|_| {
+            let out = repl.handle_line("TICK");
+            let line = out.last().expect("tick responds").clone();
+            line.split(" deltas=").nth(1).expect("continuous TICK has deltas").to_string()
+        })
+        .collect();
+    assert_eq!(ship_counts, vec![n.to_string(), "0".into(), "1".into(), "0".into()]);
 }

@@ -1,0 +1,968 @@
+//! The continuous-query delta-collection protocol.
+//!
+//! In continuous mode the network stops re-collecting the answer from
+//! scratch every epoch. Each node remembers the last value it shipped
+//! ([`ContinuousState::last_shipped`]) and the last k-th threshold the
+//! root broadcast; a **delta epoch** ships only readings that moved
+//! beyond the tolerance or crossed the threshold, and the root patches
+//! its cached view instead of re-merging the world. Steady state costs
+//! O(changes), not O(n).
+//!
+//! **Silence is a claim.** A subtree that sends nothing asserts "nothing
+//! changed", and the protocol must make that claim trustworthy under
+//! loss:
+//!
+//! * Every alive root child sends a per-epoch **change beacon** (a
+//!   header-only message) even when it has no deltas. A lost beacon
+//!   means the root cannot tell silence from loss, so it forces a full
+//!   refresh next epoch (`full_refresh` reason `"loss"`).
+//! * Deltas travel hop-by-hop under the same ARQ policy as classic
+//!   collection. A hop that exhausts its retries keeps the batch in the
+//!   child's **custody buffer** and re-forwards it next delta epoch —
+//!   a lost delta is delayed, never silently dropped. The machine-checked
+//!   invariant: for every alive node, either the root's view matches the
+//!   node's last shipped value, or a custody entry for that node exists
+//!   somewhere in the tree ([`ContinuousState::custody_invariant_holds`]).
+//! * Custody held *at* a node dies with it, so node deaths force a full
+//!   refresh (`"repair"`), as does the configured refresh period
+//!   (`"period"`) and the first continuous epoch (`"first"`).
+//!
+//! Full refreshes run the classic reliable-or-ARQ collection with full
+//! forwarding and optionally rebuild one q-digest per root-child subtree
+//! ([`prospector_core::QDigest`]) — the planner-facing quantile summary
+//! whose upper bound (plus the tolerance) also bounds what a silent
+//! subtree could contribute.
+//!
+//! The root-side cached answer is maintained incrementally in an ordered
+//! set ([`ContinuousState::answer`]); `recompute_answer` re-sorts from
+//! scratch so the differential harness can prove patch ≡ re-merge on
+//! every epoch.
+
+use crate::trace::charge;
+use prospector_core::{QDigest, SketchPrecision};
+use prospector_data::Reading;
+use prospector_net::{
+    link_rng, ArqPolicy, EnergyMeter, EnergyModel, FailureModel, LinkAttempts, NodeId, Phase,
+    Topology,
+};
+use prospector_obs::{TraceEvent, Tracer};
+use std::collections::BTreeSet;
+
+/// One in-flight changed reading: `origin` reported `value` at `epoch`.
+/// Later epochs supersede earlier ones wherever two entries for the same
+/// origin meet (they travel the same root-ward path, so they do meet).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delta {
+    pub origin: NodeId,
+    pub epoch: u64,
+    pub value: f64,
+}
+
+/// Monotone key: orders f64 descending (IEEE total order), ties by node
+/// ascending — exactly `Reading::rank_cmp`.
+fn desc_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    !(if b >> 63 == 1 { !b } else { b | (1 << 63) })
+}
+
+/// Root + node state of the continuous protocol.
+#[derive(Debug, Clone)]
+pub struct ContinuousState {
+    /// Root's belief: the last *reported* (raw, pre-gate) value applied
+    /// per node; `-inf` for dead or never-heard nodes.
+    view: Vec<f64>,
+    /// Node-side: the last value each node handed into the delta
+    /// pipeline (or delivered in a refresh); `-inf` before the first.
+    last_shipped: Vec<f64>,
+    /// Root's post-gate effective value per node (`-inf` = absent); the
+    /// answer is the top k of this vector.
+    eff: Vec<f64>,
+    /// Incremental answer index over `eff`: `(desc_key(eff), node)`.
+    /// Contains exactly the nodes with finite `eff`. Rebuilt from `eff`
+    /// on resume, never serialized.
+    ordered: BTreeSet<(u64, u32)>,
+    /// Per holder node: delta batches awaiting a working uplink.
+    custody: Vec<Vec<Delta>>,
+    /// The k-th threshold as last broadcast (`-inf` before the first).
+    threshold: f64,
+    /// Epoch of the last full refresh (sweeps count), `None` before any.
+    last_refresh: Option<u64>,
+    /// Silence can no longer be trusted (lost beacon or exhausted retry
+    /// escalation): the next query epoch must fully refresh.
+    force_refresh: bool,
+    /// Per root-child subtree q-digest from the last refresh, sorted by
+    /// child node id. Empty when the policy has no sketch.
+    sketches: Vec<(NodeId, QDigest)>,
+}
+
+impl ContinuousState {
+    pub fn new(n: usize) -> ContinuousState {
+        ContinuousState {
+            view: vec![f64::NEG_INFINITY; n],
+            last_shipped: vec![f64::NEG_INFINITY; n],
+            eff: vec![f64::NEG_INFINITY; n],
+            ordered: BTreeSet::new(),
+            custody: vec![Vec::new(); n],
+            threshold: f64::NEG_INFINITY,
+            last_refresh: None,
+            force_refresh: false,
+            sketches: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a state from checkpointed parts (the ordered index is
+    /// derived from `eff`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        view: Vec<f64>,
+        last_shipped: Vec<f64>,
+        eff: Vec<f64>,
+        custody: Vec<Vec<Delta>>,
+        threshold: f64,
+        last_refresh: Option<u64>,
+        force_refresh: bool,
+        sketches: Vec<(NodeId, QDigest)>,
+    ) -> ContinuousState {
+        let ordered = eff
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite())
+            .map(|(i, &v)| (desc_key(v), i as u32))
+            .collect();
+        ContinuousState {
+            view,
+            last_shipped,
+            eff,
+            ordered,
+            custody,
+            threshold,
+            last_refresh,
+            force_refresh,
+            sketches,
+        }
+    }
+
+    pub fn view(&self) -> &[f64] {
+        &self.view
+    }
+
+    pub fn last_shipped(&self) -> &[f64] {
+        &self.last_shipped
+    }
+
+    pub fn eff(&self) -> &[f64] {
+        &self.eff
+    }
+
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    pub fn last_refresh(&self) -> Option<u64> {
+        self.last_refresh
+    }
+
+    pub fn force_refresh(&self) -> bool {
+        self.force_refresh
+    }
+
+    /// All custody entries, by holder (for checkpointing and tests).
+    pub fn custody(&self) -> &[Vec<Delta>] {
+        &self.custody
+    }
+
+    /// The per-root-child q-digests from the last refresh.
+    pub fn sketches(&self) -> &[(NodeId, QDigest)] {
+        &self.sketches
+    }
+
+    /// The subtree summary for root child `c`, if one was built.
+    pub fn subtree_sketch(&self, c: NodeId) -> Option<&QDigest> {
+        self.sketches.iter().find(|(n, _)| *n == c).map(|(_, d)| d)
+    }
+
+    /// Upper bound on what a *silent* subtree under root child `c` could
+    /// currently contribute: the sketch's value upper bound plus the
+    /// delta tolerance (a silent node is within tolerance of what it
+    /// last shipped, which the refresh-time sketch summarizes).
+    pub fn silent_subtree_bound(&self, c: NodeId, tolerance: f64) -> Option<f64> {
+        self.subtree_sketch(c).and_then(|d| d.upper_bound()).map(|b| b + tolerance)
+    }
+
+    pub(crate) fn set_threshold(&mut self, tau: f64) {
+        self.threshold = tau;
+    }
+
+    pub(crate) fn set_last_refresh(&mut self, epoch: u64) {
+        self.last_refresh = Some(epoch);
+    }
+
+    pub(crate) fn set_force_refresh(&mut self, v: bool) {
+        self.force_refresh = v;
+    }
+
+    /// Sets node `i`'s effective value, maintaining the ordered index.
+    /// `-inf` (or any non-finite) clears the node from the answer.
+    pub(crate) fn set_eff(&mut self, i: usize, v: f64) {
+        let old = self.eff[i];
+        if old.to_bits() == v.to_bits() {
+            return;
+        }
+        if old.is_finite() {
+            self.ordered.remove(&(desc_key(old), i as u32));
+        }
+        if v.is_finite() {
+            self.ordered.insert((desc_key(v), i as u32));
+        }
+        self.eff[i] = v;
+    }
+
+    /// The cached answer: top `k` of the incrementally-patched index.
+    pub fn answer(&self, k: usize) -> Vec<Reading> {
+        self.ordered
+            .iter()
+            .take(k)
+            .map(|&(key, node)| {
+                debug_assert_eq!(desc_key(self.eff[node as usize]), key);
+                Reading { node: NodeId(node), value: self.eff[node as usize] }
+            })
+            .collect()
+    }
+
+    /// The answer recomputed from scratch (full sort of `eff`) — the
+    /// "re-merge the world" reference the differential harness compares
+    /// [`ContinuousState::answer`] against.
+    pub fn recompute_answer(&self, k: usize) -> Vec<Reading> {
+        let mut all: Vec<Reading> = self
+            .eff
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_finite())
+            .map(|(i, &v)| Reading { node: NodeId::from_index(i), value: v })
+            .collect();
+        all.sort_unstable_by(Reading::rank_cmp);
+        all.truncate(k);
+        all
+    }
+
+    /// Serializes to the checkpoint wire image (sketches travel in their
+    /// byte-deterministic encoded form).
+    pub fn to_image(&self) -> prospector_ckpt::ContinuousImage {
+        prospector_ckpt::ContinuousImage {
+            view: self.view.clone(),
+            last_shipped: self.last_shipped.clone(),
+            eff: self.eff.clone(),
+            threshold: self.threshold,
+            last_refresh: self.last_refresh,
+            force_refresh: self.force_refresh,
+            custody: self
+                .custody
+                .iter()
+                .map(|held| held.iter().map(|d| (d.origin.0, d.epoch, d.value)).collect())
+                .collect(),
+            sketches: self.sketches.iter().map(|(c, d)| (c.0, d.encode())).collect(),
+        }
+    }
+
+    /// Rebuilds from a checkpoint image; fails if an encoded sketch does
+    /// not decode.
+    pub fn from_image(img: prospector_ckpt::ContinuousImage) -> Result<ContinuousState, String> {
+        let custody = img
+            .custody
+            .into_iter()
+            .map(|held| {
+                let mut held: Vec<Delta> = held
+                    .into_iter()
+                    .map(|(origin, epoch, value)| Delta { origin: NodeId(origin), epoch, value })
+                    .collect();
+                held.sort_by_key(|d| d.origin);
+                held
+            })
+            .collect();
+        let sketches = img
+            .sketches
+            .into_iter()
+            .map(|(c, bytes)| {
+                QDigest::decode(&bytes)
+                    .map(|d| (NodeId(c), d))
+                    .map_err(|e| format!("sketch for node {c} does not decode: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ContinuousState::from_parts(
+            img.view,
+            img.last_shipped,
+            img.eff,
+            custody,
+            img.threshold,
+            img.last_refresh,
+            img.force_refresh,
+            sketches,
+        ))
+    }
+
+    /// The silence-under-loss invariant: for every alive non-root node,
+    /// either the root's view matches the node's last shipped value
+    /// bit-for-bit, or a custody entry for that node is waiting somewhere
+    /// in the tree (a lost delta is delayed, never misread as "no
+    /// change"). Trivially true under zero loss.
+    pub fn custody_invariant_holds(&self, alive: &[bool], root: NodeId) -> bool {
+        (0..self.view.len()).all(|i| {
+            if !alive[i] || i == root.index() {
+                return true;
+            }
+            self.view[i].to_bits() == self.last_shipped[i].to_bits()
+                || self.custody.iter().any(|held| held.iter().any(|d| d.origin.index() == i))
+        })
+    }
+
+    /// Drops all protocol state touching `deaths`: their view/eff/custody
+    /// entries, custody held *at* them (which dies with the node — the
+    /// reason deaths force a refresh), and their subtree sketches.
+    pub(crate) fn on_deaths(&mut self, deaths: &[NodeId]) {
+        for &d in deaths {
+            let i = d.index();
+            self.view[i] = f64::NEG_INFINITY;
+            self.last_shipped[i] = f64::NEG_INFINITY;
+            self.set_eff(i, f64::NEG_INFINITY);
+            self.custody[i].clear();
+            self.sketches.retain(|(c, _)| *c != d);
+        }
+        for held in &mut self.custody {
+            held.retain(|e| deaths.iter().all(|d| *d != e.origin));
+        }
+    }
+}
+
+/// What a delta epoch's transport did.
+#[derive(Debug, Clone)]
+pub struct DeltaOutcome {
+    /// Deltas applied to the root's view, sorted by origin node.
+    pub applied: Vec<(NodeId, f64)>,
+    /// Active edges whose batch (or beacon) was lost, in edge order.
+    pub lost_edges: Vec<NodeId>,
+    /// Transmissions beyond each active edge's first attempt, summed.
+    pub retransmissions: u32,
+    /// Fraction of active edges whose message was delivered (1.0 when no
+    /// edge was active).
+    pub delivered_fraction: f64,
+    /// Radio transmissions this epoch: every attempt plus every ack.
+    pub messages: u32,
+    /// A root child's beacon was lost: silence cannot be trusted, the
+    /// caller must force a refresh.
+    pub beacon_lost: bool,
+}
+
+/// Per-edge transport record, filled in post order and charged in edge
+/// order (matching `execute_plan_arq_traced`'s accounting exactly).
+struct EdgeSend {
+    sent: u32,
+    link: LinkAttempts,
+}
+
+fn attempt(
+    failures: Option<&FailureModel>,
+    arq: &ArqPolicy,
+    seed: u64,
+    child: NodeId,
+) -> LinkAttempts {
+    match failures {
+        Some(f) if !f.is_trivial() => {
+            let mut rng = link_rng(seed, child);
+            arq.attempt_delivery(f, child, &mut rng)
+        }
+        _ => LinkAttempts { attempts: 1, delivered: true, backoff_mj: 0.0 },
+    }
+}
+
+/// Merges `incoming` into `held` with latest-wins per origin, keeping
+/// the result sorted by origin.
+fn merge_deltas(held: &mut Vec<Delta>, incoming: Vec<Delta>) {
+    for d in incoming {
+        match held.binary_search_by_key(&d.origin, |e| e.origin) {
+            Ok(i) => {
+                if d.epoch >= held[i].epoch {
+                    held[i] = d;
+                }
+            }
+            Err(i) => held.insert(i, d),
+        }
+    }
+}
+
+/// Runs one delta epoch: generates fresh deltas against the tolerance
+/// and the last broadcast threshold, routes custody + fresh batches up
+/// the tree under ARQ (charged exactly like classic collection: first
+/// attempt under [`Phase::Collection`], retries + backoff + ack under
+/// [`Phase::Retransmit`], in [`Topology::edges`] order), applies what
+/// reaches the root to the view, and records per-root-child beacons.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_delta_epoch(
+    state: &mut ContinuousState,
+    topology: &Topology,
+    alive: &[bool],
+    energy: &EnergyModel,
+    values: &[f64],
+    tolerance: f64,
+    failures: Option<&FailureModel>,
+    arq: &ArqPolicy,
+    seed: u64,
+    epoch: u64,
+    meter: &mut EnergyMeter,
+    tracer: &mut dyn Tracer,
+) -> DeltaOutcome {
+    let n = topology.len();
+    let root = topology.root();
+
+    // Fresh deltas enter the pipeline at their origin's custody buffer,
+    // superseding any older stuck entry for the same origin.
+    for i in 0..n {
+        let u = NodeId::from_index(i);
+        if u == root || !alive[i] {
+            continue;
+        }
+        let v = values[i];
+        let last = state.last_shipped[i];
+        let crossed = (v >= state.threshold) != (last >= state.threshold);
+        if (v - last).abs() > tolerance || crossed {
+            merge_deltas(&mut state.custody[i], vec![Delta { origin: u, epoch, value: v }]);
+            state.last_shipped[i] = v;
+        }
+    }
+
+    // Transport: children before parents, so a batch can cross several
+    // hops in one epoch when every hop delivers. Failed hops keep the
+    // batch in the child's custody for next epoch.
+    let mut sends: Vec<Option<EdgeSend>> = (0..n).map(|_| None).collect();
+    let mut inbox: Vec<Vec<Delta>> = vec![Vec::new(); n];
+    let mut root_inbox: Vec<Delta> = Vec::new();
+    let mut beacon_lost = false;
+    for &u in topology.post_order() {
+        if u == root || !alive[u.index()] {
+            continue;
+        }
+        let mut payload = std::mem::take(&mut state.custody[u.index()]);
+        merge_deltas(&mut payload, std::mem::take(&mut inbox[u.index()]));
+        let parent = topology.parent(u).expect("non-root node has a parent");
+        let is_beacon_edge = parent == root;
+        if payload.is_empty() && !is_beacon_edge {
+            continue; // a silent interior edge sends nothing — the saving
+        }
+        let link = attempt(failures, arq, seed, u);
+        sends[u.index()] = Some(EdgeSend { sent: payload.len() as u32, link });
+        if link.delivered {
+            if is_beacon_edge {
+                root_inbox.extend(payload);
+            } else {
+                merge_deltas(&mut inbox[parent.index()], payload);
+            }
+        } else {
+            state.custody[u.index()] = payload;
+            if is_beacon_edge {
+                beacon_lost = true;
+            }
+        }
+    }
+
+    // Charges and delivery events in edge order, mirroring
+    // `execute_plan_arq_traced` byte-for-byte under zero loss.
+    let mut retransmissions = 0u32;
+    let mut messages = 0u32;
+    let mut lost_edges = Vec::new();
+    let mut active = 0usize;
+    let mut delivered_cnt = 0usize;
+    for e in topology.edges() {
+        let Some(send) = &sends[e.index()] else { continue };
+        active += 1;
+        let msg = energy.unicast_values(send.sent as usize);
+        charge(meter, tracer, e, Phase::Collection, msg);
+        let link = send.link;
+        messages += link.attempts;
+        let acked = link.attempts > 1 && link.delivered;
+        if link.attempts > 1 {
+            retransmissions += link.retries();
+            charge(
+                meter,
+                tracer,
+                e,
+                Phase::Retransmit,
+                link.retries() as f64 * msg + link.backoff_mj,
+            );
+            if link.delivered {
+                charge(meter, tracer, e, Phase::Retransmit, energy.per_message_mj);
+                messages += 1;
+            }
+        }
+        if link.delivered {
+            delivered_cnt += 1;
+        } else {
+            lost_edges.push(e);
+        }
+        if tracer.enabled() {
+            tracer.record(TraceEvent::LinkDelivery {
+                child: e.0,
+                sent_values: send.sent,
+                attempts: link.attempts,
+                delivered: link.delivered,
+                acked,
+                backoff_mj: link.backoff_mj,
+            });
+        }
+    }
+
+    // Root applies what arrived (single path per origin, but dedupe by
+    // epoch anyway) in origin order; its own reading is free.
+    let mut final_in: Vec<Delta> = Vec::new();
+    merge_deltas(&mut final_in, root_inbox);
+    let mut applied = Vec::with_capacity(final_in.len());
+    for d in final_in {
+        state.view[d.origin.index()] = d.value;
+        applied.push((d.origin, d.value));
+        if tracer.enabled() {
+            tracer.record(TraceEvent::DeltaShipped { node: d.origin.0, value: d.value });
+        }
+    }
+    state.view[root.index()] = values[root.index()];
+    state.last_shipped[root.index()] = values[root.index()];
+
+    let delivered_fraction = if active == 0 { 1.0 } else { delivered_cnt as f64 / active as f64 };
+    DeltaOutcome { applied, lost_edges, retransmissions, delivered_fraction, messages, beacon_lost }
+}
+
+/// What a full-refresh collection did.
+#[derive(Debug, Clone)]
+pub struct RefreshOutcome {
+    /// Per node: its value survived every hop to the root this epoch
+    /// (the root itself is always true).
+    pub delivered: Vec<bool>,
+    /// Used edges whose batch was lost, in edge order.
+    pub lost_edges: Vec<NodeId>,
+    /// Transmissions beyond each edge's first attempt, summed.
+    pub retransmissions: u32,
+    /// Fraction of alive non-root nodes whose value reached the root.
+    pub delivered_fraction: f64,
+    /// Radio transmissions this epoch (triggers + attempts + acks).
+    pub messages: u32,
+}
+
+/// Runs a full from-scratch refresh: a trigger broadcast wakes the tree,
+/// every alive node forwards its *entire* merged batch (no bandwidth
+/// truncation — refreshes re-seed `last_shipped` for every delivered
+/// node, so they must carry everything), and delivered values overwrite
+/// the root's view and each node's last-shipped record. Optionally
+/// rebuilds per-root-child q-digests, charging their encoded bytes on
+/// the child's uplink.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_refresh_epoch(
+    state: &mut ContinuousState,
+    topology: &Topology,
+    alive: &[bool],
+    energy: &EnergyModel,
+    values: &[f64],
+    sketch: Option<SketchPrecision>,
+    failures: Option<&FailureModel>,
+    arq: &ArqPolicy,
+    seed: u64,
+    meter: &mut EnergyMeter,
+    tracer: &mut dyn Tracer,
+) -> RefreshOutcome {
+    let n = topology.len();
+    let root = topology.root();
+    let mut messages = 0u32;
+
+    // Trigger: every alive node with an alive child broadcasts, exactly
+    // like a full-sweep plan's trigger phase.
+    for i in 0..n {
+        let u = NodeId::from_index(i);
+        if !alive[i] {
+            continue;
+        }
+        if topology.children(u).iter().any(|&c| alive[c.index()]) {
+            charge(meter, tracer, u, Phase::Trigger, energy.broadcast());
+            messages += 1;
+        }
+    }
+
+    // Full-forwarding collection with per-hop ARQ.
+    let mut outbox: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+    let mut sends: Vec<Option<EdgeSend>> = (0..n).map(|_| None).collect();
+    for &u in topology.post_order() {
+        if u == root || !alive[u.index()] {
+            continue;
+        }
+        let mut batch = vec![(u, values[u.index()])];
+        for &c in topology.children(u) {
+            batch.append(&mut outbox[c.index()]);
+        }
+        let link = attempt(failures, arq, seed, u);
+        sends[u.index()] = Some(EdgeSend { sent: batch.len() as u32, link });
+        if link.delivered {
+            outbox[u.index()] = batch;
+        }
+    }
+
+    let mut retransmissions = 0u32;
+    let mut lost_edges = Vec::new();
+    for e in topology.edges() {
+        let Some(send) = &sends[e.index()] else { continue };
+        let msg = energy.unicast_values(send.sent as usize);
+        charge(meter, tracer, e, Phase::Collection, msg);
+        let link = send.link;
+        messages += link.attempts;
+        let acked = link.attempts > 1 && link.delivered;
+        if link.attempts > 1 {
+            retransmissions += link.retries();
+            charge(
+                meter,
+                tracer,
+                e,
+                Phase::Retransmit,
+                link.retries() as f64 * msg + link.backoff_mj,
+            );
+            if link.delivered {
+                charge(meter, tracer, e, Phase::Retransmit, energy.per_message_mj);
+                messages += 1;
+            }
+        }
+        if !link.delivered {
+            lost_edges.push(e);
+        }
+        if tracer.enabled() {
+            tracer.record(TraceEvent::LinkDelivery {
+                child: e.0,
+                sent_values: send.sent,
+                attempts: link.attempts,
+                delivered: link.delivered,
+                acked,
+                backoff_mj: link.backoff_mj,
+            });
+        }
+    }
+
+    // A node's value reached the root iff every hop on its path
+    // delivered (parents-before-children walk, as in the lossy executor).
+    let mut delivered = vec![false; n];
+    delivered[root.index()] = true;
+    let mut used = 0usize;
+    let mut covered = 0usize;
+    for &u in topology.post_order().iter().rev() {
+        let Some(send) = &sends[u.index()] else { continue };
+        let parent = topology.parent(u).expect("non-root edge has a parent");
+        delivered[u.index()] = send.link.delivered && delivered[parent.index()];
+        used += 1;
+        covered += delivered[u.index()] as usize;
+    }
+    let delivered_fraction = if used == 0 { 1.0 } else { covered as f64 / used as f64 };
+
+    apply_refresh(
+        state,
+        topology,
+        alive,
+        values,
+        &delivered,
+        sketch,
+        energy,
+        meter,
+        tracer,
+        &mut messages,
+    );
+
+    RefreshOutcome { delivered, lost_edges, retransmissions, delivered_fraction, messages }
+}
+
+/// Applies a refresh's delivered values to the protocol state: view and
+/// last-shipped overwrite, custody superseding, and sketch rebuild (with
+/// per-root-child byte charges). Shared by the ARQ refresh above and the
+/// reliable exploration sweep (which delivers everything).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_refresh(
+    state: &mut ContinuousState,
+    topology: &Topology,
+    alive: &[bool],
+    values: &[f64],
+    delivered: &[bool],
+    sketch: Option<SketchPrecision>,
+    energy: &EnergyModel,
+    meter: &mut EnergyMeter,
+    tracer: &mut dyn Tracer,
+    messages: &mut u32,
+) {
+    let n = topology.len();
+    for i in 0..n {
+        if alive[i] && delivered[i] {
+            state.view[i] = values[i];
+            state.last_shipped[i] = values[i];
+        }
+    }
+    // Custody entries for delivered origins are superseded by the fresh
+    // refresh value (custody epochs always predate this epoch); entries
+    // for missed origins stay queued.
+    for held in &mut state.custody {
+        held.retain(|d| !(alive[d.origin.index()] && delivered[d.origin.index()]));
+    }
+
+    if let Some(prec) = sketch {
+        // One q-digest per alive root-child subtree over the values that
+        // actually arrived; its encoded bytes ride the child's uplink.
+        let root = topology.root();
+        let owner = subtree_owner(topology, root);
+        state.sketches.clear();
+        for &c in topology.children(root) {
+            if !alive[c.index()] {
+                continue;
+            }
+            let vals: Vec<f64> = (0..n)
+                .filter(|&i| alive[i] && delivered[i] && owner[i] == Some(c))
+                .map(|i| values[i])
+                .collect();
+            let digest = QDigest::from_values(prec, &vals);
+            let bytes = digest.encode().len();
+            charge(meter, tracer, c, Phase::Collection, energy.per_byte_mj * bytes as f64);
+            *messages += 1;
+            state.sketches.push((c, digest));
+        }
+    }
+}
+
+/// For each node, the root child whose subtree contains it (`None` for
+/// the root itself).
+fn subtree_owner(topology: &Topology, root: NodeId) -> Vec<Option<NodeId>> {
+    let mut owner: Vec<Option<NodeId>> = vec![None; topology.len()];
+    // Parents precede children in reverse post order.
+    for &u in topology.post_order().iter().rev() {
+        if u == root {
+            continue;
+        }
+        let p = topology.parent(u).expect("non-root node has a parent");
+        owner[u.index()] = if p == root { Some(u) } else { owner[p.index()] };
+    }
+    owner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prospector_net::topology::{balanced, chain};
+    use prospector_obs::NullTracer;
+
+    fn quiet_state(n: usize, values: &[f64]) -> ContinuousState {
+        let mut s = ContinuousState::new(n);
+        s.view.copy_from_slice(values);
+        s.last_shipped.copy_from_slice(values);
+        s
+    }
+
+    #[test]
+    fn quiet_delta_epoch_ships_only_beacons() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let values: Vec<f64> = (0..t.len()).map(|i| 50.0 - i as f64).collect();
+        let mut state = quiet_state(t.len(), &values);
+        let alive = vec![true; t.len()];
+        let mut meter = EnergyMeter::new(t.len());
+        let out = run_delta_epoch(
+            &mut state,
+            &t,
+            &alive,
+            &em,
+            &values,
+            0.0,
+            None,
+            &ArqPolicy::default(),
+            1,
+            5,
+            &mut meter,
+            &mut NullTracer,
+        );
+        assert!(out.applied.is_empty());
+        assert_eq!(out.messages, t.children(t.root()).len() as u32, "one beacon per root child");
+        assert!(!out.beacon_lost);
+        // Beacons are header-only messages.
+        let expect = t.children(t.root()).len() as f64 * em.unicast_values(0);
+        assert!((meter.total() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn changed_value_ships_and_patches_view() {
+        let t = chain(3); // 0 <- 1 <- 2
+        let em = EnergyModel::mica2();
+        let base = vec![10.0, 9.0, 8.0];
+        let mut state = quiet_state(3, &base);
+        let alive = vec![true; 3];
+        let mut values = base.clone();
+        values[2] = 20.0;
+        let mut meter = EnergyMeter::new(3);
+        let out = run_delta_epoch(
+            &mut state,
+            &t,
+            &alive,
+            &em,
+            &values,
+            0.5,
+            None,
+            &ArqPolicy::default(),
+            1,
+            7,
+            &mut meter,
+            &mut NullTracer,
+        );
+        assert_eq!(out.applied, vec![(NodeId(2), 20.0)]);
+        assert_eq!(state.view()[2], 20.0);
+        assert_eq!(state.last_shipped()[2], 20.0);
+        assert!(state.custody_invariant_holds(&alive, t.root()));
+    }
+
+    #[test]
+    fn lost_delta_stays_in_custody_and_reships() {
+        let t = chain(3); // 0 <- 1 <- 2; fail edge 2 only
+        let em = EnergyModel::mica2();
+        let base = vec![10.0, 9.0, 8.0];
+        let mut state = quiet_state(3, &base);
+        let alive = vec![true; 3];
+        let mut values = base.clone();
+        values[2] = 20.0;
+        let mut probs = vec![0.0; 3];
+        probs[2] = 1.0;
+        let fm = FailureModel::per_edge(3, probs, 0.0).unwrap();
+        let arq = ArqPolicy { max_retries: 1, backoff: prospector_net::Backoff::none() };
+        let mut meter = EnergyMeter::new(3);
+        let out = run_delta_epoch(
+            &mut state,
+            &t,
+            &alive,
+            &em,
+            &values,
+            0.5,
+            Some(&fm),
+            &arq,
+            3,
+            7,
+            &mut meter,
+            &mut NullTracer,
+        );
+        // The delta is stuck at node 2; the view still holds the old
+        // value, but custody records the truth — silence is not claimed.
+        assert!(out.applied.is_empty());
+        assert_eq!(out.lost_edges, vec![NodeId(2)]);
+        assert_eq!(state.view()[2], 8.0);
+        assert_eq!(state.last_shipped()[2], 20.0);
+        assert_eq!(state.custody()[2], vec![Delta { origin: NodeId(2), epoch: 7, value: 20.0 }]);
+        assert!(state.custody_invariant_holds(&alive, t.root()));
+        assert!(!out.beacon_lost, "the beacon edge (node 1) still delivered");
+
+        // Next epoch the link works: the held delta is re-forwarded
+        // without the node re-reporting anything.
+        let fm_ok = FailureModel::none(3);
+        let mut meter2 = EnergyMeter::new(3);
+        let out2 = run_delta_epoch(
+            &mut state,
+            &t,
+            &alive,
+            &em,
+            &values,
+            0.5,
+            Some(&fm_ok),
+            &arq,
+            4,
+            8,
+            &mut meter2,
+            &mut NullTracer,
+        );
+        assert_eq!(out2.applied, vec![(NodeId(2), 20.0)]);
+        assert_eq!(state.view()[2], 20.0);
+        assert!(state.custody()[2].is_empty());
+    }
+
+    #[test]
+    fn lost_root_beacon_is_flagged() {
+        let t = chain(2); // 0 <- 1, the only edge is a beacon edge
+        let em = EnergyModel::mica2();
+        let base = vec![5.0, 4.0];
+        let mut state = quiet_state(2, &base);
+        let alive = vec![true; 2];
+        let fm = FailureModel::uniform(2, 1.0, 0.0);
+        let arq = ArqPolicy { max_retries: 0, backoff: prospector_net::Backoff::none() };
+        let mut meter = EnergyMeter::new(2);
+        let out = run_delta_epoch(
+            &mut state,
+            &t,
+            &alive,
+            &em,
+            &base,
+            0.5,
+            Some(&fm),
+            &arq,
+            9,
+            3,
+            &mut meter,
+            &mut NullTracer,
+        );
+        assert!(out.beacon_lost, "a silent epoch with a lost beacon is untrustworthy");
+    }
+
+    #[test]
+    fn refresh_reseeds_everything_and_builds_sketches() {
+        let t = balanced(3, 2);
+        let em = EnergyModel::mica2();
+        let values: Vec<f64> = (0..t.len()).map(|i| 30.0 + i as f64).collect();
+        let mut state = ContinuousState::new(t.len());
+        let alive = vec![true; t.len()];
+        let prec = SketchPrecision { depth: 10, compression: 16, lo: 0.0, hi: 100.0 };
+        let mut meter = EnergyMeter::new(t.len());
+        let out = run_refresh_epoch(
+            &mut state,
+            &t,
+            &alive,
+            &em,
+            &values,
+            Some(prec),
+            None,
+            &ArqPolicy::default(),
+            11,
+            &mut meter,
+            &mut NullTracer,
+        );
+        assert!(out.delivered.iter().all(|&d| d));
+        assert_eq!(out.delivered_fraction, 1.0);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(state.view()[i], v);
+            assert_eq!(state.last_shipped()[i], v);
+        }
+        assert_eq!(state.sketches().len(), t.children(t.root()).len());
+        for &c in t.children(t.root()) {
+            let d = state.subtree_sketch(c).unwrap();
+            assert_eq!(d.total(), 4, "each subtree holds 4 nodes");
+            assert!(state.silent_subtree_bound(c, 0.5).unwrap() >= values[c.index()]);
+        }
+    }
+
+    #[test]
+    fn incremental_answer_matches_recompute() {
+        let mut s = ContinuousState::new(6);
+        let updates =
+            [(1, 5.0), (2, 9.0), (3, 7.0), (1, 1.0), (4, 9.0), (2, f64::NEG_INFINITY), (5, 8.5)];
+        for &(i, v) in &updates {
+            s.set_eff(i, v);
+            for k in 1..=6 {
+                assert_eq!(s.answer(k), s.recompute_answer(k), "after ({i}, {v}), k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn deaths_scrub_state_everywhere() {
+        let t = chain(4); // 0 <- 1 <- 2 <- 3
+        let mut s = quiet_state(4, &[4.0, 3.0, 2.0, 1.0]);
+        for i in 0..4 {
+            s.set_eff(i, s.view[i]);
+        }
+        // A custody entry for node 3 held at node 2, plus one at node 3.
+        s.custody[2].push(Delta { origin: NodeId(3), epoch: 1, value: 9.0 });
+        s.custody[3].push(Delta { origin: NodeId(3), epoch: 2, value: 9.5 });
+        s.on_deaths(&[NodeId(3)]);
+        assert_eq!(s.view()[3], f64::NEG_INFINITY);
+        assert!(s.custody().iter().all(|h| h.is_empty()));
+        assert!(!s.answer(4).iter().any(|r| r.node == NodeId(3)));
+        let alive = [true, true, true, false];
+        assert!(s.custody_invariant_holds(&alive, t.root()));
+    }
+}

@@ -13,6 +13,9 @@
 //!   collection followed by the range-bounded mop-up of Section 4.3;
 //! * [`runner`] — multi-epoch experiments: exploration sampling,
 //!   re-planning, plan dissemination and per-epoch metrics;
+//! * [`continuous`] — the continuous-query delta protocol: custody-based
+//!   delta shipping, change beacons, forced full refreshes and per-subtree
+//!   q-digest summaries;
 //! * [`adaptive`] — Section 4.4's re-sampling rate adaptation driven by
 //!   periodic exact audits.
 //!
@@ -25,6 +28,7 @@
 
 pub mod adaptive;
 pub mod backfill;
+pub mod continuous;
 pub mod dissemination;
 pub mod exact_exec;
 pub mod exec;
@@ -36,6 +40,7 @@ pub use adaptive::{
     run_adaptive, run_adaptive_traced, AdaptiveAction, AdaptiveConfig, AdaptiveEpoch,
 };
 pub use backfill::{backfill_answer, backfill_answer_traced, AnswerEntry};
+pub use continuous::{ContinuousState, Delta, DeltaOutcome, RefreshOutcome};
 pub use dissemination::{
     install_cost, install_plan, install_plan_lossy, install_plan_lossy_traced, install_plan_traced,
     DisseminationReport,

@@ -19,11 +19,14 @@
 //! their new subplan keep executing the previous one.
 
 use crate::backfill::{backfill_answer, backfill_answer_traced, AnswerEntry};
+use crate::continuous::{apply_refresh, run_delta_epoch, run_refresh_epoch, ContinuousState};
 use crate::dissemination::{install_plan_lossy_traced, install_plan_traced};
 use crate::exec::{execute_plan, execute_plan_arq_traced, execute_plan_traced};
 use crate::trace::charge;
 use prospector_ckpt::{Checkpoint, CheckpointPolicy, CheckpointStore, StoreError};
-use prospector_core::{evaluate, GatePolicy, Plan, PlanContext, PlanError, Planner, TrustState};
+use prospector_core::{
+    evaluate, ContinuousPolicy, GatePolicy, Plan, PlanContext, PlanError, Planner, TrustState,
+};
 use prospector_data::{top_k_nodes, Reading, SamplePolicy, SampleSet, ValueSource};
 use prospector_net::{
     epoch_seed, ArqPolicy, EnergyMeter, EnergyModel, FailureModel, FaultSchedule, NodeId, Phase,
@@ -76,6 +79,12 @@ pub struct ExperimentConfig {
     /// reading stays in-band the run's output is bit-identical to an
     /// ungated one.
     pub gate: Option<GatePolicy>,
+    /// Continuous-query mode: query epochs ship deltas against the
+    /// policy's tolerance and threshold instead of executing a planner's
+    /// collection plan, with periodic/forced full refreshes (see the
+    /// [`continuous`](crate::continuous) module). `None` keeps the
+    /// classic plan-and-collect mode.
+    pub continuous: Option<ContinuousPolicy>,
     /// Seed for failure injection.
     pub seed: u64,
 }
@@ -99,6 +108,8 @@ pub enum ConfigError {
     BadMinDelivered { min_delivered: f64 },
     /// The plausibility-gate policy has an invalid knob.
     BadGate { why: String },
+    /// The continuous-query policy has an invalid knob.
+    BadContinuous { why: String },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -116,6 +127,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "min_delivered must lie in [0, 1], got {min_delivered}")
             }
             ConfigError::BadGate { why } => write!(f, "invalid gate policy: {why}"),
+            ConfigError::BadContinuous { why } => {
+                write!(f, "invalid continuous policy: {why}")
+            }
         }
     }
 }
@@ -142,6 +156,9 @@ impl ExperimentConfig {
         }
         if let Some(gate) = &self.gate {
             gate.validate().map_err(|e| ConfigError::BadGate { why: e.to_string() })?;
+        }
+        if let Some(cont) = &self.continuous {
+            cont.validate().map_err(|e| ConfigError::BadContinuous { why: e.to_string() })?;
         }
         Ok(())
     }
@@ -246,6 +263,18 @@ pub struct EpochReport {
     pub quarantined: usize,
     /// Nodes that completed parole and were readmitted this epoch.
     pub readmitted: usize,
+    /// Deltas the root applied to its cached view this epoch. Always 0
+    /// outside continuous mode and on full-refresh epochs.
+    pub deltas_shipped: usize,
+    /// This epoch re-collected the whole network (continuous mode: a
+    /// forced/periodic refresh or an exploration sweep). Always false
+    /// outside continuous mode.
+    pub full_refresh: bool,
+    /// Radio transmissions this epoch (data messages, beacons, retries,
+    /// acks, trigger and threshold broadcasts). Counted only by the
+    /// continuous protocol paths — 0 in classic mode and on continuous
+    /// exploration sweeps, whose cost is tracked in energy terms only.
+    pub messages: u32,
     /// Cumulative metrics snapshot at the end of this epoch; present only
     /// after [`ExperimentRunner::enable_metrics`]. Snapshots may carry
     /// wall-clock measurements (plan latency) and are never part of the
@@ -285,6 +314,9 @@ pub struct ExperimentRunner<'a> {
     /// Per-node plausibility-gate trust state; stays all-default without
     /// a gate policy (and on honest data with one).
     trust: Vec<TrustState>,
+    /// Continuous-protocol state, present exactly when
+    /// [`ExperimentConfig::continuous`] is.
+    cont: Option<ContinuousState>,
     meter: EnergyMeter,
     rng: StdRng,
     /// Aggregate metrics; populated only after
@@ -332,6 +364,7 @@ impl<'a> ExperimentRunner<'a> {
             arq,
             alive: vec![true; topology.len()],
             trust: vec![TrustState::default(); topology.len()],
+            cont: config.continuous.as_ref().map(|_| ContinuousState::new(topology.len())),
             meter: EnergyMeter::new(topology.len()),
             rng,
             metrics: None,
@@ -361,6 +394,7 @@ impl<'a> ExperimentRunner<'a> {
             min_delivered: self.config.min_delivered,
             max_retry_budget: self.config.max_retry_budget,
             gate: self.config.gate,
+            continuous: self.config.continuous,
             seed: self.config.seed,
             topology: self.topology.clone(),
             alive: self.alive.clone(),
@@ -374,6 +408,7 @@ impl<'a> ExperimentRunner<'a> {
             arq: self.arq,
             rng_state: self.rng.state(),
             metrics: self.metrics.as_ref().map(|m| m.snapshot()),
+            cont_state: self.cont.as_ref().map(ContinuousState::to_image),
         }
     }
 
@@ -404,6 +439,7 @@ impl<'a> ExperimentRunner<'a> {
             min_delivered: ckpt.min_delivered,
             max_retry_budget: ckpt.max_retry_budget,
             gate: ckpt.gate,
+            continuous: ckpt.continuous,
             seed: ckpt.seed,
         };
         let n = ckpt.topology.len();
@@ -450,6 +486,29 @@ impl<'a> ExperimentRunner<'a> {
                 ));
             }
         }
+        let cont = match (&config.continuous, ckpt.cont_state) {
+            (Some(_), Some(img)) => {
+                if img.view.len() != n {
+                    return inconsistent(format!(
+                        "continuous state covers {} nodes, topology has {n}",
+                        img.view.len()
+                    ));
+                }
+                Some(ContinuousState::from_image(img).map_err(ResumeError::Inconsistent)?)
+            }
+            (Some(_), None) => {
+                return inconsistent(
+                    "config is continuous but the checkpoint has no protocol state".to_string(),
+                )
+            }
+            (None, Some(_)) => {
+                return inconsistent(
+                    "checkpoint carries continuous state but the config is not continuous"
+                        .to_string(),
+                )
+            }
+            (None, None) => None,
+        };
         Ok(ExperimentRunner {
             topology: ckpt.topology,
             energy,
@@ -464,6 +523,7 @@ impl<'a> ExperimentRunner<'a> {
             arq: ckpt.arq,
             alive: ckpt.alive,
             trust: ckpt.trust,
+            cont,
             meter: ckpt.meter,
             rng: StdRng::from_state(ckpt.rng_state),
             metrics: ckpt.metrics.as_ref().map(MetricsRegistry::from_snapshot),
@@ -604,6 +664,12 @@ impl<'a> ExperimentRunner<'a> {
 
         let deaths = self.apply_faults(epoch, &mut epoch_meter, tracer)?;
         let repaired = !deaths.is_empty();
+        if let Some(cont) = self.cont.as_mut() {
+            // Custody held at a dead node dies with it; scrubbing here
+            // (before any transport) keeps the repair-forced refresh the
+            // only thing that can re-learn the lost subtree.
+            cont.on_deaths(&deaths);
+        }
         mask_dead_values(&mut values, &self.alive);
 
         // Data faults corrupt readings where they are sourced, after death
@@ -641,10 +707,21 @@ impl<'a> ExperimentRunner<'a> {
             // Root-side gate on the sweep: implausible readings feed the
             // window (and the answer) as predictions, so a lying sensor
             // cannot poison the very history it is judged against.
+            let raw = self.cont.is_some().then(|| values.clone());
             let mut gated = GateTally::default();
             if let Some(policy) = self.config.gate {
                 gated = self.gate_sweep(epoch, &mut values, &policy, tracer);
             }
+            // In continuous mode a sweep delivers every alive reading, so
+            // it doubles as a free full refresh: the view re-seeds from
+            // the raw (pre-gate) reported values — exactly what nodes
+            // would ship — while the answer takes the gated ones.
+            let cont_messages = match raw {
+                Some(raw) => {
+                    self.continuous_after_sweep(epoch, &raw, &values, &mut epoch_meter, tracer)
+                }
+                None => 0,
+            };
             self.meter.merge(&epoch_meter);
             // Sweeps answer exactly over what the network reports; with
             // data faults in play, score the (gated) report against the
@@ -676,8 +753,27 @@ impl<'a> ExperimentRunner<'a> {
                 flagged: gated.substituted,
                 quarantined: self.quarantined_count(),
                 readmitted: gated.readmitted,
+                deltas_shipped: 0,
+                full_refresh: self.cont.is_some(),
+                messages: cont_messages,
                 metrics: None,
             };
+            return Ok(self.finish_epoch(report, tracer));
+        }
+
+        // Continuous query epochs bypass planning and plan execution
+        // entirely (and need no samples: without a window the gate simply
+        // abstains, and thresholds come from the protocol itself).
+        if self.cont.is_some() {
+            let report = self.continuous_query_epoch(
+                epoch,
+                &values,
+                clean.as_deref(),
+                deaths,
+                repaired,
+                &mut epoch_meter,
+                tracer,
+            );
             return Ok(self.finish_epoch(report, tracer));
         }
 
@@ -928,9 +1024,273 @@ impl<'a> ExperimentRunner<'a> {
             flagged: gated.substituted,
             quarantined: self.quarantined_count(),
             readmitted: gated.readmitted,
+            deltas_shipped: 0,
+            full_refresh: false,
+            messages: 0,
             metrics: None,
         };
         Ok(self.finish_epoch(report, tracer))
+    }
+
+    /// The continuous-protocol state, when the run is in continuous mode.
+    pub fn continuous_state(&self) -> Option<&ContinuousState> {
+        self.cont.as_ref()
+    }
+
+    /// Runs one continuous-mode query epoch: either a full refresh (first
+    /// epoch, death repair, untrusted silence, or the refresh period) or
+    /// a delta epoch, followed by the root-side view audit, the cached
+    /// answer patch and the threshold broadcast.
+    #[allow(clippy::too_many_arguments)]
+    fn continuous_query_epoch(
+        &mut self,
+        epoch: u64,
+        values: &[f64],
+        clean: Option<&[f64]>,
+        deaths: Vec<NodeId>,
+        repaired: bool,
+        epoch_meter: &mut EnergyMeter,
+        tracer: &mut dyn Tracer,
+    ) -> EpochReport {
+        let k = self.config.k;
+        let policy = self.config.continuous.expect("continuous mode");
+        let mut state = self.cont.take().expect("continuous mode");
+        let retry_budget = self.arq.max_retries;
+        let seed = epoch_seed(self.config.seed, epoch);
+
+        // Refresh-reason precedence: a run must start with one; deaths
+        // invalidate custody and silence alike; a lost beacon (or maxed
+        // escalation) means silence can't be trusted; then the period.
+        let refresh_reason: Option<&'static str> = if state.last_refresh().is_none() {
+            Some("first")
+        } else if repaired {
+            Some("repair")
+        } else if state.force_refresh() {
+            Some("loss")
+        } else if epoch - state.last_refresh().expect("checked above") >= policy.refresh_period {
+            Some("period")
+        } else {
+            None
+        };
+
+        let (deltas_shipped, lost_edges, retransmissions, delivered_fraction, mut messages);
+        let full_refresh = refresh_reason.is_some();
+        if let Some(reason) = refresh_reason {
+            if tracer.enabled() {
+                tracer.record(TraceEvent::FullRefresh { reason });
+            }
+            let out = run_refresh_epoch(
+                &mut state,
+                &self.topology,
+                &self.alive,
+                self.energy,
+                values,
+                policy.sketch,
+                self.failures.as_ref(),
+                &self.arq,
+                seed,
+                epoch_meter,
+                tracer,
+            );
+            state.set_last_refresh(epoch);
+            state.set_force_refresh(false);
+            deltas_shipped = 0;
+            lost_edges = out.lost_edges.len();
+            retransmissions = out.retransmissions;
+            delivered_fraction = out.delivered_fraction;
+            messages = out.messages;
+        } else {
+            let out = run_delta_epoch(
+                &mut state,
+                &self.topology,
+                &self.alive,
+                self.energy,
+                values,
+                policy.tolerance,
+                self.failures.as_ref(),
+                &self.arq,
+                seed,
+                epoch,
+                epoch_meter,
+                tracer,
+            );
+            if out.beacon_lost {
+                state.set_force_refresh(true);
+            }
+            deltas_shipped = out.applied.len();
+            lost_edges = out.lost_edges.len();
+            retransmissions = out.retransmissions;
+            delivered_fraction = out.delivered_fraction;
+            messages = out.messages;
+        }
+
+        // Root-side audit: gate the *whole* cached view every epoch (not
+        // just what moved), so trust evolves identically whether a value
+        // arrived this epoch or is being carried forward — the property
+        // the delta-vs-refresh-every-epoch equivalence tests pin down.
+        let mut gated = GateTally::default();
+        if let Some(gate_policy) = self.config.gate {
+            for i in 0..self.topology.len() {
+                if !self.alive[i] {
+                    continue;
+                }
+                let v = state.view()[i];
+                if !v.is_finite() {
+                    continue;
+                }
+                let reading = Reading { node: NodeId::from_index(i), value: v };
+                let eff = match self.gate_reading(reading, epoch, &gate_policy, &mut gated, tracer)
+                {
+                    Some(prediction) => prediction.value,
+                    None => v,
+                };
+                state.set_eff(i, eff);
+            }
+        } else {
+            for i in 0..self.topology.len() {
+                if self.alive[i] {
+                    state.set_eff(i, state.view()[i]);
+                }
+            }
+        }
+
+        let answer = state.answer(k);
+        let truth = top_k_nodes(clean.unwrap_or(values), k);
+        let hits = answer.iter().filter(|r| truth.contains(&r.node)).count();
+        messages += self.continuous_update_threshold(&mut state, policy, epoch_meter, tracer);
+
+        // Adaptive reliability, continuous flavour: spend more retries
+        // first; once maxed, the next epoch re-learns the network with a
+        // forced refresh instead of re-planning.
+        if self.config.min_delivered > 0.0 && delivered_fraction < self.config.min_delivered {
+            if self.arq.max_retries < self.config.max_retry_budget {
+                self.arq.max_retries += 1;
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::RetryEscalated { max_retries: self.arq.max_retries });
+                }
+                if let Some(m) = self.metrics.as_mut() {
+                    m.count("retry_escalations", 1);
+                }
+            } else {
+                state.set_force_refresh(true);
+                if let Some(m) = self.metrics.as_mut() {
+                    m.count("forced_refreshes", 1);
+                }
+            }
+        }
+
+        self.cont = Some(state);
+        self.meter.merge(epoch_meter);
+        EpochReport {
+            epoch,
+            sampled: false,
+            replanned: false,
+            accuracy: hits as f64 / k as f64,
+            energy_mj: epoch_meter.total(),
+            deaths,
+            repaired,
+            fallback_used: self.fallback_used(),
+            lost_edges,
+            retransmissions,
+            delivered_fraction,
+            backfilled: 0,
+            retry_budget,
+            install_undelivered: 0,
+            flagged: gated.substituted,
+            quarantined: self.quarantined_count(),
+            readmitted: gated.readmitted,
+            deltas_shipped,
+            full_refresh,
+            messages,
+            metrics: None,
+        }
+    }
+
+    /// Folds an exploration sweep's delivered values into the continuous
+    /// state as a free full refresh (reason `"sweep"`): the raw reported
+    /// values re-seed view and last-shipped (superseding custody), the
+    /// gated values become the effective answer, sketches rebuild, and
+    /// the threshold updates. Returns the messages charged (sketch
+    /// uplinks + threshold broadcasts).
+    fn continuous_after_sweep(
+        &mut self,
+        epoch: u64,
+        raw: &[f64],
+        gated_values: &[f64],
+        epoch_meter: &mut EnergyMeter,
+        tracer: &mut dyn Tracer,
+    ) -> u32 {
+        let policy = self.config.continuous.expect("continuous mode");
+        let mut state = self.cont.take().expect("continuous mode");
+        if tracer.enabled() {
+            tracer.record(TraceEvent::FullRefresh { reason: "sweep" });
+        }
+        let delivered = self.alive.clone();
+        let mut messages = 0u32;
+        apply_refresh(
+            &mut state,
+            &self.topology,
+            &self.alive,
+            raw,
+            &delivered,
+            policy.sketch,
+            self.energy,
+            epoch_meter,
+            tracer,
+            &mut messages,
+        );
+        state.set_last_refresh(epoch);
+        state.set_force_refresh(false);
+        for (i, &g) in gated_values.iter().enumerate() {
+            if self.alive[i] {
+                state.set_eff(i, g);
+            }
+        }
+        messages += self.continuous_update_threshold(&mut state, policy, epoch_meter, tracer);
+        self.cont = Some(state);
+        messages
+    }
+
+    /// Recomputes the k-th threshold from the cached answer and, when it
+    /// moved by more than the tolerance, broadcasts it down the tree
+    /// (every alive interior node relays once, like a trigger wave).
+    /// Nodes keep judging against the *old* threshold until a broadcast
+    /// actually happens — the root cannot update them for free.
+    fn continuous_update_threshold(
+        &mut self,
+        state: &mut ContinuousState,
+        policy: ContinuousPolicy,
+        epoch_meter: &mut EnergyMeter,
+        tracer: &mut dyn Tracer,
+    ) -> u32 {
+        let answer = state.answer(self.config.k);
+        let new_tau = if answer.len() == self.config.k {
+            answer[self.config.k - 1].value
+        } else {
+            f64::NEG_INFINITY
+        };
+        // NaN-safe: -inf minus -inf is NaN, and NaN > tol is false, so an
+        // unchanged "no threshold yet" never broadcasts.
+        let moved = (new_tau - state.threshold()).abs() > policy.tolerance;
+        if !moved {
+            return 0;
+        }
+        state.set_threshold(new_tau);
+        let mut messages = 0u32;
+        for i in 0..self.topology.len() {
+            let u = NodeId::from_index(i);
+            if !self.alive[i] {
+                continue;
+            }
+            if self.topology.children(u).iter().any(|&c| self.alive[c.index()]) {
+                charge(epoch_meter, tracer, u, Phase::Trigger, self.energy.broadcast());
+                messages += 1;
+            }
+        }
+        if tracer.enabled() {
+            tracer.record(TraceEvent::ThresholdBroadcast { threshold: new_tau });
+        }
+        messages
     }
 
     /// Nodes currently in quarantine.
@@ -1038,6 +1398,11 @@ impl<'a> ExperimentRunner<'a> {
             m.count("install_undelivered", report.install_undelivered as u64);
             m.count("flagged_readings", report.flagged as u64);
             m.count("readmissions", report.readmitted as u64);
+            m.count("deltas_shipped", report.deltas_shipped as u64);
+            if report.full_refresh {
+                m.count("full_refreshes", 1);
+            }
+            m.count("messages", u64::from(report.messages));
             m.gauge("quarantined_nodes", report.quarantined as f64);
             m.gauge("delivered_fraction", report.delivered_fraction);
             m.gauge("retry_budget", f64::from(self.arq.max_retries));
@@ -1232,6 +1597,7 @@ mod tests {
             min_delivered: 0.0,
             max_retry_budget: 8,
             gate: None,
+            continuous: None,
             seed: 42,
         }
     }

@@ -93,6 +93,7 @@ fn degradation_hits_dissemination_and_collection_in_the_same_epoch() {
         min_delivered: 0.0,
         max_retry_budget: 8,
         gate: None,
+        continuous: None,
         seed: 23,
     };
     let mut source = IndependentGaussian::random(t.len(), 40.0..60.0, 1.0..2.0, 23);

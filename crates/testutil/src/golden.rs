@@ -10,14 +10,17 @@
 
 use crate::{lossy_config, recovery_config, FailingPlanner};
 use prospector_ckpt::Checkpoint;
-use prospector_core::{FallbackPlanner, GatePolicy, NaiveK, ProspectorGreedy};
-use prospector_data::IndependentGaussian;
+use prospector_core::{
+    ContinuousPolicy, FallbackPlanner, GatePolicy, NaiveK, ProspectorGreedy, SketchPrecision,
+};
+use prospector_data::{IndependentGaussian, PiecewiseConstant, SamplePolicy, ValueSource};
 use prospector_net::{topology, DataFault, EnergyModel, FaultSchedule, NodeId, Topology};
 use prospector_obs::{event, MetricsSnapshot, RingTracer, TraceEvent};
 use prospector_sim::{ExperimentConfig, ExperimentRunner, ResumeError};
 
 /// Names of the canonical scenarios, in blessing order.
-pub const SCENARIOS: &[&str] = &["clean", "loss_arq", "death_repair", "data_fault"];
+pub const SCENARIOS: &[&str] =
+    &["clean", "loss_arq", "death_repair", "data_fault", "continuous_drift"];
 
 /// Epochs every scenario runs for.
 pub const EPOCHS: u64 = 16;
@@ -59,8 +62,54 @@ impl Scenario {
     /// The scenario's value source. Sources are epoch-deterministic
     /// (stateless per epoch), which is what lets a resumed runner skip
     /// straight to its next epoch without fast-forwarding.
-    pub fn source(&self) -> IndependentGaussian {
-        IndependentGaussian::random(self.topology.len(), 40.0..60.0, 1.0..4.0, 13)
+    pub fn source(&self) -> ScenarioSource {
+        match self.name {
+            // Scripted drift: node i starts at 50 - i (so the top 4 are
+            // the root and its children, k-th threshold 47), then node 10
+            // steps to 48.5 at epoch 9 — crossing the threshold from
+            // below, which must ship exactly one delta.
+            "continuous_drift" => {
+                let base = (0..self.topology.len()).map(|i| 50.0 - i as f64).collect();
+                ScenarioSource::Piecewise(PiecewiseConstant::new(base, vec![(9, 10, 48.5)]))
+            }
+            _ => ScenarioSource::Gaussian(IndependentGaussian::random(
+                self.topology.len(),
+                40.0..60.0,
+                1.0..4.0,
+                13,
+            )),
+        }
+    }
+}
+
+/// A scenario's value source: scenarios predating the continuous mode
+/// all share one seeded Gaussian family, the continuous scenario scripts
+/// its drift by hand.
+pub enum ScenarioSource {
+    Gaussian(IndependentGaussian),
+    Piecewise(PiecewiseConstant),
+}
+
+impl ValueSource for ScenarioSource {
+    fn num_nodes(&self) -> usize {
+        match self {
+            ScenarioSource::Gaussian(s) => s.num_nodes(),
+            ScenarioSource::Piecewise(s) => s.num_nodes(),
+        }
+    }
+
+    fn values(&mut self, epoch: u64) -> Vec<f64> {
+        match self {
+            ScenarioSource::Gaussian(s) => s.values(epoch),
+            ScenarioSource::Piecewise(s) => s.values(epoch),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ScenarioSource::Gaussian(s) => s.name(),
+            ScenarioSource::Piecewise(s) => s.name(),
+        }
     }
 }
 
@@ -123,6 +172,32 @@ pub fn scenario(name: &str) -> Scenario {
                 Some(GatePolicy { quarantine_after: 2, parole_after: 2, ..GatePolicy::default() });
             Scenario {
                 name: "data_fault",
+                config,
+                planner: FallbackPlanner::standard(),
+                topology: t,
+                energy,
+            }
+        }
+        // Continuous mode over scripted drift: two warmup sweeps seed the
+        // threshold, then quiet delta epochs ship nothing but beacons;
+        // node 10 crosses the threshold at epoch 9 (exactly one delta +
+        // one threshold broadcast), and its parent — root child 3 — dies
+        // at epoch 12, forcing a pinned `full_refresh` with reason
+        // "repair" that re-learns the orphaned subtree. The gate is off:
+        // the scripted source has zero variance, so a plausibility band
+        // would flag the genuine step as a data fault.
+        "continuous_drift" => {
+            let victim = t.children(t.root())[2]; // node 3, parent of node 10
+            let mut config = recovery_config(FaultSchedule::new().with_death(12, victim));
+            config.policy = SamplePolicy::Periodic { warmup: 2, period: 100 };
+            config.gate = None;
+            config.continuous = Some(ContinuousPolicy {
+                tolerance: 0.5,
+                refresh_period: 100,
+                sketch: Some(SketchPrecision { depth: 10, compression: 16, lo: 0.0, hi: 100.0 }),
+            });
+            Scenario {
+                name: "continuous_drift",
                 config,
                 planner: FallbackPlanner::standard(),
                 topology: t,
@@ -202,6 +277,35 @@ mod tests {
         assert!(events.iter().any(|e| matches!(e, TraceEvent::ReadingFlagged { .. })));
         assert!(events.iter().any(|e| matches!(e, TraceEvent::NodeQuarantined { .. })));
         assert!(events.iter().any(|e| matches!(e, TraceEvent::NodeReadmitted { .. })));
+    }
+
+    #[test]
+    fn continuous_drift_pins_the_delta_story() {
+        let events = golden_events("continuous_drift");
+        let mut epoch = 0u64;
+        let mut deltas = Vec::new();
+        let mut refreshes = Vec::new();
+        let mut broadcasts = Vec::new();
+        for e in &events {
+            match e {
+                TraceEvent::EpochStart { epoch: ep } => epoch = *ep,
+                TraceEvent::DeltaShipped { node, value } => deltas.push((epoch, *node, *value)),
+                TraceEvent::FullRefresh { reason } => refreshes.push((epoch, *reason)),
+                TraceEvent::ThresholdBroadcast { threshold } => {
+                    broadcasts.push((epoch, *threshold))
+                }
+                _ => {}
+            }
+        }
+        // Quiet epochs ship nothing; the one scripted step ships exactly
+        // one delta, when node 10 crosses the threshold at epoch 9.
+        assert_eq!(deltas, vec![(9, 10, 48.5)]);
+        // Full refreshes: the two warmup sweeps, then the repair-forced
+        // refresh after node 3 dies at epoch 12. Nothing else.
+        assert_eq!(refreshes, vec![(0, "sweep"), (1, "sweep"), (12, "repair")]);
+        // The threshold is first learned at epoch 0 (top-4 of 50,49,48,47)
+        // and moves to 48 when node 10's 48.5 displaces node 3's 47.
+        assert_eq!(broadcasts, vec![(0, 47.0), (9, 48.0)]);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub fn recovery_config(faults: FaultSchedule) -> ExperimentConfig {
         // Gating stays on in the shared fixtures: on fault-free runs it
         // is observation-only, and the golden traces prove it stays so.
         gate: Some(GatePolicy::default()),
+        continuous: None,
         seed: 9,
     }
 }
@@ -66,6 +67,7 @@ pub fn lossy_config(n: usize, p: f64, max_retries: u32, faults: FaultSchedule) -
         min_delivered: 0.8,
         max_retry_budget: max_retries + 3,
         gate: Some(GatePolicy::default()),
+        continuous: None,
         seed: 87,
     }
 }
@@ -141,6 +143,9 @@ pub fn assert_reports_equivalent(a: &[EpochReport], b: &[EpochReport]) {
         assert_eq!(x.readmitted, y.readmitted, "epoch {e}: readmitted");
         assert_eq!(x.retry_budget, y.retry_budget, "epoch {e}: retry_budget");
         assert_eq!(x.install_undelivered, y.install_undelivered, "epoch {e}: install_undelivered");
+        assert_eq!(x.deltas_shipped, y.deltas_shipped, "epoch {e}: deltas_shipped");
+        assert_eq!(x.full_refresh, y.full_refresh, "epoch {e}: full_refresh");
+        assert_eq!(x.messages, y.messages, "epoch {e}: messages");
         match (&x.metrics, &y.metrics) {
             (Some(m), Some(n)) => assert_eq!(
                 scrub_wall_clock(m).to_json(),

@@ -47,6 +47,7 @@ fn main() {
         min_delivered: 0.9,
         max_retry_budget: 6,
         gate: None,
+        continuous: None,
         seed: 5,
     };
 

@@ -27,6 +27,13 @@
 //!    sum of per-epoch bills exactly, and the plausibility gate never
 //!    flags or quarantines anything on schedules with no data faults
 //!    (the false-positive guard).
+//! 6. **Continuous mode survives the same chaos** — with the delta
+//!    protocol active under loss × drift × degradations, deaths and data
+//!    faults: the incrementally patched answer equals a recompute every
+//!    epoch, the custody invariant holds (silence is never misread), a
+//!    repair always forces a full refresh, refresh epochs ship no
+//!    deltas, energy bills stay consistent, and a perfectly quiet
+//!    network ships zero deltas outside refreshes.
 //!
 //! `CHAOS_FAST=1` (the CI profile) shrinks the sweep; the invariants are
 //! identical in both profiles.
@@ -343,6 +350,91 @@ fn chaos_sweep_keeps_epoch_loop_invariants() {
                         "{name}: data faults never reached the gate (p={p})"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Invariant 6: the continuous protocol under combined chaos — loss,
+/// drift, mid-run degradations, a death and a stuck sensor. Every epoch
+/// the root's incrementally patched answer must equal a from-scratch
+/// sort of its cached view, silence must be accounted for in custody,
+/// repairs must force full refreshes, and the billing contract of the
+/// classic loop carries over unchanged.
+#[test]
+fn continuous_mode_keeps_chaos_invariants() {
+    use prospector::core::{ContinuousPolicy, FallbackPlanner, SketchPrecision};
+    use prospector::data::DriftField;
+
+    fn schedules(t: &Topology) -> Vec<(&'static str, FaultSchedule)> {
+        let mut degradations = FaultSchedule::new();
+        for e in t.edges() {
+            degradations = degradations.with_degradation(10, e, 0.25);
+        }
+        let everything = degradations
+            .with_death(14, t.children(t.root())[0])
+            .with_data_fault(8, t.children(t.root())[1], DataFault::StuckAt { level: 500.0 }, 6)
+            .with_noise_seed(87);
+        vec![("none", FaultSchedule::new()), ("degradations+death+data", everything)]
+    }
+
+    let t = topology::balanced(3, 2);
+    let n = t.len();
+    let em = EnergyModel::mica2();
+    let planner = FallbackPlanner::standard();
+    let epochs: u64 = if fast() { 24 } else { 40 };
+    let rates: &[f64] = if fast() { &[0.0, 0.3] } else { &[0.0, 0.1, 0.3] };
+    let drifts: &[f64] = if fast() { &[0.0, 0.2] } else { &[0.0, 0.2, 1.0] };
+    for &p in rates {
+        for &change_prob in drifts {
+            for (name, faults) in schedules(&t) {
+                let is_quiet = p == 0.0 && change_prob == 0.0 && name == "none";
+                let mut config = lossy_config(n, p, 2, faults);
+                config.continuous = Some(ContinuousPolicy {
+                    tolerance: 0.25,
+                    refresh_period: 6,
+                    sketch: Some(SketchPrecision { depth: 8, compression: 8, lo: 0.0, hi: 100.0 }),
+                });
+                let k = config.k;
+                let mut source = DriftField::random(n, 40.0..60.0, 1.0..4.0, change_prob, 87);
+                let mut runner = ExperimentRunner::new(&t, &em, &planner, config);
+                let mut billed = 0.0f64;
+                for epoch in 0..epochs {
+                    let r = runner
+                        .step(&mut source, epoch)
+                        .unwrap_or_else(|e| panic!("continuous chaos ({name}, p={p}): {e:?}"));
+                    billed += r.energy_mj;
+                    assert!((0.0..=1.0).contains(&r.accuracy), "{name}: {r:?}");
+                    assert!((0.0..=1.0).contains(&r.delivered_fraction), "{name}: {r:?}");
+                    if r.repaired {
+                        assert!(r.full_refresh, "{name}: a repair must force a refresh: {r:?}");
+                    }
+                    if r.full_refresh {
+                        assert_eq!(r.deltas_shipped, 0, "{name}: refreshes ship no deltas: {r:?}");
+                    }
+                    if is_quiet && !r.full_refresh {
+                        assert_eq!(
+                            r.deltas_shipped, 0,
+                            "quiet network shipped a delta at epoch {epoch}: {r:?}"
+                        );
+                    }
+                    let state = runner.continuous_state().expect("continuous mode");
+                    let (patched, full) = (state.answer(k), state.recompute_answer(k));
+                    assert_eq!(patched.len(), full.len(), "{name}: epoch {epoch}");
+                    for (x, y) in patched.iter().zip(&full) {
+                        assert_eq!(x.node, y.node, "{name}: epoch {epoch}");
+                        assert_eq!(x.value.to_bits(), y.value.to_bits(), "{name}: epoch {epoch}");
+                    }
+                    assert!(
+                        state.custody_invariant_holds(runner.alive(), t.root()),
+                        "{name}: silence unaccounted for at epoch {epoch}"
+                    );
+                }
+                assert_eq!(
+                    billed.to_bits(),
+                    runner.meter().total().to_bits(),
+                    "{name}: cumulative meter must equal the sum of epoch bills"
+                );
             }
         }
     }

@@ -38,6 +38,7 @@ fn replanning_tracks_drift() {
         min_delivered: 0.0,
         max_retry_budget: 8,
         gate: None,
+        continuous: None,
         seed: 3,
     };
 
@@ -112,6 +113,7 @@ fn runner_energy_breakdown_is_complete() {
         min_delivered: 0.0,
         max_retry_budget: 8,
         gate: None,
+        continuous: None,
         seed: 1,
     };
     let mut src = RandomWalk::new(20, 10.0, 2.0, 0.5, 0.1, 2);
